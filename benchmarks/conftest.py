@@ -1,0 +1,34 @@
+"""Benchmark-harness fixtures.
+
+Every bench regenerates one of the paper's artifacts (a table or a
+figure), prints it next to the paper's published values, and saves it
+under ``benchmarks/results/``.  ``REPRO_BENCH_FULL=1`` switches from the
+quick matrix (class A, coarse sweeps, 1 rep) to the paper's full matrix;
+``REPRO_BENCH_REPS`` overrides repetitions (the paper used 6).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_artifact(results_dir):
+    """save_artifact(name, text): persist + echo an artifact."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / name
+        path.write_text(text)
+        print(f"\n[artifact saved: {path}]\n{text}")
+
+    return _save

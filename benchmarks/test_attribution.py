@@ -1,0 +1,54 @@
+"""Methodology bench — the §II/§V mis-attribution claim, quantified.
+
+Not a table in the paper, but its stated motivation for tool developers:
+SMM time is charged to whatever was running.  This bench measures kernel
+over-report vs ground truth across the SMI classes and saves the record.
+"""
+
+from io import StringIO
+
+from repro.core.attribution import attribute
+from repro.core.smi import SmiProfile, SmiSource
+from repro.machine.profile import COMPUTE_BOUND
+from repro.machine.topology import WYEAST_SPEC
+from repro.system import make_machine
+
+
+def _run(durations, interval):
+    m = make_machine(WYEAST_SPEC, seed=11)
+    if durations is not None:
+        SmiSource(m.node, durations, interval, seed=11)
+
+    def body(task):
+        yield from task.compute(COMPUTE_BOUND.solo_rate(WYEAST_SPEC.base_hz) * 2.0)
+
+    t = m.scheduler.spawn(body, "victim", COMPUTE_BOUND)
+    m.engine.run_until(t.proc.done_event)
+    return attribute(m.node)
+
+
+def test_attribution_inflation(benchmark, save_artifact):
+    def measure():
+        return {
+            "SMM 0": _run(None, 1000),
+            "SMM 1 (1/s)": _run(SmiProfile.SHORT, 1000),
+            "SMM 2 (1/s)": _run(SmiProfile.LONG, 1000),
+            "SMM 2 (1/300ms)": _run(SmiProfile.LONG, 300),
+        }
+
+    reports = benchmark.pedantic(measure, rounds=1, iterations=1)
+    out = StringIO()
+    out.write("kernel-reported vs true CPU time for a 2 s compute victim\n")
+    out.write(f"{'condition':<18} {'kernel s':>9} {'true s':>8} {'stolen s':>9} {'inflation %':>12}\n")
+    for name, rep in reports.items():
+        t = rep.tasks[0]
+        out.write(
+            f"{name:<18} {t.kernel_s:>9.4f} {t.true_s:>8.4f} "
+            f"{t.stolen_s:>9.4f} {t.inflation_pct:>12.2f}\n"
+        )
+        assert rep.conservation_error_s() < 1e-9
+    save_artifact("attribution.txt", out.getvalue())
+    assert reports["SMM 0"].tasks[0].inflation_pct == 0.0
+    assert reports["SMM 1 (1/s)"].tasks[0].inflation_pct < 1.0
+    assert 8.0 < reports["SMM 2 (1/s)"].tasks[0].inflation_pct < 16.0
+    assert reports["SMM 2 (1/300ms)"].tasks[0].inflation_pct > 25.0

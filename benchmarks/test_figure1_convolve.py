@@ -1,0 +1,42 @@
+"""Figure 1 — the Convolve experiments.
+
+Left panels: execution time vs SMI interval (long SMIs), one series per
+logical-CPU configuration, for CacheUnfriendly (top) and CacheFriendly
+(bottom).  Right panels: time vs CPU count at the fixed 50 ms interval,
+three runs each (the paper discusses the run-to-run variance there).
+
+Shape assertions: minimal impact above ~600 ms, dramatic below; the
+CU and CF configurations both show near-linear scaling to 4 CPUs and
+minimal HTT benefit beyond.
+"""
+
+from repro.harness.common import bench_full
+from repro.harness.figure1 import build_figure1, render_figure1
+
+
+def test_figure1_convolve(benchmark, save_artifact):
+    data = benchmark.pedantic(
+        lambda: build_figure1(quick=not bench_full(), seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("figure1_convolve.txt", render_figure1(data))
+    save_artifact("figure1_convolve.csv", render_figure1(data, csv=True))
+    for name in ("CacheUnfriendly", "CacheFriendly"):
+        baselines = data.baselines[name]
+        for series in data.left[name]:
+            k = int(series.label.replace("cpu", ""))
+            base = baselines[k]
+            by_x = dict(series.points)
+            # knee: ≥1200 ms intervals within 12 % of base; 50 ms ≥ 2.5×
+            slow_end = min(x for x in by_x if x >= 1200)
+            assert by_x[slow_end] / base < 1.15, (name, k)
+            assert by_x[50] / base > 2.5, (name, k)
+            # impact monotone in frequency (±5 %: single-SMI phase
+            # quantization at the sparse end of the sweep)
+            xs = sorted(by_x)
+            ys = [by_x[x] for x in xs]
+            assert all(a >= b * 0.95 for a, b in zip(ys, ys[1:])), (name, k)
+        # scaling: 1→4 CPUs near-linear; 4→8 (HTT) minimal
+        assert 3.0 < baselines[1] / baselines[4] < 5.5, name
+        assert 0.95 < baselines[4] / baselines[8] < 1.35, name

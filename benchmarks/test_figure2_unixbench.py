@@ -1,0 +1,40 @@
+"""Figure 2 — UnixBench index vs SMI interval per CPU configuration.
+
+Shape assertions from §IV.C: the index rises with cores and shows HTT
+gains; long SMIs depress it, worst below 600 ms intervals; short SMIs
+show no effect; CPU configurations are affected symmetrically (similar
+relative loss) while the absolute effect grows with cores.
+"""
+
+from repro.harness.common import bench_full
+from repro.harness.figure2 import build_figure2, render_figure2
+
+
+def test_figure2_unixbench(benchmark, save_artifact):
+    data = benchmark.pedantic(
+        lambda: build_figure2(quick=not bench_full(), seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("figure2_unixbench.txt", render_figure2(data))
+    save_artifact("figure2_unixbench.csv", render_figure2(data, csv=True))
+    base = data.baselines
+    # scaling with cores + HTT gain
+    assert base[4] > 3.0 * base[1]
+    assert 1.05 < base[8] / base[4] < 1.6
+    # short SMIs: no noticeable effect anywhere
+    for k, v in data.short_at_100ms.items():
+        assert abs(v - base[k]) / base[k] < 0.04, k
+    rel_loss = {}
+    for s in data.long_series:
+        k = int(s.label.replace("cpu", ""))
+        by_x = dict(s.points)
+        # monotone recovery as the interval grows
+        xs = sorted(by_x)
+        ys = [by_x[x] for x in xs]
+        assert all(a <= b * 1.02 for a, b in zip(ys, ys[1:])), k
+        # worst at 100 ms: a big hit
+        assert by_x[100] / base[k] < 0.75, k
+        rel_loss[k] = 1.0 - by_x[600] / base[k]
+    # symmetric relative effect across CPU configurations
+    assert max(rel_loss.values()) - min(rel_loss.values()) < 0.12

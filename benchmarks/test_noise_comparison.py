@@ -1,0 +1,40 @@
+"""Methodology bench — SMI noise vs classic OS noise at equal duty.
+
+Quantifies §II.C's taxonomy: timer-tick/daemon noise is schedulable and
+partially absorbable; the SMM freeze is neither.  Produces the comparison
+record alongside the Ferreira-style single-pulse retention factors.
+"""
+
+from io import StringIO
+
+from repro.core.noise import DAEMON, OS_TICK, SMI_LONG_PULSE, NoisePulse, absorption_experiment
+from repro.core.osnoise import equal_duty_comparison
+
+
+def test_noise_taxonomy_comparison(benchmark, save_artifact):
+    def measure():
+        duty = equal_duty_comparison(
+            duty=0.105, n_phases=10, phase_work_s=0.05, seed=7
+        )
+        task_pulse = NoisePulse("daemon-long", 105_000_000, mechanism="task")
+        retention = {
+            "os-tick (10 µs, 1 cpu)": absorption_experiment(OS_TICK, 30_000_000),
+            "daemon (3 ms, 1 cpu)": absorption_experiment(DAEMON, 30_000_000),
+            "daemon (105 ms, 1 cpu)": absorption_experiment(task_pulse, 30_000_000),
+            "SMI (105 ms, all cpus)": absorption_experiment(SMI_LONG_PULSE, 30_000_000),
+        }
+        return duty, retention
+
+    duty, retention = benchmark.pedantic(measure, rounds=1, iterations=1)
+    out = StringIO()
+    out.write("equal-duty (10.5 %) continuous noise, 2 workers / 4 cores:\n")
+    for k in ("clean", "os", "smm"):
+        out.write(f"  {k:<6} {duty[k]:8.3f} s"
+                  f"   (x{duty[k] / duty['clean']:.3f})\n")
+    out.write("\nsingle-pulse retention fraction (Ferreira-style):\n")
+    for k, v in retention.items():
+        out.write(f"  {k:<24} {v:6.3f}\n")
+    save_artifact("noise_comparison.txt", out.getvalue())
+    assert duty["smm"] > duty["os"]
+    assert retention["SMI (105 ms, all cpus)"] > retention["daemon (105 ms, 1 cpu)"]
+    assert retention["SMI (105 ms, all cpus)"] > 0.9

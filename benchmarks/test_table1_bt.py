@@ -1,0 +1,37 @@
+"""Table 1 — BT under no/short/long SMIs, 1 and 4 ranks per node.
+
+Regenerates both halves of the paper's Table 1 and asserts its shape
+claims: short SMIs are noise-free, long SMIs cost ≈ the duty cycle on one
+rank, and the long-SMI % grows with the node count ("The impact of the
+long SMIs increases with the number of MPI ranks, for both the four
+ranks per node case and the single rank per node case", §III.C).
+"""
+
+from repro.harness.common import bench_full, bench_reps
+from repro.harness.mpi_tables import build_table, render
+
+
+def test_table1_bt(benchmark, save_artifact):
+    halves = benchmark.pedantic(
+        lambda: build_table("BT", quick=not bench_full(), reps=bench_reps(), seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("table1_bt.txt", render("BT", halves))
+    for rpn, rows in halves.items():
+        by = {(r.cls, r.row): r for r in rows}
+        for r in rows:
+            if r.smm.get(0) is None:
+                continue
+            # short SMIs: within ±2.5 % or ±0.1 s of base (tiny cells see
+            # single-SMI quantization, as the paper's own ±5/13 % cells do)
+            assert abs(r.pct(1)) < 2.5 or abs(r.delta(1)) < 0.1, (
+                rpn, r.cls, r.row, r.pct(1),
+            )
+            # long SMIs always cost something
+            assert r.pct(2) > 5.0, (rpn, r.cls, r.row, r.pct(2))
+        # growth with node count within each class present
+        for cls in {r.cls for r in rows}:
+            p1 = by[(cls, 1)].pct(2)
+            p16 = by[(cls, 16)].pct(2)
+            assert p16 > p1, (rpn, cls, p1, p16)

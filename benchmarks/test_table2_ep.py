@@ -1,0 +1,35 @@
+"""Table 2 — EP under no/short/long SMIs.
+
+The paper's surprise: EP is embarrassingly parallel, yet the long-SMI %
+still grows as nodes scale (completion is a max over independently
+perturbed ranks).  Single-rank base times must match the paper exactly —
+they are the calibration anchors, so this doubles as a calibration
+regression bench.
+"""
+
+import pytest
+
+from repro.harness.common import bench_full, bench_reps
+from repro.harness.mpi_tables import build_table, render
+
+
+def test_table2_ep(benchmark, save_artifact):
+    halves = benchmark.pedantic(
+        lambda: build_table("EP", quick=not bench_full(), reps=bench_reps(), seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("table2_ep.txt", render("EP", halves))
+    rows1 = {(r.cls, r.row): r for r in halves[1]}
+    for (cls, row), r in rows1.items():
+        # base column: 1-rank-per-node cells track the paper's within 5 %
+        if r.paper is not None:
+            assert r.smm[0] == pytest.approx(r.paper[0], rel=0.05), (cls, row)
+        assert abs(r.pct(1)) < 2.5 or abs(r.delta(1)) < 0.1
+        assert 8.0 < r.pct(2) < 80.0
+    for cls in {c for c, _ in rows1}:
+        assert rows1[(cls, 16)].pct(2) > rows1[(cls, 1)].pct(2)
+    # 4 ranks/node row 16 = 64 ranks: the table's largest perturbation
+    rows4 = {(r.cls, r.row): r for r in halves[4]}
+    for cls in {c for c, _ in rows4}:
+        assert rows4[(cls, 16)].pct(2) > rows4[(cls, 1)].pct(2)

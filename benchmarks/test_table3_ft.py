@@ -1,0 +1,39 @@
+"""Table 3 — FT under no/short/long SMIs.
+
+FT's all-to-all makes it the communication-heaviest benchmark.  The bench
+verifies the paper's layout (class C blank below 4 ranks), the short-SMI
+null result, and the significant long-SMI impact at scale.
+"""
+
+from repro.apps.nas.params import NasClass
+from repro.harness.common import bench_full, bench_reps
+from repro.harness.mpi_tables import build_table, render
+
+
+def test_table3_ft(benchmark, save_artifact):
+    full = bench_full()
+    halves = benchmark.pedantic(
+        lambda: build_table("FT", quick=not full, reps=bench_reps(), seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("table3_ft.txt", render("FT", halves))
+    if full:
+        # the paper's blank cells reproduce: FT-C rows 1–2 at 1 rank/node
+        by = {(r.cls, r.row): r for r in halves[1]}
+        assert by[(NasClass.C.value, 1)].smm[0] is None
+        assert by[(NasClass.C.value, 2)].smm[0] is None
+        assert by[(NasClass.C.value, 4)].smm[0] is not None
+    for rpn, rows in halves.items():
+        for r in rows:
+            if r.smm.get(0) is None:
+                continue
+            assert abs(r.pct(1)) < 2.5 or abs(r.delta(1)) < 0.1, (
+                rpn, r.cls, r.row, r.pct(1),
+            )
+            assert r.pct(2) > 4.0
+        by = {(r.cls, r.row): r for r in rows}
+        for cls in {r.cls for r in rows}:
+            if by[(cls, 1)].smm.get(0) is None:
+                continue
+            assert by[(cls, 16)].pct(2) > by[(cls, 1)].pct(2) * 0.9

@@ -1,0 +1,32 @@
+"""Table 4 — Effect of HTT on EP with 4 MPI ranks per node.
+
+The paper: "our results are affected by HTT in the case of long SMM
+intervals.  However, the impact does not follow a clear scaling pattern,
+and we do not see a similar impact for the short SMM intervals."  The
+bench asserts exactly that: ht0≈ht1 under SMM 0/1, and an aggregate ht=1
+penalty under SMM 2.
+"""
+
+from repro.harness.common import bench_full, bench_reps
+from repro.harness.htt_tables import build_htt_table, render_htt
+
+
+def test_table4_ep_htt(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        lambda: build_htt_table(
+            "EP", quick=not bench_full(), reps=bench_reps(), seed=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("table4_ep_htt.txt", render_htt("EP", rows))
+    for r in rows:
+        for smm in (0, 1):
+            h0, h1 = r.cells[smm]
+            if h0 and h1:
+                assert abs(h1 - h0) / h0 < 0.03, (r.cls, r.row, smm)
+    # Long SMIs: summed over rows, HTT-on pays extra (no per-row pattern,
+    # as the paper observes).
+    tot0 = sum(r.cells[2][0] for r in rows if r.cells[2][0])
+    tot1 = sum(r.cells[2][1] for r in rows if r.cells[2][1])
+    assert tot1 >= tot0

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""A miniature Table-2-style MPI noise study.
+
+Runs the EP and FT benchmark models (class A) at 1, 4, and 16 nodes under
+the paper's three SMI conditions and prints the Δ/%Δ rows, demonstrating
+the paper's central result: long-SMI degradation *grows with scale*, and
+faster for communication-heavy codes.
+
+Run:  python examples/mpi_noise_study.py            (~1 minute)
+"""
+
+from repro.apps.nas.params import NasClass
+from repro.apps.nas.study import NasConfig, run_nas_config
+from repro.paperdata import paper_cell
+
+
+def main() -> None:
+    print(f"{'config':<22} {'SMM0':>8} {'SMM1':>8} {'%':>6} {'SMM2':>8} "
+          f"{'%':>6} {'paper %':>8}")
+    print("-" * 72)
+    for bench in ("EP", "FT"):
+        for nodes in (1, 4, 16):
+            cfg = NasConfig(bench, NasClass.A, nodes, ranks_per_node=1)
+            base = run_nas_config(cfg, smm=0, seed=7)
+            short = run_nas_config(cfg, smm=1, seed=7)
+            long_ = run_nas_config(cfg, smm=2, seed=7)
+            paper = paper_cell(bench, 1, NasClass.A, nodes)
+            paper_pct = 100 * (paper[2] - paper[0]) / paper[0]
+            print(
+                f"{bench}.A @{nodes:>2} nodes      "
+                f"{base:>8.2f} {short:>8.2f} {100 * (short - base) / base:>6.2f} "
+                f"{long_:>8.2f} {100 * (long_ - base) / base:>6.1f} {paper_pct:>8.1f}"
+            )
+        print()
+    print("Short SMIs are invisible; long-SMI % grows with node count —")
+    print("even for EP, whose only synchronization is the final allreduce.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Projecting the study to larger scales (the paper's future work).
+
+§V: "we hope ... to test additional parallel applications at larger
+scales."  The simulator has no 16-node limit: this example projects the
+long-SMI penalty for EP and BT out to 256 ranks and compares against the
+closed-form models of :mod:`repro.core.analytic`.
+
+Run:  python examples/scale_projection.py           (~2-3 minutes)
+"""
+
+from repro.apps.nas.params import NasClass
+from repro.apps.nas.study import NasConfig, run_nas_config
+from repro.core.analytic import coupled_utilization_bounds, expected_extra_max_of_n
+
+
+def main() -> None:
+    print("long-SMI (100-110 ms @ 1/s) penalty vs scale, class C\n")
+    print(f"{'ranks':>6} {'EP %':>7} {'EP analytic %':>14} {'BT %':>7} "
+          f"{'BT bound %':>11}")
+    for nodes in (1, 4, 16, 64, 256):
+        ep_cfg = NasConfig("EP", NasClass.C, nodes, 1)
+        ep_b = run_nas_config(ep_cfg, smm=0, seed=6)
+        ep_l = run_nas_config(ep_cfg, smm=2, seed=6)
+        ep_pct = 100 * (ep_l - ep_b) / ep_b
+        ana = 100 * (
+            expected_extra_max_of_n(ep_b, 0.105, 1.0, nodes) / ep_b + 0.0
+        )
+        row = f"{nodes:>6} {ep_pct:>7.1f} {ana:>14.1f}"
+        if NasConfig("BT", NasClass.C, nodes, 1).nranks in (1, 4, 16, 64, 256):
+            bt_cfg = NasConfig("BT", NasClass.C, nodes, 1)
+            bt_b = run_nas_config(bt_cfg, smm=0, seed=6)
+            bt_l = run_nas_config(bt_cfg, smm=2, seed=6)
+            bt_pct = 100 * (bt_l - bt_b) / bt_b
+            lo, _hi = coupled_utilization_bounds(0.105, 1.0, nodes, 0.4)
+            bound = 100 * (1 / lo - 1) if lo > 0 else float("inf")
+            row += f" {bt_pct:>7.1f} {bound:>11.1f}"
+        print(row)
+    print("\nEP's penalty saturates (max over independent ranks);")
+    print("BT's approaches the coupled union-coverage bound.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+Offline environments (like the one this reproduction targets) often lack
+the ``wheel`` package, which modern PEP-517 editable installs require.
+With this shim and no ``[build-system]`` table in pyproject.toml, ``pip
+install -e .`` uses setuptools' legacy develop path, which works with a
+bare setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro — reproduction of "The Effects of System Management Interrupts on
+Multithreaded, Hyper-threaded, and MPI Applications" (ICPP 2016).
+
+A deterministic discrete-event simulation of System Management Mode noise
+on multicore, hyper-threaded machines and MPI clusters, plus the paper's
+workloads (NAS EP/BT/FT models, Convolve, UnixBench), measurement
+methodology (SMM-blind accounting, hwlat-style detection), and the full
+benchmark harness regenerating Tables 1–5 and Figures 1–2.
+
+Quickstart::
+
+    from repro import make_machine, SmiSource, SmiProfile
+    from repro.machine.profile import COMPUTE_BOUND
+
+    m = make_machine()
+    SmiSource(m.node, SmiProfile.LONG, interval_jiffies=1000, seed=1)
+
+    def body(task):
+        yield from task.compute(2.4e9)   # ~1 s of work on this machine
+
+    t = m.scheduler.spawn(body, "worker", COMPUTE_BOUND)
+    m.engine.run()
+    print(t.finished_ns / 1e9, "s wall — >1 s because SMIs stole time")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.system import SimulatedMachine, make_machine, make_node
+from repro.core.smi import SmiProfile, SmiSource
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimulatedMachine",
+    "make_machine",
+    "make_node",
+    "SmiProfile",
+    "SmiSource",
+    "__version__",
+]

@@ -1,0 +1,108 @@
+"""Trace export: ASCII Gantt charts and Chrome-trace JSON.
+
+Two consumers:
+
+* humans at a terminal — :func:`gantt` draws per-node lanes with SMM
+  residency (█) and, optionally, a task's compute segments, making the
+  freeze/stall structure of a run visible at a glance;
+* ``chrome://tracing`` / Perfetto — :func:`chrome_trace` emits the
+  standard ``traceEvents`` JSON with one row per node showing SMM windows
+  and one row per recorded interrupt delivery, so full runs can be
+  inspected interactively.
+"""
+
+from __future__ import annotations
+
+import json
+from io import StringIO
+from typing import Dict, List, Optional, Sequence
+
+from repro.simx.timeline import Timeline
+
+__all__ = ["gantt", "chrome_trace"]
+
+
+def gantt(
+    timeline: Timeline,
+    nodes: Sequence[str],
+    t0: int,
+    t1: int,
+    width: int = 100,
+    title: str = "SMM residency",
+) -> str:
+    """One lane per node; █ marks instants with the node in SMM."""
+    if t1 <= t0:
+        raise ValueError("need t1 > t0")
+    span = t1 - t0
+    out = StringIO()
+    out.write(f"{title}: [{t0 / 1e9:.3f}s .. {t1 / 1e9:.3f}s]\n")
+    for node in nodes:
+        cells = [" "] * width
+        for a, b in timeline.intervals("smm.enter", "smm.exit", where=node):
+            lo = max(a, t0)
+            hi = min(b, t1)
+            if hi <= lo:
+                continue
+            c0 = int((lo - t0) / span * width)
+            c1 = max(c0 + 1, int((hi - t0) / span * width))
+            for c in range(c0, min(c1, width)):
+                cells[c] = "█"
+        out.write(f"{node:>8} │{''.join(cells)}│\n")
+    out.write(" " * 9 + "└" + "─" * width + "┘\n")
+    return out.getvalue()
+
+
+def chrome_trace(
+    timeline: Timeline,
+    nodes: Optional[Sequence[str]] = None,
+) -> str:
+    """Chrome-trace JSON: SMM windows as duration events (one pid lane
+    per node), interrupt deliveries as instant events."""
+    events: List[Dict] = []
+    known_nodes = set(nodes) if nodes is not None else None
+    for rec in timeline:
+        if known_nodes is not None and rec.where not in known_nodes:
+            continue
+        ts_us = rec.time / 1e3
+        if rec.kind == "smm.enter":
+            events.append({
+                "name": "SMM",
+                "cat": "smm",
+                "ph": "B",
+                "ts": ts_us,
+                "pid": rec.where,
+                "tid": "smm",
+                "args": dict(rec.data),
+            })
+        elif rec.kind == "smm.exit":
+            events.append({
+                "name": "SMM",
+                "cat": "smm",
+                "ph": "E",
+                "ts": ts_us,
+                "pid": rec.where,
+                "tid": "smm",
+            })
+        elif rec.kind == "irq.deliver":
+            events.append({
+                "name": f"irq:{rec.data.get('irq_class', '?')}",
+                "cat": "irq",
+                "ph": "i",
+                "s": "p",
+                "ts": ts_us,
+                "pid": rec.where,
+                "tid": "irq",
+                "args": dict(rec.data),
+            })
+        elif rec.kind == "sched.misplace":
+            events.append({
+                "name": "misplace",
+                "cat": "sched",
+                "ph": "i",
+                "s": "p",
+                "ts": ts_us,
+                "pid": rec.where,
+                "tid": "sched",
+                "args": dict(rec.data),
+            })
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, indent=1)

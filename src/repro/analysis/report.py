@@ -1,0 +1,70 @@
+"""Paper-vs-measured comparison records.
+
+The reproduction standard (see the project brief) is *shape agreement*:
+who wins, by roughly what factor, where the knees fall — not absolute
+times from someone else's 2009 cluster.  :class:`Comparison` captures one
+paper-vs-measured pair; :class:`ShapeCheck` evaluates a family of them
+against a named shape claim and renders the verdict lines EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Callable, List, Optional, Sequence
+
+__all__ = ["Comparison", "ShapeCheck"]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One measured quantity next to the paper's value."""
+
+    label: str
+    measured: float
+    paper: Optional[float]
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper in (None, 0):
+            return None
+        return self.measured / self.paper
+
+    def line(self) -> str:
+        if self.paper is None:
+            return f"{self.label:<44} measured {self.measured:>9.3f}   paper      -"
+        return (
+            f"{self.label:<44} measured {self.measured:>9.3f}   "
+            f"paper {self.paper:>9.3f}   ratio {self.ratio:>6.2f}"
+        )
+
+
+@dataclass
+class ShapeCheck:
+    """A named qualitative claim evaluated over comparisons.
+
+    ``predicate`` receives the comparisons and returns True when the
+    claimed shape holds in the measured data.
+    """
+
+    claim: str
+    comparisons: List[Comparison] = field(default_factory=list)
+    predicate: Optional[Callable[[Sequence[Comparison]], bool]] = None
+
+    def add(self, label: str, measured: float, paper: Optional[float]) -> None:
+        self.comparisons.append(Comparison(label, measured, paper))
+
+    @property
+    def holds(self) -> Optional[bool]:
+        if self.predicate is None:
+            return None
+        return self.predicate(self.comparisons)
+
+    def render(self) -> str:
+        out = StringIO()
+        verdict = {True: "HOLDS", False: "FAILS", None: "(informational)"}[self.holds]
+        out.write(f"shape: {self.claim} — {verdict}\n")
+        for c in self.comparisons:
+            out.write("  " + c.line() + "\n")
+        return out.getvalue()

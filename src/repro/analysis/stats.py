@@ -1,0 +1,97 @@
+"""Statistics helpers used across the harness.
+
+Deliberately dependency-light (no scipy import at module load): the
+t-quantiles for the 95 % CI are tabulated for the small repetition counts
+the methodology uses (the paper averages 6 runs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = [
+    "mean",
+    "geomean",
+    "pct_change",
+    "confidence_interval95",
+    "summarize",
+    "Summary",
+]
+
+#: two-sided 97.5 % Student-t quantiles by degrees of freedom (1..30).
+_T975 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geomean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def pct_change(base: float, value: float) -> float:
+    """Percent change from base (the tables' '%' columns)."""
+    if base == 0:
+        raise ValueError("zero base")
+    return 100.0 * (value - base) / base
+
+
+def _std(values: Sequence[float]) -> float:
+    m = mean(values)
+    n = len(values)
+    if n < 2:
+        return 0.0
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (n - 1))
+
+
+def confidence_interval95(values: Sequence[float]) -> float:
+    """Half-width of the 95 % CI of the mean (0 for n < 2)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    t = _T975[min(n - 1, len(_T975)) - 1]
+    return t * _std(values) / math.sqrt(n)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics of one measurement cell."""
+
+    n: int
+    mean: float
+    std: float
+    min: float
+    max: float
+    ci95: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (relative run-to-run noise)."""
+        return self.std / self.mean if self.mean else 0.0
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    vals: List[float] = list(values)
+    if not vals:
+        raise ValueError("summarize of empty sequence")
+    return Summary(
+        n=len(vals),
+        mean=mean(vals),
+        std=_std(vals),
+        min=min(vals),
+        max=max(vals),
+        ci95=confidence_interval95(vals),
+    )

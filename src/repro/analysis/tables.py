@@ -1,0 +1,135 @@
+"""Render the MPI study tables in the paper's layout.
+
+Tables 1–3: per (class, row) — SMM 0 mean, SMM 1 mean/Δ/%, SMM 2
+mean/Δ/% for each ranks-per-node half, with the paper's published value
+alongside for comparison.  Tables 4–5: ht=0/ht=1 pairs per SMM class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from io import StringIO
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["NasTableRow", "render_nas_table", "render_htt_table", "rows_csv"]
+
+
+@dataclass
+class NasTableRow:
+    """One measured row: means per SMM class (None = infeasible)."""
+
+    cls: str
+    row: int
+    smm: Dict[int, Optional[float]]
+    paper: Optional[Tuple[float, float, float]] = None
+
+    def delta(self, k: int) -> Optional[float]:
+        if self.smm.get(0) is None or self.smm.get(k) is None:
+            return None
+        return self.smm[k] - self.smm[0]
+
+    def pct(self, k: int) -> Optional[float]:
+        d = self.delta(k)
+        if d is None or not self.smm[0]:
+            return None
+        return 100.0 * d / self.smm[0]
+
+    def paper_pct(self, k: int) -> Optional[float]:
+        if self.paper is None or not self.paper[0]:
+            return None
+        return 100.0 * (self.paper[k] - self.paper[0]) / self.paper[0]
+
+
+def _f(v: Optional[float], w: int = 8, nd: int = 2) -> str:
+    return f"{v:>{w}.{nd}f}" if v is not None else " " * (w - 1) + "-"
+
+
+def render_nas_table(title: str, rows: List[NasTableRow]) -> str:
+    """One half-table (a ranks-per-node column group)."""
+    out = StringIO()
+    out.write(f"== {title} ==\n")
+    out.write(
+        f"{'cls':<4}{'row':>4} | {'SMM0':>8} {'(paper)':>9} | "
+        f"{'SMM1':>8} {'Δ':>7} {'%':>7} {'(p%)':>7} | "
+        f"{'SMM2':>8} {'Δ':>7} {'%':>7} {'(p%)':>7}\n"
+    )
+    out.write("-" * 104 + "\n")
+    last_cls = None
+    for r in rows:
+        if last_cls is not None and r.cls != last_cls:
+            out.write("\n")
+        last_cls = r.cls
+        paper0 = f"({r.paper[0]:.2f})" if r.paper else "(-)"
+        out.write(
+            f"{r.cls:<4}{r.row:>4} | {_f(r.smm.get(0))} {paper0:>9} | "
+            f"{_f(r.smm.get(1))} {_f(r.delta(1), 7)} {_f(r.pct(1), 7, 1)} "
+            f"{_f(r.paper_pct(1), 7, 1)} | "
+            f"{_f(r.smm.get(2))} {_f(r.delta(2), 7)} {_f(r.pct(2), 7, 1)} "
+            f"{_f(r.paper_pct(2), 7, 1)}\n"
+        )
+    return out.getvalue()
+
+
+@dataclass
+class HttRow:
+    """One Table 4/5 row: (ht0, ht1) per SMM class."""
+
+    cls: str
+    row: int
+    cells: Dict[int, Tuple[Optional[float], Optional[float]]]
+    paper: Optional[Dict[int, Tuple[float, float]]] = None
+
+
+def render_htt_table(title: str, rows: List["HttRow"]) -> str:
+    out = StringIO()
+    out.write(f"== {title} ==\n")
+    out.write(
+        f"{'cls':<4}{'row':>4} |"
+        + "".join(
+            f" {'SMM' + str(k) + ' ht0':>9} {'ht1':>8} {'Δ%':>7} {'(pΔ%)':>7} |"
+            for k in (0, 1, 2)
+        )
+        + "\n"
+    )
+    out.write("-" * 112 + "\n")
+    last_cls = None
+    for r in rows:
+        if last_cls is not None and r.cls != last_cls:
+            out.write("\n")
+        last_cls = r.cls
+        out.write(f"{r.cls:<4}{r.row:>4} |")
+        for k in (0, 1, 2):
+            h0, h1 = r.cells.get(k, (None, None))
+            dpct = (
+                100.0 * (h1 - h0) / h0 if h0 not in (None, 0) and h1 is not None else None
+            )
+            ppct = None
+            if r.paper and k in r.paper and r.paper[k][0]:
+                p0, p1 = r.paper[k]
+                ppct = 100.0 * (p1 - p0) / p0
+            out.write(
+                f" {_f(h0, 9)} {_f(h1, 8)} {_f(dpct, 7, 1)} {_f(ppct, 7, 1)} |"
+            )
+        out.write("\n")
+    return out.getvalue()
+
+
+def rows_csv(rows: List[NasTableRow]) -> str:
+    """Machine-readable form of a half-table."""
+    out = StringIO()
+    out.write("cls,row,smm0,smm1,smm2,pct1,pct2,paper0,paper1,paper2\n")
+    for r in rows:
+        p = r.paper or (None, None, None)
+
+        def fmt(v):
+            return f"{v:.4f}" if v is not None else ""
+
+        out.write(
+            ",".join(
+                [r.cls, str(r.row), fmt(r.smm.get(0)), fmt(r.smm.get(1)),
+                 fmt(r.smm.get(2)), fmt(r.pct(1)), fmt(r.pct(2)),
+                 fmt(p[0]), fmt(p[1]), fmt(p[2])]
+            )
+            + "\n"
+        )
+    return out.getvalue()

@@ -1,0 +1,76 @@
+"""Timeline queries: SMM residency and noise characterization.
+
+Turns the omniscient :class:`repro.simx.timeline.Timeline` into the
+summaries the study needs — per-node SMM residency, inter-SMI gaps, and
+overlap structure across nodes (the quantity that decides whether
+multi-node noise is absorbed or amplified, DESIGN.md §5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.simx.timeline import Timeline
+
+__all__ = ["SmmResidency", "smm_residency", "union_coverage"]
+
+
+@dataclass(frozen=True)
+class SmmResidency:
+    """SMM statistics for one node over an observation window."""
+
+    node: str
+    window_ns: int
+    intervals: Tuple[Tuple[int, int], ...]
+
+    @property
+    def entries(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def total_ns(self) -> int:
+        return sum(b - a for a, b in self.intervals)
+
+    @property
+    def duty(self) -> float:
+        return self.total_ns / self.window_ns if self.window_ns else 0.0
+
+    def gaps_ns(self) -> List[int]:
+        """Gaps between consecutive SMM exits and the next entries."""
+        out = []
+        for (a1, b1), (a2, _b2) in zip(self.intervals, self.intervals[1:]):
+            out.append(a2 - b1)
+        return out
+
+
+def smm_residency(timeline: Timeline, node: str, t0: int, t1: int) -> SmmResidency:
+    """Extract a node's SMM intervals clipped to [t0, t1)."""
+    raw = timeline.intervals("smm.enter", "smm.exit", where=node)
+    clipped = tuple(
+        (max(a, t0), min(b, t1)) for a, b in raw if min(b, t1) > max(a, t0)
+    )
+    return SmmResidency(node=node, window_ns=t1 - t0, intervals=clipped)
+
+
+def union_coverage(residencies: Sequence[SmmResidency]) -> float:
+    """Fraction of the common window during which *any* node was in SMM —
+    the stall fraction a perfectly lock-step application would see."""
+    if not residencies:
+        return 0.0
+    window = residencies[0].window_ns
+    events: List[Tuple[int, int]] = []
+    for r in residencies:
+        for a, b in r.intervals:
+            events.append((a, +1))
+            events.append((b, -1))
+    events.sort()
+    covered = 0
+    depth = 0
+    last = None
+    for t, d in events:
+        if depth > 0 and last is not None:
+            covered += t - last
+        depth += d
+        last = t
+    return covered / window if window else 0.0

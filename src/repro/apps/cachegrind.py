@@ -1,0 +1,162 @@
+"""A cachegrind-style cache simulator for the Convolve access pattern.
+
+§IV.B: "We selected configurations for 'cache-friendly' and
+'cache-unfriendly' experimentally using *cachegrind*" — landing on ~1 %
+and ~70 % miss rates out of ~20 M references.  This module closes that
+loop: a set-associative cache simulator (LRU, write-allocate, like
+cachegrind's D1/LL model) driven by the *actual* address stream of the
+blocked convolution, so the CF/CU profile constants used by the fluid
+model are derived, not asserted.
+
+The address stream generator reproduces the kernel's loop nest exactly:
+for each output pixel of a thread's block, the M×M kernel window is
+swept over the padded image (reads), the kernel matrix is re-read, and
+one output store is issued — the three memory activities the paper lists.
+
+Full-size runs (16 MP images) would be slow in Python; the pattern is
+scale-invariant in the regimes of interest, so the tests verify the two
+regimes on proportionally scaled geometries and the module documents the
+mapping (see :func:`convolve_miss_rate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["CacheSim", "CacheStats", "convolve_address_stream", "convolve_miss_rate"]
+
+
+@dataclass
+class CacheStats:
+    """Reference/miss counters (cachegrind's D-cache summary line)."""
+
+    references: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.references if self.references else 0.0
+
+
+class CacheSim:
+    """Set-associative LRU cache over byte addresses.
+
+    Default geometry matches a Nehalem 32 KB, 8-way, 64 B-line L1d.
+    """
+
+    def __init__(self, size_bytes: int = 32 << 10, ways: int = 8,
+                 line_bytes: int = 64):
+        if size_bytes % (ways * line_bytes) != 0:
+            raise ValueError("size must be a multiple of ways × line")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = size_bytes // (ways * line_bytes)
+        # per-set list of tags in LRU order (front = most recent)
+        self._sets = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def access(self, addr: int) -> bool:
+        """Touch one address; returns True on hit."""
+        line = addr // self.line_bytes
+        idx = line % self.n_sets
+        tag = line // self.n_sets
+        s = self._sets[idx]
+        self.stats.references += 1
+        try:
+            pos = s.index(tag)
+        except ValueError:
+            self.stats.misses += 1
+            s.insert(0, tag)
+            if len(s) > self.ways:
+                s.pop()
+            return False
+        if pos != 0:
+            s.insert(0, s.pop(pos))
+        return True
+
+    def access_array(self, addrs: np.ndarray) -> None:
+        """Drive the simulator with a vector of addresses."""
+        for a in addrs:
+            self.access(int(a))
+
+
+def convolve_address_stream(
+    image_w: int,
+    image_h: int,
+    kernel_side: int,
+    block: int,
+    element_bytes: int = 8,
+    image_base: int = 0x10_0000,
+    kernel_base: int = 0x01_0000,
+    out_base: int = 0x80_0000,
+) -> Iterator[int]:
+    """The byte-address stream of one thread convolving its blocks.
+
+    Loop nest per output pixel (i, j): for each kernel element (dy, dx)
+    read image[i+dy, j+dx] and kernel[dy, dx]; then store out[i, j] —
+    the exact activities §IV.B enumerates (shared-image loads, kernel
+    loads, thread-local stores).
+    """
+    k = kernel_side
+    pad_w = image_w + k - 1
+    for bi in range(0, image_h, block):
+        for bj in range(0, image_w, block):
+            for i in range(bi, min(bi + block, image_h)):
+                for j in range(bj, min(bj + block, image_w)):
+                    for dy in range(k):
+                        row = (i + dy) * pad_w
+                        for dx in range(k):
+                            yield image_base + (row + j + dx) * element_bytes
+                            yield kernel_base + (dy * k + dx) * element_bytes
+                    yield out_base + (i * image_w + j) * element_bytes
+
+
+class CacheStack:
+    """A D1 → LL two-level stack, cachegrind's default configuration.
+
+    References hit D1 first; D1 misses become LL references.  The paper's
+    "~70 % cache misses … out of approximately 20-million cache
+    references" reads as an LL summary (the D1 reference count of a 16 MP
+    convolve is in the hundreds of millions; the *LL* traffic is tens of
+    millions) — so the CU/CF contrast is asserted on the LL miss rate.
+    """
+
+    def __init__(self, d1: CacheSim | None = None, ll: CacheSim | None = None):
+        self.d1 = d1 if d1 is not None else CacheSim(32 << 10, 8, 64)
+        self.ll = ll if ll is not None else CacheSim(1 << 20, 16, 64)
+
+    def access(self, addr: int) -> None:
+        if not self.d1.access(addr):
+            self.ll.access(addr)
+
+
+def convolve_miss_rate(
+    image_w: int,
+    image_h: int,
+    kernel_side: int,
+    block: int,
+    stack: CacheStack | None = None,
+    max_refs: int = 2_000_000,
+) -> CacheStack:
+    """Measure the D1/LL miss rates of the convolve pattern.
+
+    The two paper regimes, demonstrated at simulation-friendly scale
+    (verified in ``tests/apps/test_cachegrind.py``):
+
+    * **CF-like** — small image rows + big kernel: the kernel matrix and
+      the sliding image window stay resident ⇒ both levels near the
+      compulsory floor (the paper's ≈1 %).
+    * **CU-like** — image far exceeds the LL with a tiny kernel: the
+      streaming sweeps re-miss at the LL ⇒ a high LL miss rate (the
+      paper's ≈70 % regime; the simulator reproduces the CU ≫ CF contrast
+      and the order of magnitude, see the tests).
+    """
+    sim = stack if stack is not None else CacheStack()
+    for addr in convolve_address_stream(image_w, image_h, kernel_side, block):
+        sim.access(addr)
+        if sim.d1.stats.references >= max_refs:
+            break
+    return sim

@@ -1,0 +1,74 @@
+"""EP — the Embarrassingly Parallel benchmark.
+
+Each rank generates its share of 2^m Gaussian pairs by the NPB
+acceptance-rejection scheme, tallying pair counts into ten
+concentric-annulus bins; the only communication is the initial barrier
+and three small allreduces at the end (Σx, Σy, and the ten counts).
+
+In the simulator the *arithmetic* is a cheap deterministic stand-in (the
+tallies are a simple function of the rank so the verification sum is
+checkable), while the *time* of the generation loop is the calibrated
+work demand executed on the CPU model.  §III.C's expectation — "We would
+expect the effects of the SMI activity to be similar for each node, and
+not to grow as we scale up, due to the lack of synchronization" — is
+testable here, and fails the same way it does in the paper: the final
+allreduce makes completion a max over independently-perturbed ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator
+
+from repro.apps.nas.params import EP_PARAMS, NasClass
+from repro.mpi.comm import Rank
+
+__all__ = ["make_ep_app", "ep_local_tallies", "ep_expected_tallies"]
+
+_N_BINS = 10
+
+
+def ep_local_tallies(rank: int, size: int) -> list[int]:
+    """Deterministic stand-in for a rank's annulus tallies (the real EP
+    tallies depend on its RNG stream; ours depend on the rank so tests
+    can verify the allreduce sum exactly)."""
+    return [((rank + 1) * (b + 3) * 2654435761) % 1000 for b in range(_N_BINS)]
+
+
+def ep_expected_tallies(size: int) -> list[int]:
+    """Ground-truth allreduce result for ``size`` ranks."""
+    out = [0] * _N_BINS
+    for r in range(size):
+        t = ep_local_tallies(r, size)
+        for b in range(_N_BINS):
+            out[b] += t[b]
+    return out
+
+
+def make_ep_app(cls: NasClass) -> Callable[[Rank], Generator]:
+    """Build the per-rank body for EP at the given class."""
+    params = EP_PARAMS[cls]
+
+    def app(rk: Rank) -> Generator:
+        yield from rk.barrier()           # MPI_Init / start-of-timing sync
+        t0 = rk.now_ns()
+        yield from rk.compute(params.work_total / rk.size)
+        local = ep_local_tallies(rk.rank, rk.size)
+        vecsum = lambda a, b: [x + y for x, y in zip(a, b)]  # noqa: E731
+        counts = yield from rk.allreduce(local, nbytes=8 * _N_BINS, op=vecsum)
+        sx = yield from rk.allreduce(float(rk.rank + 1), nbytes=8)
+        sy = yield from rk.allreduce(0.5 * (rk.rank + 1), nbytes=8)
+        t1 = rk.now_ns()
+        n = rk.size
+        verified = (
+            counts == ep_expected_tallies(n)
+            and abs(sx - n * (n + 1) / 2) < 1e-9
+            and abs(sy - 0.5 * n * (n + 1) / 2) < 1e-9
+        )
+        return {
+            "elapsed_s": (t1 - t0) / 1e9,
+            "verified": verified,
+            "work_ops": params.work_total / rk.size,
+            "benchmark": f"EP.{cls.value}",
+        }
+
+    return app

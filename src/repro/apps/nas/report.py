@@ -1,0 +1,52 @@
+"""NPB-style result report.
+
+Real NAS benchmarks end with a standard block (class, size, iterations,
+time, MOPs, verification).  The paper records exactly these ("we recorded
+the resulting time, work completed, and MOPs", §III.C); this module
+renders the same block from a :class:`repro.mpi.cluster.JobResult`.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import Dict
+
+from repro.apps.nas.params import BT_PARAMS, EP_PARAMS, FT_PARAMS, NasClass
+from repro.mpi.cluster import JobResult
+
+__all__ = ["npb_report"]
+
+_SIZE = {
+    "EP": lambda p: f"2^{p.m} random pairs",
+    "BT": lambda p: f"{p.grid_n}x{p.grid_n}x{p.grid_n} grid",
+    "FT": lambda p: f"{p.nx}x{p.ny}x{p.nz} grid",
+}
+_PARAMS = {"EP": EP_PARAMS, "BT": BT_PARAMS, "FT": FT_PARAMS}
+_ITER = {"EP": lambda p: 1, "BT": lambda p: p.niter, "FT": lambda p: p.niter}
+
+
+def npb_report(bench: str, cls: NasClass, result: JobResult) -> str:
+    """Render the classic NPB footer for a finished simulated run."""
+    params = _PARAMS[bench][cls]
+    elapsed = result.elapsed_s if result.elapsed_s else 0.0
+    total_ops = sum(
+        r.get("work_ops", 0.0) for r in result.rank_results if isinstance(r, dict)
+    )
+    verified = all(
+        r.get("verified", False) for r in result.rank_results if isinstance(r, dict)
+    )
+    mops = total_ops / elapsed / 1e6 if elapsed > 0 else 0.0
+    out = StringIO()
+    out.write(f" {bench} Benchmark Completed.\n")
+    out.write(f" Class           =            {cls.value}\n")
+    out.write(f" Size            =            {_SIZE[bench](params)}\n")
+    out.write(f" Iterations      =            {_ITER[bench](params)}\n")
+    out.write(f" Time in seconds =            {elapsed:.2f}\n")
+    out.write(f" Total processes =            {result.nranks}\n")
+    out.write(f" Mop/s total     =            {mops:.2f}\n")
+    out.write(f" Mop/s/process   =            {mops / result.nranks:.2f}\n")
+    out.write(
+        f" Verification    =            "
+        f"{'SUCCESSFUL' if verified else 'UNSUCCESSFUL'}\n"
+    )
+    return out.getvalue()

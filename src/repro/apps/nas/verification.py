@@ -1,0 +1,51 @@
+"""NPB-style verification of the modeled benchmarks.
+
+Real NPB prints ``Verification = SUCCESSFUL`` by checking computed values
+against class-specific references.  The models carry real values through
+the simulated collectives (EP's tallies, BT's residual, FT's per-
+iteration checksums), and this module provides the reference-side checks
+plus structural invariants the parameter tables must satisfy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.nas.ep import ep_expected_tallies, ep_local_tallies
+from repro.apps.nas.params import BT_PARAMS, EP_PARAMS, FT_PARAMS, NasClass
+
+__all__ = [
+    "verify_rank_result",
+    "structural_invariants",
+    "ep_expected_tallies",
+    "ep_local_tallies",
+]
+
+
+def verify_rank_result(result: Dict) -> bool:
+    """Check a rank body's returned record."""
+    return (
+        isinstance(result, dict)
+        and result.get("verified") is True
+        and result.get("elapsed_s", -1) >= 0
+        and result.get("work_ops", 0) > 0
+    )
+
+
+def structural_invariants() -> Dict[str, bool]:
+    """Class-parameter sanity: monotone work, the published geometry."""
+    checks: Dict[str, bool] = {}
+    order = [NasClass.A, NasClass.B, NasClass.C]
+    for name, params in (("EP", EP_PARAMS), ("BT", BT_PARAMS), ("FT", FT_PARAMS)):
+        works = [params[c].work_total for c in order]
+        checks[f"{name}.work_monotone"] = works[0] < works[1] < works[2]
+    checks["EP.pairs"] = [EP_PARAMS[c].m for c in order] == [28, 30, 32]
+    checks["BT.grids"] = [BT_PARAMS[c].grid_n for c in order] == [64, 102, 162]
+    checks["BT.niter"] = all(BT_PARAMS[c].niter == 200 for c in order)
+    checks["FT.cells"] = [FT_PARAMS[c].cells for c in order] == [
+        256 * 256 * 128,
+        512 * 256 * 256,
+        512 * 512 * 512,
+    ]
+    checks["FT.niter"] = [FT_PARAMS[c].niter for c in order] == [6, 20, 20]
+    return checks

@@ -1,0 +1,126 @@
+"""Host-native twins of the five UnixBench tests.
+
+Runnable micro-benchmarks against the *real* machine executing this
+library — the same five tests the paper selected, implemented in Python
+with the same measurement discipline (fixed wall window, count
+operations, score against the george baseline).  They exist so the
+examples can demonstrate the study methodology end-to-end on real
+hardware (and so a host with genuine SMI noise would show it here); they
+are not used by the deterministic benchmark harness.
+
+Python-native raw results are of course far below C byte-unixbench
+numbers; the index is still meaningful *relatively* (across CPU counts,
+noise conditions, machines) which is all the paper's Figure 2 uses.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from typing import Callable, Dict, List
+
+from repro.apps.unixbench.index import BASELINES, IndexResult, TestScore
+
+__all__ = ["native_test_functions", "run_native_unixbench"]
+
+
+def _timed(fn_once: Callable[[], float], duration_s: float) -> float:
+    """Run ``fn_once`` (returns ops done) until the window closes; return
+    ops/second."""
+    t0 = time.monotonic_ns()
+    deadline = t0 + int(duration_s * 1e9)
+    ops = 0.0
+    while time.monotonic_ns() < deadline:
+        ops += fn_once()
+    elapsed = (time.monotonic_ns() - t0) / 1e9
+    return ops / elapsed if elapsed > 0 else 0.0
+
+
+def _dhrystone_once() -> float:
+    """String manipulations, Dhrystone-flavoured (copy/compare/index)."""
+    s1 = "DHRYSTONE PROGRAM, 1'ST STRING"
+    s2 = "DHRYSTONE PROGRAM, 2'ND STRING"
+    n = 0
+    for _ in range(2000):
+        s3 = s1[:10] + s2[10:]
+        if s3 > s1:
+            n += 1
+        if "PROGRAM" in s3:
+            n += s3.index("PROGRAM")
+    return 2000.0
+
+
+def _whetstone_once() -> float:
+    """Floating-point transcendental mix (sin/cos/sqrt/exp/log)."""
+    x = 0.75
+    for _ in range(5000):
+        x = math.sqrt(abs(math.sin(x) + math.cos(x))) + 1e-9
+        x = math.exp(math.log(x + 1.0)) - 1.0
+    return 5000.0 / 1e4  # scaled so raw lands in a MWIPS-like range
+
+
+def _make_pipe_throughput() -> Callable[[], float]:
+    r, w = os.pipe()
+    buf = b"x" * 512
+
+    def once() -> float:
+        for _ in range(500):
+            os.write(w, buf)
+            os.read(r, 512)
+        return 500.0
+
+    return once
+
+
+def _make_context_switching() -> Callable[[], float]:
+    """Two threads passing an increasing integer through a pipe pair
+    (thread-based stand-in for the two-process original)."""
+    r1, w1 = os.pipe()
+    r2, w2 = os.pipe()
+    stop = threading.Event()
+
+    def echo() -> None:
+        while not stop.is_set():
+            data = os.read(r1, 8)
+            if not data or data == b"quit\x00\x00\x00\x00":
+                return
+            os.write(w2, data)
+
+    t = threading.Thread(target=echo, daemon=True)
+    t.start()
+
+    def once() -> float:
+        for i in range(200):
+            os.write(w1, i.to_bytes(8, "little"))
+            os.read(r2, 8)
+        return 200.0
+
+    return once
+
+
+def _syscall_once() -> float:
+    for _ in range(2000):
+        os.getpid()
+    return 2000.0
+
+
+def native_test_functions() -> Dict[str, Callable[[], float]]:
+    """Fresh one-shot callables for each test (order matches the suite)."""
+    return {
+        "dhrystone": _dhrystone_once,
+        "whetstone": _whetstone_once,
+        "pipe_throughput": _make_pipe_throughput(),
+        "context_switching": _make_context_switching(),
+        "syscall_overhead": _syscall_once,
+    }
+
+
+def run_native_unixbench(duration_s: float = 0.3) -> IndexResult:
+    """One single-copy pass of the five tests on the host."""
+    scores: List[TestScore] = []
+    for name, fn in native_test_functions().items():
+        raw = _timed(fn, duration_s)
+        scores.append(TestScore(name, raw, BASELINES[name]))
+    return IndexResult(copies=1, tests=scores)

@@ -1,0 +1,129 @@
+"""repro-smm — command-line front end.
+
+Subcommands regenerate the paper's artifacts or run the tools:
+
+* ``table1|table2|table3`` — the MPI study tables (BT/EP/FT).
+* ``table4|table5`` — the HTT × SMI tables (EP/FT at 4 ranks/node).
+* ``figure1`` — Convolve sweeps; ``figure2`` — UnixBench sweeps.
+* ``detect`` — run the hwlat-style gap detector on the *host*.
+* ``calibrate`` — print the calibration derivation.
+
+Use ``--quick`` everywhere for a reduced matrix (class A, 1 repetition);
+output is the paper-layout text table (add ``--csv`` for CSV).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--quick", action="store_true", help="reduced matrix, 1 rep")
+    p.add_argument("--reps", type=int, default=None, help="repetitions per cell")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--csv", action="store_true", help="emit CSV instead of text")
+
+
+def _mpi_table(bench: str, args: argparse.Namespace) -> int:
+    from repro.harness.mpi_tables import build_table, render
+
+    reps = args.reps if args.reps is not None else (1 if args.quick else 3)
+    halves = build_table(bench, quick=args.quick, reps=reps, seed=args.seed)
+    print(render(bench, halves, csv=args.csv))
+    return 0
+
+
+def _htt_table(bench: str, args: argparse.Namespace) -> int:
+    from repro.harness.htt_tables import build_htt_table, render_htt
+
+    reps = args.reps if args.reps is not None else (1 if args.quick else 3)
+    rows = build_htt_table(bench, quick=args.quick, reps=reps, seed=args.seed)
+    print(render_htt(bench, rows))
+    return 0
+
+
+def _figure1(args: argparse.Namespace) -> int:
+    from repro.harness.figure1 import build_figure1, render_figure1
+
+    data = build_figure1(quick=args.quick, seed=args.seed)
+    print(render_figure1(data, csv=args.csv))
+    return 0
+
+
+def _figure2(args: argparse.Namespace) -> int:
+    from repro.harness.figure2 import build_figure2, render_figure2
+
+    data = build_figure2(quick=args.quick, seed=args.seed)
+    print(render_figure2(data, csv=args.csv))
+    return 0
+
+
+def _detect(args: argparse.Namespace) -> int:
+    from repro.core.detector import host_gap_scan
+
+    rep = host_gap_scan(window_s=args.window)
+    print(
+        f"scanned {rep.window_ns / 1e9:.2f}s, {rep.samples} samples, "
+        f"threshold {rep.threshold_ns / 1e3:.0f}µs"
+    )
+    print(f"gaps: {rep.detected}, max {rep.max_gap_ns() / 1e6:.3f}ms, "
+          f"total {rep.total_gap_ns / 1e6:.3f}ms, "
+          f"BIOSBITS(150µs) violations: {rep.biosbits_violations}")
+    for g in rep.gaps[:20]:
+        print(f"  at +{g.at_ns / 1e6:10.3f}ms  width {g.width_ns / 1e3:9.1f}µs")
+    return 0
+
+
+def _calibrate(args: argparse.Namespace) -> int:
+    from repro.core.calibration import derive_work_units, fit_network_quality
+
+    print("work-unit derivation (paper 1-rank base × solo rate):")
+    for row in derive_work_units():
+        print(
+            f"  {row.bench}.{row.cls.value}: paper {row.paper_s:>8.2f}s → "
+            f"{row.derived_work:.4g} units (stored {row.stored_work:.4g}, "
+            f"err {100 * row.relative_error:.2g}%)"
+        )
+    if not args.quick:
+        print("network-fit quality (simulated vs paper base cells):")
+        for (bench, ranks), (sim, paper) in fit_network_quality(seed=args.seed).items():
+            print(f"  {bench} @{ranks} ranks: sim {sim:7.2f}s  paper {paper:7.2f}s")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-smm",
+        description="SMM/SMI noise study reproduction (ICPP 2016)",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    for bench, name in (("BT", "table1"), ("EP", "table2"), ("FT", "table3")):
+        p = sub.add_parser(name, help=f"{bench} MPI table")
+        _add_common(p)
+        p.set_defaults(fn=lambda a, b=bench: _mpi_table(b, a))
+    for bench, name in (("EP", "table4"), ("FT", "table5")):
+        p = sub.add_parser(name, help=f"HTT × SMI table for {bench}")
+        _add_common(p)
+        p.set_defaults(fn=lambda a, b=bench: _htt_table(b, a))
+    p = sub.add_parser("figure1", help="Convolve sweeps")
+    _add_common(p)
+    p.set_defaults(fn=_figure1)
+    p = sub.add_parser("figure2", help="UnixBench sweeps")
+    _add_common(p)
+    p.set_defaults(fn=_figure2)
+    p = sub.add_parser("detect", help="host-native SMI/latency gap scan")
+    p.add_argument("--window", type=float, default=1.0, help="seconds to scan")
+    p.set_defaults(fn=_detect)
+    p = sub.add_parser("calibrate", help="print calibration derivation")
+    _add_common(p)
+    p.set_defaults(fn=_calibrate)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

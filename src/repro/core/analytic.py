@@ -1,0 +1,109 @@
+"""Closed-form first-order noise models.
+
+The simulator should never be trusted blindly: these analytic bounds and
+estimates (used by the property tests and the ablation benches) bracket
+what it produces.
+
+* :func:`duty_cycle` — fraction of wall time stolen by a periodic SMI
+  under the free-running/swallowed-tick trigger discipline of
+  :class:`repro.core.smi.SmiSource`.
+* :func:`serial_slowdown` — the slowdown of uninterruptible serial work:
+  ``1 / (1 − duty)``.
+* :func:`expected_extra_max_of_n` — for N ranks finishing independently
+  (EP's shape), the expected extra time of the *last* finisher, by exact
+  expectation over uniformly random SMI phases.
+* :func:`coupled_utilization` — the tight-coupling limit: a lock-step
+  application advances only while *no* node is frozen; with per-node duty
+  ``d`` and phases spread over ``spread`` of the period, the utilization
+  is bounded below by ``1 − (spread + duration)/period`` (clustered
+  phases) and above by ``(1 − d)^n`` (independent phases).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "duty_cycle",
+    "serial_slowdown",
+    "expected_extra_max_of_n",
+    "coupled_utilization_bounds",
+]
+
+
+def duty_cycle(duration_ns: float, interval_ns: float) -> float:
+    """Fraction of wall time inside SMM for one node.
+
+    For ``interval > duration`` the trigger free-runs: duty = d/T.  For
+    ``interval <= duration`` every tick is swallowed and the source
+    re-arms one interval after exit: duty = d/(d+T).
+    """
+    if duration_ns <= 0:
+        return 0.0
+    if interval_ns > duration_ns:
+        return duration_ns / interval_ns
+    return duration_ns / (duration_ns + interval_ns)
+
+
+def serial_slowdown(duration_ns: float, interval_ns: float) -> float:
+    """Wall-time inflation of serial, sync-free work under periodic SMIs."""
+    d = duty_cycle(duration_ns, interval_ns)
+    if d >= 1.0:
+        return math.inf
+    return 1.0 / (1.0 - d)
+
+
+def expected_extra_max_of_n(
+    base_s: float, duration_s: float, interval_s: float, n: int, samples: int = 4096
+) -> float:
+    """Expected extra completion time of the slowest of ``n`` independent
+    ranks, each running ``base_s`` of work with its own uniformly-random
+    SMI phase.  Computed by quadrature over the phase (each rank's extra
+    time is a deterministic function of its phase)."""
+    if n < 1:
+        raise ValueError("n >= 1")
+    if duration_s <= 0:
+        return 0.0
+
+    def extra_for_phase(phi: float) -> float:
+        # SMIs at phi, phi+T, ...; each adds `duration` to the finish time.
+        # Count k = number of SMIs that fire before the (stretched) finish.
+        k = 0
+        while phi + k * interval_s < base_s + k * duration_s:
+            k += 1
+        return k * duration_s
+
+    # Sample the per-phase extra distribution, then take E[max of n].
+    extras = sorted(
+        extra_for_phase((i + 0.5) / samples * interval_s) for i in range(samples)
+    )
+    # P(extra <= x) from the empirical CDF; E[max] = Σ x·(F^n diff).
+    e_max = 0.0
+    prev_cdf = 0.0
+    for i, x in enumerate(extras):
+        cdf = (i + 1) / samples
+        e_max += x * (cdf**n - prev_cdf**n)
+        prev_cdf = cdf
+    return e_max
+
+
+def coupled_utilization_bounds(
+    duration_s: float, interval_s: float, n_nodes: int, spread_s: float
+) -> tuple[float, float]:
+    """(lower, upper) bounds on the utilization of a lock-step coupled
+    application on ``n_nodes`` whose SMI phases are clustered within
+    ``spread_s``.
+
+    Upper bound: perfectly-aligned phases — one freeze window per period,
+    utilization ``1 − d``.  Lower bound: the union of n staggered windows
+    covers at most ``min(interval, spread + duration)`` per period (with
+    clustered phases) and at most ``1 − (1−d)^n`` in expectation for
+    independent phases; we return the clustered-phase bound.
+    """
+    d = duty_cycle(duration_s, interval_s)
+    upper = 1.0 - d
+    union = min(interval_s, spread_s + duration_s)
+    lower = max(0.0, 1.0 - union / interval_s)
+    if n_nodes == 1:
+        lower = upper
+    return lower, upper

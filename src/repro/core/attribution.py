@@ -1,0 +1,93 @@
+"""Where did the SMM time go?
+
+The paper's methodological warning (§I, §V): "the system level software
+(kernel or hypervisor) are not aware of the time spent in SMM and
+attribute it in various incorrect ways", so "the impacts would not be
+reported correctly by the current generation of performance tools".
+
+This module quantifies that error for a finished simulation:
+
+* **Ground truth** — per-task true service time and SMM-stolen time, from
+  the executor-window accounting (:class:`repro.sched.task.TaskAccount`).
+* **Kernel view** — what ``/proc`` utime would say (truth + stolen).
+* **Tool view** — what a sampling profiler reports: per-task *shares* of
+  total observed CPU time.  Because SMM inflates every victim's samples,
+  a tool can mis-rank tasks whose stolen shares differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.node import Node
+
+__all__ = ["TaskAttribution", "AttributionReport", "attribute"]
+
+
+@dataclass(frozen=True)
+class TaskAttribution:
+    """One task's time, three ways (seconds)."""
+
+    name: str
+    true_s: float
+    stolen_s: float
+
+    @property
+    def kernel_s(self) -> float:
+        """The kernel's utime: it charges the freeze to the running task."""
+        return self.true_s + self.stolen_s
+
+    @property
+    def inflation_pct(self) -> float:
+        """Over-report of kernel vs truth, %."""
+        return 100.0 * self.stolen_s / self.true_s if self.true_s > 0 else 0.0
+
+
+@dataclass
+class AttributionReport:
+    """Node-level attribution comparison."""
+
+    tasks: List[TaskAttribution]
+    smm_total_s: float
+
+    @property
+    def total_true_s(self) -> float:
+        return sum(t.true_s for t in self.tasks)
+
+    @property
+    def total_stolen_s(self) -> float:
+        return sum(t.stolen_s for t in self.tasks)
+
+    @property
+    def total_kernel_s(self) -> float:
+        return sum(t.kernel_s for t in self.tasks)
+
+    def kernel_shares(self) -> Dict[str, float]:
+        """Per-task share of CPU time as a profiling tool would report it
+        (fractions of the kernel-visible total)."""
+        tot = self.total_kernel_s
+        return {t.name: (t.kernel_s / tot if tot > 0 else 0.0) for t in self.tasks}
+
+    def true_shares(self) -> Dict[str, float]:
+        tot = self.total_true_s
+        return {t.name: (t.true_s / tot if tot > 0 else 0.0) for t in self.tasks}
+
+    def max_share_error(self) -> float:
+        """Largest absolute per-task share error a tool would make."""
+        k, t = self.kernel_shares(), self.true_shares()
+        return max((abs(k[n] - t[n]) for n in k), default=0.0)
+
+    def conservation_error_s(self) -> float:
+        """|kernel − (true + stolen)| — zero by construction."""
+        return abs(self.total_kernel_s - (self.total_true_s + self.total_stolen_s))
+
+
+def attribute(node: "Node") -> AttributionReport:
+    """Build the attribution report for everything that ran on a node."""
+    tasks = [
+        TaskAttribution(t.name, t.acct.true_ns / 1e9, t.acct.stolen_ns / 1e9)
+        for t in (node.scheduler.tasks if node.scheduler else [])
+    ]
+    return AttributionReport(tasks=tasks, smm_total_s=node.smm.stats.total_ns / 1e9)

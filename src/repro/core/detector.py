@@ -1,0 +1,144 @@
+"""SMI detection from timing gaps (hwlat-style).
+
+§II.C: latency-sensitive users "use tools to detect their occurrence"
+[21] — the canonical technique (RT Linux's hwlat detector, Intel's
+BIOSBITS [15]) is a spin loop that reads a free-running clock and flags
+any gap larger than a threshold: the OS cannot observe SMM directly, but
+a single-threaded spinner cannot lose the CPU to anything *except* an SMI
+(when pinned and running at the highest priority), so large gaps are SMM
+residency.  BIOSBITS warns when a gap exceeds **150 µs**.
+
+Two implementations:
+
+* :class:`GapDetector` — runs inside the simulator as a gated polling
+  process; its wake-ups freeze with the node, so observed gaps equal
+  `quantum + SMM residency` during an SMI.
+* :func:`host_gap_scan` — the same algorithm against the *real*
+  ``time.monotonic_ns()`` of the machine running this library: a genuine,
+  usable latency-noise detector (see ``examples/smi_detection.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, TYPE_CHECKING
+
+from repro.simx.engine import Delay
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.node import Node
+
+__all__ = ["Gap", "DetectorReport", "GapDetector", "host_gap_scan", "BIOSBITS_THRESHOLD_NS"]
+
+#: Intel BIOSBITS warns if SMM residency exceeds 150 microseconds.
+BIOSBITS_THRESHOLD_NS = 150_000
+
+
+@dataclass(frozen=True)
+class Gap:
+    """One detected latency gap."""
+
+    at_ns: int
+    width_ns: int
+
+
+@dataclass
+class DetectorReport:
+    """Result of a detection window."""
+
+    window_ns: int
+    quantum_ns: int
+    threshold_ns: int
+    gaps: List[Gap] = field(default_factory=list)
+    samples: int = 0
+
+    @property
+    def detected(self) -> int:
+        return len(self.gaps)
+
+    @property
+    def total_gap_ns(self) -> int:
+        return sum(g.width_ns for g in self.gaps)
+
+    @property
+    def biosbits_violations(self) -> int:
+        """Gaps exceeding the BIOSBITS 150 µs budget."""
+        return sum(1 for g in self.gaps if g.width_ns > BIOSBITS_THRESHOLD_NS)
+
+    def max_gap_ns(self) -> int:
+        return max((g.width_ns for g in self.gaps), default=0)
+
+
+class GapDetector:
+    """Simulated spin-gap detector on one node.
+
+    Polls the monotonic clock every ``quantum_ns``; any observed interval
+    wider than ``quantum_ns + threshold_ns`` is recorded as a gap of the
+    excess width.  Because the detector process is gated by the node, SMM
+    residency shows up as a gap of (approximately) the SMI latency —
+    which is how the experiments *verify* injected noise independently of
+    the driver's own statistics.
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        quantum_ns: int = 50_000,
+        threshold_ns: int = BIOSBITS_THRESHOLD_NS,
+    ):
+        if quantum_ns <= 0:
+            raise ValueError("quantum must be positive")
+        self.node = node
+        self.quantum_ns = quantum_ns
+        self.threshold_ns = threshold_ns
+        self.report: Optional[DetectorReport] = None
+
+    def run(self, window_ns: int) -> Generator:
+        """Process body: spin for ``window_ns``; result in ``self.report``.
+
+        Start with ``engine.process(det.run(win), gate=det.node)`` — the
+        gate is what makes the detector see the freeze.
+        """
+        rep = DetectorReport(window_ns, self.quantum_ns, self.threshold_ns)
+        self.report = rep
+        clock = self.node.clock
+        start = clock.monotonic_ns()
+        last = start
+        while clock.monotonic_ns() - start < window_ns:
+            yield Delay(self.quantum_ns)
+            now = clock.monotonic_ns()
+            rep.samples += 1
+            excess = (now - last) - self.quantum_ns
+            if excess > self.threshold_ns:
+                rep.gaps.append(Gap(at_ns=last, width_ns=excess))
+            last = now
+        return rep
+
+
+def host_gap_scan(
+    window_s: float = 1.0,
+    threshold_ns: int = BIOSBITS_THRESHOLD_NS,
+) -> DetectorReport:
+    """Run the gap scan on the *host* machine (real hardware).
+
+    A tight loop over ``time.monotonic_ns()``; every observed gap above
+    ``threshold_ns`` is recorded.  On an idle, pinned, high-priority run
+    the survivors are firmware noise (SMIs) and involuntary preemption;
+    without pinning the report still usefully characterizes platform
+    jitter.  This is this library's equivalent of the tooling the paper
+    says latency-sensitive users reach for [19][20][21].
+    """
+    window_ns = int(window_s * 1e9)
+    rep = DetectorReport(window_ns=window_ns, quantum_ns=0, threshold_ns=threshold_ns)
+    start = time.monotonic_ns()
+    last = start
+    while True:
+        now = time.monotonic_ns()
+        rep.samples += 1
+        gap = now - last
+        if gap > threshold_ns:
+            rep.gaps.append(Gap(at_ns=last - start, width_ns=gap))
+        last = now
+        if now - start >= window_ns:
+            return rep

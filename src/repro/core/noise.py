@@ -1,0 +1,128 @@
+"""A noise taxonomy, and absorption/amplification analysis.
+
+§II.C places SMIs among the other noise sources the HPC literature has
+studied: OS timer ticks (Tsafrir et al. [23], Beckman et al. [12]),
+system daemons and heartbeats (Petrini et al. [22]), and kernel-injected
+noise (Ferreira et al. [24] — who showed noise can be *absorbed* by slack
+or *amplified* when it lands at a performance-sensitive time).
+
+This module provides those comparison sources and the Ferreira-style
+experiment: inject a single pulse at a controlled offset relative to an
+application's synchronization point and measure how much of it survives
+into the completion time.
+
+The crucial taxonomy difference is encoded in *how* each source perturbs:
+
+* OS ticks / daemons preempt **one CPU at a time**, are schedulable and
+  maskable, and other CPUs keep running — modeled as a competing task.
+* SMIs stop **every CPU of the node at once**, below the OS — modeled via
+  the SMM controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.machine.profile import WorkloadProfile
+from repro.machine.topology import WYEAST_SPEC
+from repro.system import make_machine
+
+__all__ = ["NoisePulse", "OS_TICK", "DAEMON", "SMI_LONG_PULSE", "absorption_experiment"]
+
+
+@dataclass(frozen=True)
+class NoisePulse:
+    """A single noise event of a given magnitude and mechanism."""
+
+    name: str
+    duration_ns: int
+    #: "smm" freezes all cores; "task" runs a competing task on one CPU.
+    mechanism: str = "smm"
+
+    def __post_init__(self) -> None:
+        if self.mechanism not in ("smm", "task"):
+            raise ValueError("mechanism must be 'smm' or 'task'")
+
+
+#: One OS timer tick's worth of kernel work (~10 µs on these machines).
+OS_TICK = NoisePulse("os-tick", 10_000, mechanism="task")
+#: A system daemon waking up for a few ms.
+DAEMON = NoisePulse("daemon", 3_000_000, mechanism="task")
+#: One long SMI (the paper's SMM 2 class midpoint).
+SMI_LONG_PULSE = NoisePulse("smi-long", 105_000_000, mechanism="smm")
+
+_NOISE_TASK_PROFILE = WorkloadProfile(
+    name="noise-task", htt_yield=1.3, working_set_bytes=64 << 10,
+    base_miss_rate=0.01, mem_ref_fraction=0.2,
+)
+
+
+def absorption_experiment(
+    pulse: NoisePulse,
+    offset_ns: int,
+    phase_work_s: float = 0.050,
+    n_workers: int = 4,
+    n_phases: int = 4,
+    seed: int = 1,
+) -> float:
+    """Ferreira-style single-pulse injection.
+
+    ``n_workers`` tasks run ``n_phases`` equal compute phases separated by
+    barriers on one (HTT-off) node; the pulse fires ``offset_ns`` after
+    the start.  Returns the *retained fraction*: (perturbed − clean
+    makespan) / pulse duration.  ≈1 means fully amplified (the pulse
+    landed on the critical path and nothing absorbed it); ≈0 means fully
+    absorbed (it landed in slack — e.g. a single-CPU "task" pulse while
+    that CPU's worker was ahead of the barrier).
+    """
+
+    def run(with_pulse: bool) -> float:
+        from repro.simx.resources import Barrier
+
+        m = make_machine(WYEAST_SPEC, seed=seed)
+        m.sysfs.set_htt(False)
+        work = _NOISE_TASK_PROFILE.solo_rate(WYEAST_SPEC.base_hz) * phase_work_s
+        bar = Barrier(m.engine, n_workers, "phases")
+
+        def worker(task) -> Generator:
+            for _ in range(n_phases):
+                yield from task.compute(work)
+                yield from bar.wait()
+            return task.now_ns()
+
+        tasks = [
+            m.scheduler.spawn(worker, f"w{i}", _NOISE_TASK_PROFILE)
+            for i in range(n_workers)
+        ]
+        if with_pulse:
+            if pulse.mechanism == "smm":
+                m.engine.schedule(offset_ns, m.node.smm.trigger, pulse.duration_ns)
+            else:
+                def noise_body(task) -> Generator:
+                    yield from task.sleep(offset_ns)
+                    yield from task.compute(
+                        _NOISE_TASK_PROFILE.solo_rate(WYEAST_SPEC.base_hz)
+                        * pulse.duration_ns / 1e9
+                    )
+
+                m.engine.schedule(
+                    0,
+                    lambda: m.scheduler.spawn(noise_body, "noise", _NOISE_TASK_PROFILE),
+                )
+        done = m.engine.event("exp.done")
+        remaining = {"n": n_workers}
+
+        def on_done(_ev):
+            remaining["n"] -= 1
+            if remaining["n"] == 0 and not done.triggered:
+                done.succeed()
+
+        for t in tasks:
+            t.proc.done_event.add_callback(on_done)
+        m.engine.run_until(done, limit_ns=int(60e9))
+        return m.engine.now / 1e9
+
+    clean = run(False)
+    noisy = run(True)
+    return (noisy - clean) / (pulse.duration_ns / 1e9)

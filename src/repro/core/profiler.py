@@ -1,0 +1,118 @@
+"""A sampling-profiler model: how SMM distorts what tools report.
+
+The paper's claim for tool developers (§I, §V): "Performance tools would
+similarly report the time incorrectly."  This module makes the mechanism
+concrete by simulating the two dominant profiler designs:
+
+* **Timer-sampled profiler** (perf-style): a periodic interrupt samples
+  the task running on each CPU.  The sampling interrupt is *itself*
+  deferred by SMM — so SMM windows produce **no samples at all**, and the
+  stolen time silently disappears from the profile (the profile's total
+  ≠ wall time).  Worse, the deferred sample fires right at SMM exit and
+  charges whoever resumes — a systematic attribution bias.
+* **cputime-based accounting** (getrusage-style): reads the kernel's
+  utime, which *includes* the stolen time (see
+  :mod:`repro.sched.accounting`) — the opposite error.
+
+:func:`profile_run` runs both against ground truth, returning the three
+discrepant views the paper warns about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, TYPE_CHECKING
+
+from repro.simx.engine import Delay
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.node import Node
+
+__all__ = ["SamplingProfiler", "ProfileView", "profile_views"]
+
+
+@dataclass
+class ProfileView:
+    """One tool's per-task CPU-seconds."""
+
+    tool: str
+    seconds_by_task: Dict[str, float]
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.seconds_by_task.values())
+
+    def share(self, name: str) -> float:
+        t = self.total_s
+        return self.seconds_by_task.get(name, 0.0) / t if t else 0.0
+
+
+class SamplingProfiler:
+    """perf-style periodic sampler for one node.
+
+    Every ``period_ns`` of *host-visible* time it records which task each
+    logical CPU is serving (fluid model: one sample is split across the
+    CPU's residents).  The sampling tick is a gated process, so ticks due
+    during SMM coalesce into a single late tick at SMM exit — the
+    real-world behaviour of a timer-driven profiler under SMIs.
+    """
+
+    def __init__(self, node: "Node", period_ns: int = 1_000_000):
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        self.node = node
+        self.period_ns = period_ns
+        self.samples: Dict[str, float] = {}
+        self.ticks = 0
+        self.expected_ticks = 0
+        self._proc = None
+
+    def start(self, duration_ns: int) -> None:
+        self.expected_ticks = duration_ns // self.period_ns
+        self._proc = self.node.engine.process(
+            self._run(duration_ns), name=f"{self.node.name}.profiler",
+            gate=self.node, daemon=True,
+        )
+
+    def _run(self, duration_ns: int) -> Generator:
+        start = self.node.engine.now
+        while self.node.engine.now - start < duration_ns:
+            yield Delay(self.period_ns)
+            self.ticks += 1
+            for cpu in self.node.cpus:
+                n = cpu.n_tasks
+                if n == 0:
+                    continue
+                for item in cpu.executor.items:
+                    name = item.meta.name
+                    self.samples[name] = self.samples.get(name, 0.0) + 1.0 / n
+
+    def view(self) -> ProfileView:
+        """Per-task seconds as the profiler would report them
+        (samples × period)."""
+        return ProfileView(
+            tool="sampling",
+            seconds_by_task={
+                k: v * self.period_ns / 1e9 for k, v in self.samples.items()
+            },
+        )
+
+    @property
+    def lost_ticks(self) -> int:
+        """Ticks swallowed by SMM coalescing — the profiler's blind spot."""
+        return max(0, self.expected_ticks - self.ticks)
+
+
+def profile_views(node: "Node") -> List[ProfileView]:
+    """The cputime view and the ground-truth view for a finished node run
+    (pair with a :class:`SamplingProfiler` for the third)."""
+    sched = node.scheduler
+    kernel = ProfileView(
+        tool="kernel-cputime",
+        seconds_by_task={t.name: t.acct.kernel_ns / 1e9 for t in sched.tasks},
+    )
+    truth = ProfileView(
+        tool="ground-truth",
+        seconds_by_task={t.name: t.acct.true_ns / 1e9 for t in sched.tasks},
+    )
+    return [kernel, truth]

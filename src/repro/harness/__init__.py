@@ -1,0 +1,20 @@
+"""repro.harness — shared experiment builders for Tables 1–5 and Figures 1–2.
+
+Both the CLI (``repro-smm table1`` …) and the pytest benchmark suite
+(``benchmarks/``) drive these builders, so the artifacts are regenerated
+identically from either entry point.
+
+Scaling knobs (environment):
+
+* ``REPRO_BENCH_FULL=1`` — run the paper's full matrix (all classes, all
+  rows, 30-point Figure 1 sweep).  Default is the *quick* matrix: class A
+  (which exhibits every shape the paper reports, at the highest
+  noise-to-compute ratio), all row counts, coarser sweeps.
+* ``REPRO_BENCH_REPS=N`` — repetitions per cell (paper: 6; default 1 for
+  quick, 3 for full — the simulator's only run-to-run variance is the
+  seeded SMI phase/duration jitter).
+"""
+
+from repro.harness.common import bench_full, bench_reps
+
+__all__ = ["bench_full", "bench_reps"]

@@ -1,0 +1,23 @@
+"""Harness scaling knobs (see package docstring)."""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["bench_full", "bench_reps"]
+
+
+def bench_full() -> bool:
+    """True when the full paper matrix is requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0", "false")
+
+
+def bench_reps(quick_default: int = 1, full_default: int = 3) -> int:
+    """Repetitions per cell, honouring REPRO_BENCH_REPS."""
+    v = os.environ.get("REPRO_BENCH_REPS")
+    if v:
+        n = int(v)
+        if n < 1:
+            raise ValueError("REPRO_BENCH_REPS must be >= 1")
+        return n
+    return full_default if bench_full() else quick_default

@@ -1,0 +1,106 @@
+"""Builder for Figure 1 (Convolve experiments).
+
+Left graphs: execution time vs SMI interval (long SMIs, the paper sweeps
+50–1500 ms in 50 ms steps), one line per logical-CPU configuration.
+Right graphs: execution time vs logical-CPU count at a fixed 50 ms
+interval, with repetition spread (the paper plots 3 runs and discusses
+the variance).  Both for the CacheUnfriendly (top) and CacheFriendly
+(bottom) configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.figures import Series, ascii_chart, series_csv
+from repro.apps.convolve import CACHE_FRIENDLY, CACHE_UNFRIENDLY, ConvolveConfig, run_convolve
+from repro.core.smi import SmiProfile
+from repro.harness.common import bench_full
+
+__all__ = ["Figure1Data", "build_figure1", "render_figure1"]
+
+_CPU_CONFIGS_QUICK = (1, 2, 4, 8)
+_CPU_CONFIGS_FULL = (1, 2, 3, 4, 5, 6, 7, 8)
+
+
+def _intervals(quick: bool) -> List[int]:
+    if quick:
+        return [50, 100, 200, 400, 600, 900, 1200, 1500]
+    return list(range(50, 1501, 50))  # the paper's 50 ms grid
+
+
+@dataclass
+class Figure1Data:
+    """All series of the four panels."""
+
+    #: config name -> list of per-CPU-config Series over SMI interval (ms).
+    left: Dict[str, List[Series]] = field(default_factory=dict)
+    #: config name -> Series over CPU count at 50 ms interval (per seed).
+    right: Dict[str, List[Series]] = field(default_factory=dict)
+    baselines: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+
+def build_figure1(quick: bool = True, seed: int = 1, reps_right: int = 3) -> Figure1Data:
+    cpus = _CPU_CONFIGS_QUICK if quick else _CPU_CONFIGS_FULL
+    intervals = _intervals(quick)
+    data = Figure1Data()
+    for config in (CACHE_UNFRIENDLY, CACHE_FRIENDLY):
+        # Left panel: time vs interval per CPU config.
+        lines: List[Series] = []
+        data.baselines[config.name] = {}
+        for k in cpus:
+            base = run_convolve(config, k, seed=seed).elapsed_s
+            data.baselines[config.name][k] = base
+            s = Series(label=f"{k}cpu")
+            for iv in intervals:
+                r = run_convolve(
+                    config, k, smi_durations=SmiProfile.LONG,
+                    smi_interval_jiffies=iv, seed=seed,
+                )
+                s.add(iv, r.elapsed_s)
+            lines.append(s)
+        data.left[config.name] = lines
+        # Right panel: time vs CPUs at the fixed 50 ms interval, 3 runs.
+        runs: List[Series] = []
+        for rep in range(reps_right):
+            s = Series(label=f"run{rep + 1}")
+            for k in cpus:
+                r = run_convolve(
+                    config, k, smi_durations=SmiProfile.LONG,
+                    smi_interval_jiffies=50, seed=seed + 101 * (rep + 1),
+                )
+                s.add(k, r.elapsed_s)
+            runs.append(s)
+        data.right[config.name] = runs
+    return data
+
+
+def render_figure1(data: Figure1Data, csv: bool = False) -> str:
+    out = []
+    for name in ("CacheUnfriendly", "CacheFriendly"):
+        if csv:
+            out.append(f"# Figure 1 left — {name} (x = SMI interval ms)")
+            out.append(series_csv(data.left[name], x_name="interval_ms"))
+            out.append(f"# Figure 1 right — {name} (x = logical CPUs @50ms)")
+            out.append(series_csv(data.right[name], x_name="cpus"))
+        else:
+            out.append(
+                ascii_chart(
+                    data.left[name],
+                    title=f"Figure 1 (left) — Convolve {name}: time vs SMI interval",
+                    x_label="SMI interval (ms, long SMIs)",
+                    y_label="execution time (s)",
+                    y_min=0.0,
+                )
+            )
+            out.append(
+                ascii_chart(
+                    data.right[name],
+                    title=f"Figure 1 (right) — Convolve {name}: time vs CPUs @50 ms",
+                    x_label="online logical CPUs",
+                    y_label="execution time (s)",
+                    y_min=0.0,
+                )
+            )
+    return "\n".join(out)

@@ -1,0 +1,70 @@
+"""Builder for Figure 2 (UnixBench under SMI noise).
+
+The paper measures SMI intervals "from 100ms to 1600ms at 500 ms
+increments" for each CPU configuration and plots the total index score
+(higher is better) against the gap between SMIs; short SMIs showed no
+effect (§IV.C) — the harness also verifies that claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.figures import Series, ascii_chart, series_csv
+from repro.apps.unixbench import run_unixbench
+from repro.core.smi import SmiProfile
+
+__all__ = ["Figure2Data", "build_figure2", "render_figure2"]
+
+_INTERVALS = (100, 600, 1100, 1600)  # the paper's grid
+_CPU_CONFIGS_QUICK = (1, 2, 4, 8)
+_CPU_CONFIGS_FULL = (1, 2, 3, 4, 5, 6, 7, 8)
+
+
+@dataclass
+class Figure2Data:
+    #: per-CPU-config Series of total index vs SMI interval (long SMIs).
+    long_series: List[Series] = field(default_factory=list)
+    #: no-SMI baseline index per CPU config.
+    baselines: Dict[int, float] = field(default_factory=dict)
+    #: short-SMI index per CPU config at the fastest interval (the paper's
+    #: "no noticeable effect" check).
+    short_at_100ms: Dict[int, float] = field(default_factory=dict)
+
+
+def build_figure2(quick: bool = True, seed: int = 1) -> Figure2Data:
+    cpus = _CPU_CONFIGS_QUICK if quick else _CPU_CONFIGS_FULL
+    data = Figure2Data()
+    for k in cpus:
+        data.baselines[k] = run_unixbench(k, seed=seed).total_index
+        data.short_at_100ms[k] = run_unixbench(
+            k, SmiProfile.SHORT, 100, seed=seed
+        ).total_index
+        s = Series(label=f"{k}cpu")
+        for iv in _INTERVALS:
+            r = run_unixbench(k, SmiProfile.LONG, iv, seed=seed)
+            s.add(iv, r.total_index)
+        data.long_series.append(s)
+    return data
+
+
+def render_figure2(data: Figure2Data, csv: bool = False) -> str:
+    if csv:
+        return series_csv(data.long_series, x_name="interval_ms")
+    out = [
+        ascii_chart(
+            data.long_series,
+            title="Figure 2 — UnixBench total index vs SMI interval (long SMIs)",
+            x_label="gap between SMIs (ms) — larger = lower frequency",
+            y_label="UnixBench index (higher is better)",
+            y_min=0.0,
+        )
+    ]
+    out.append("baselines (no SMIs): " + "  ".join(
+        f"{k}cpu={v:.0f}" for k, v in sorted(data.baselines.items())
+    ))
+    out.append("short SMIs @100ms:   " + "  ".join(
+        f"{k}cpu={v:.0f}" for k, v in sorted(data.short_at_100ms.items())
+    ))
+    return "\n".join(out)

@@ -1,0 +1,61 @@
+"""Builders for Tables 4–5 (HTT × SMI at 4 ranks per node)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.tables import HttRow, render_htt_table
+from repro.apps.nas.params import NasClass
+from repro.apps.nas.study import NasConfig, run_nas_config
+from repro.core.experiment import run_repeated
+from repro.paperdata import TABLE4_EP_HTT, TABLE5_FT_HTT
+
+__all__ = ["build_htt_table", "render_htt"]
+
+_PAPER = {"EP": TABLE4_EP_HTT, "FT": TABLE5_FT_HTT}
+_TABLE_NO = {"EP": 4, "FT": 5}
+_ROWS = (1, 2, 4, 8, 16)
+
+
+def build_htt_table(
+    bench: str,
+    quick: bool = True,
+    reps: int = 1,
+    seed: int = 1,
+    progress=None,
+) -> List[HttRow]:
+    classes = [NasClass.A] if quick else [NasClass.A, NasClass.B, NasClass.C]
+    rows: List[HttRow] = []
+    for cls in classes:
+        for row in _ROWS:
+            cells: Dict[int, tuple] = {}
+            for smm in (0, 1, 2):
+                pair = []
+                for htt in (False, True):
+                    if progress:
+                        progress(f"{bench}.{cls.value} row={row} smm={smm} ht={int(htt)}")
+                    cfg = NasConfig(bench, cls, nodes=row, ranks_per_node=4, htt=htt)
+                    m = run_repeated(
+                        lambda s, cfg=cfg, smm=smm: run_nas_config(cfg, smm=smm, seed=s),
+                        reps=reps,
+                        base_seed=seed + 31 * smm + (977 if htt else 0),
+                    )
+                    pair.append(m.mean if m is not None else None)
+                cells[smm] = tuple(pair)
+            rows.append(
+                HttRow(
+                    cls=cls.value,
+                    row=row,
+                    cells=cells,
+                    paper=_PAPER[bench].get((cls, row)),
+                )
+            )
+    return rows
+
+
+def render_htt(bench: str, rows: List[HttRow]) -> str:
+    return render_htt_table(
+        f"Table {_TABLE_NO[bench]}: Effect of HTT on {bench} with 4 MPI ranks "
+        "per node (simulated vs paper Δ%)",
+        rows,
+    )

@@ -1,0 +1,77 @@
+"""Builders for Tables 1–3 (the MPI study)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.tables import NasTableRow, render_nas_table, rows_csv
+from repro.apps.nas.params import NasClass
+from repro.apps.nas.study import NasConfig, run_nas_config
+from repro.core.experiment import run_repeated
+from repro.harness.common import bench_full
+from repro.paperdata import paper_cell
+
+__all__ = ["table_rows_spec", "build_table", "render"]
+
+#: row indices per benchmark, from the paper's tables.
+_ROWS = {"BT": (1, 4, 16), "EP": (1, 2, 4, 8, 16), "FT": (1, 2, 4, 8, 16)}
+_TABLE_NO = {"BT": 1, "EP": 2, "FT": 3}
+
+
+def table_rows_spec(bench: str, quick: bool) -> List[tuple]:
+    """(cls, row) pairs to measure."""
+    classes = [NasClass.A] if quick else [NasClass.A, NasClass.B, NasClass.C]
+    return [(c, r) for c in classes for r in _ROWS[bench]]
+
+
+def build_table(
+    bench: str,
+    quick: bool = True,
+    reps: int = 1,
+    seed: int = 1,
+    progress=None,
+) -> Dict[int, List[NasTableRow]]:
+    """Measure both halves of a table; returns {ranks_per_node: rows}."""
+    halves: Dict[int, List[NasTableRow]] = {}
+    for rpn in (1, 4):
+        rows: List[NasTableRow] = []
+        for cls, row in table_rows_spec(bench, quick):
+            cfg = NasConfig(bench, cls, nodes=row, ranks_per_node=rpn)
+            cells: Dict[int, float] = {}
+            for smm in (0, 1, 2):
+                if progress:
+                    progress(f"{bench}.{cls.value} row={row} rpn={rpn} smm={smm}")
+                m = run_repeated(
+                    lambda s, cfg=cfg, smm=smm: run_nas_config(cfg, smm=smm, seed=s),
+                    reps=reps,
+                    base_seed=seed + 31 * smm,
+                )
+                cells[smm] = m.mean if m is not None else None
+            rows.append(
+                NasTableRow(
+                    cls=cls.value,
+                    row=row,
+                    smm=cells,
+                    paper=paper_cell(bench, rpn, cls, row),
+                )
+            )
+        halves[rpn] = rows
+    return halves
+
+
+def render(bench: str, halves: Dict[int, List[NasTableRow]], csv: bool = False) -> str:
+    n = _TABLE_NO[bench]
+    if csv:
+        return "".join(
+            f"# ranks_per_node={rpn}\n{rows_csv(rows)}" for rpn, rows in halves.items()
+        )
+    out = []
+    for rpn, rows in halves.items():
+        out.append(
+            render_nas_table(
+                f"Table {n}: {bench} — {rpn} MPI rank(s) per node "
+                "(simulated vs paper)",
+                rows,
+            )
+        )
+    return "\n".join(out)

@@ -1,0 +1,149 @@
+"""Logical-CPU execution: processor sharing + HTT coupling + SMM freeze.
+
+Each online logical CPU serves the compute segments of the tasks placed on
+it through a :class:`repro.simx.rate.RateExecutor`.  The rate assigned to
+a task's current segment is::
+
+    rate = gross_hz(cpu) / n_tasks_on_cpu * cache_efficiency(task)
+
+where ``gross_hz`` implements Hyper-Threading coupling:
+
+* 0 if the node is frozen in SMM, or the CPU is offline;
+* ``base_hz`` if this CPU is the only busy sibling on its physical core;
+* ``base_hz * htt_yield / 2`` if both siblings are busy — the pair
+  together delivers ``htt_yield`` (in single-sibling units), split evenly.
+  ``htt_yield`` is averaged over the workload profiles of every task on
+  the two siblings, because the SMT benefit depends on the *mix* of
+  co-scheduled instruction streams (§II.B).
+
+``cache_efficiency`` comes from :class:`repro.machine.cache.CacheHierarchy`
+using the working sets of tasks co-resident at each sharing level.
+
+Rates are recomputed only at discrete transitions (see
+:meth:`repro.machine.node.Node.recompute`), never per-instruction: the
+fluid model (DESIGN.md §5.1) is exact between transitions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.simx.engine import Engine
+from repro.simx.rate import RateExecutor, WorkItem
+from repro.machine.profile import WorkloadProfile
+from repro.machine.topology import LogicalCpuState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.node import Node
+
+__all__ = ["LogicalCpu"]
+
+
+class LogicalCpu:
+    """Execution model of one logical CPU on a node."""
+
+    def __init__(self, node: "Node", state: LogicalCpuState):
+        self.node = node
+        self.state = state
+        self.engine: Engine = node.engine
+        self.executor = RateExecutor(self.engine, self._on_item_complete)
+        #: callback(work_item) invoked when a segment finishes (set by scheduler)
+        self.on_segment_done: Optional[Callable[[WorkItem], None]] = None
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def index(self) -> int:
+        return self.state.index
+
+    @property
+    def online(self) -> bool:
+        return self.state.online
+
+    @property
+    def busy(self) -> bool:
+        """True if at least one compute segment is currently placed here."""
+        return len(self.executor) > 0
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.executor)
+
+    def profiles(self) -> List[WorkloadProfile]:
+        """Profiles of segments currently placed on this CPU."""
+        return [item.meta.profile for item in self.executor.items]
+
+    # -- placement ----------------------------------------------------------
+    def add_segment(self, item: WorkItem) -> None:
+        """Place a compute segment here.  ``item.meta`` must expose a
+        ``profile`` attribute (the owning task).  Caller must follow with
+        :meth:`Node.apply_rates` (after a :meth:`Node.sync`)."""
+        if not self.state.online:
+            raise RuntimeError(f"placing work on offline cpu{self.index}")
+        self.executor.add(item, rate=0.0)
+
+    def remove_segment(self, item: WorkItem) -> None:
+        """Evict a segment (migration / cancellation)."""
+        self.executor.remove(item)
+
+    def _on_item_complete(self, item: WorkItem) -> None:
+        # The executor already evicted the item; tell the scheduler so it
+        # can update run queues.  The owning task wakes via item.done.
+        if self.on_segment_done is not None:
+            self.on_segment_done(item)
+
+    # -- rate computation ---------------------------------------------------
+    def gross_hz(self) -> float:
+        """Deliverable throughput of this CPU (work units/second) before
+        per-task sharing and cache efficiency."""
+        if self.node.frozen or not self.state.online or not self.busy:
+            return 0.0
+        base = self.node.spec.base_hz
+        sib_state = self.state.sibling
+        if sib_state is None or not sib_state.online:
+            return base
+        sib = self.node.cpu(sib_state.index)
+        if not sib.busy:
+            return base
+        # Both siblings busy: aggregate yield from the combined task mix.
+        mix = self.profiles() + sib.profiles()
+        combined_yield = sum(p.htt_yield for p in mix) / len(mix)
+        return base * combined_yield / 2.0
+
+    def compute_rates(self) -> Dict[WorkItem, float]:
+        """New rate (work units per *nanosecond*) for every resident segment."""
+        items = list(self.executor.items)
+        if not items:
+            return {}
+        gross = self.gross_hz()
+        if gross <= 0.0:
+            return {item: 0.0 for item in items}
+        share_hz = gross / len(items)
+        # Cache context: co-residents at core level (this cpu + sibling)
+        # and socket level (all cpus of the socket).
+        core_profiles = self._core_profiles()
+        socket_profiles = self._socket_profiles()
+        hier = self.node.cache_hierarchy
+        rates: Dict[WorkItem, float] = {}
+        for item in items:
+            prof: WorkloadProfile = item.meta.profile
+            eff = hier.efficiency(prof, core_profiles, socket_profiles)
+            rates[item] = share_hz * eff / 1e9
+        return rates
+
+    def _core_profiles(self) -> List[WorkloadProfile]:
+        out = list(self.profiles())
+        sib_state = self.state.sibling
+        if sib_state is not None and sib_state.online:
+            out += self.node.cpu(sib_state.index).profiles()
+        return out
+
+    def _socket_profiles(self) -> List[WorkloadProfile]:
+        out: List[WorkloadProfile] = []
+        my_socket = self.state.core.socket
+        for cpu in self.node.cpus:
+            if cpu.state.core.socket == my_socket and cpu.state.online:
+                out += cpu.profiles()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<LogicalCpu {self.node.name}:cpu{self.index} tasks={self.n_tasks}>"

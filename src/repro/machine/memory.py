@@ -1,0 +1,56 @@
+"""Main-memory capacity accounting.
+
+The paper's Table 3 has missing cells ("-") for FT class C at 1 and 2 MPI
+ranks with one rank per node: the per-rank footprint of FT-C does not fit
+the 12 GB Wyeast nodes in that configuration.  This module provides the
+fit check the run matrix uses to mark those configurations infeasible
+(reported as ``None`` / rendered as "-"), rather than silently producing
+numbers the paper could not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryModel", "OutOfMemory"]
+
+#: Memory the OS and runtime keep for themselves on the paper's nodes.
+OS_RESERVED_BYTES = 2 << 30
+
+
+class OutOfMemory(RuntimeError):
+    """Raised when a workload's resident footprint exceeds node memory."""
+
+
+@dataclass
+class MemoryModel:
+    """Tracks allocations against a node's physical capacity."""
+
+    capacity_bytes: int
+    reserved_bytes: int = OS_RESERVED_BYTES
+    allocated_bytes: int = 0
+
+    @property
+    def available_bytes(self) -> int:
+        return self.capacity_bytes - self.reserved_bytes - self.allocated_bytes
+
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.available_bytes
+
+    def allocate(self, nbytes: int, what: str = "buffer") -> None:
+        """Reserve ``nbytes``; raises :class:`OutOfMemory` on overcommit
+        (the simulator has no swap — the paper's runs would have died or
+        thrashed unusably, which is why those cells are blank)."""
+        if nbytes < 0:
+            raise ValueError("negative allocation")
+        if not self.fits(nbytes):
+            raise OutOfMemory(
+                f"cannot allocate {nbytes / 2**30:.2f} GiB for {what}: "
+                f"only {self.available_bytes / 2**30:.2f} GiB available"
+            )
+        self.allocated_bytes += nbytes
+
+    def free(self, nbytes: int) -> None:
+        if nbytes < 0 or nbytes > self.allocated_bytes:
+            raise ValueError("bad free")
+        self.allocated_bytes -= nbytes

@@ -1,0 +1,60 @@
+"""Model-specific registers relevant to SMM observation.
+
+Real Nehalem-era Intel CPUs expose ``MSR_SMI_COUNT`` (0x34): a read-only
+counter of SMIs since reset.  It is the *only* architectural visibility
+the OS has into SMM — the count, never the time.  Tools like
+``turbostat`` read it; hwlat-style detectors use it to attribute a
+measured gap to an SMI rather than to scheduler preemption.
+
+This module models the MSR file of a node.  Reads execute from host
+software, so reading during SMM is impossible by construction (the reader
+is frozen) — the count is always observed at rest.
+
+Also modeled: ``IA32_TIME_STAMP_COUNTER`` (0x10) for completeness, and
+the BIOS-controlled ``MSR_SMM_DELAYED``/`BLOCKED`` pair as always-zero
+stubs (they only matter for SMM-transfer-monitor setups).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.node import Node
+
+__all__ = ["Msr", "MSR_SMI_COUNT", "IA32_TIME_STAMP_COUNTER"]
+
+MSR_SMI_COUNT = 0x34
+IA32_TIME_STAMP_COUNTER = 0x10
+MSR_SMM_DELAYED = 0x31
+MSR_SMM_BLOCKED = 0x32
+
+
+class Msr:
+    """The MSR read interface of one node (``rdmsr`` by register index)."""
+
+    def __init__(self, node: "Node"):
+        self.node = node
+        self._readers: Dict[int, Callable[[], int]] = {
+            MSR_SMI_COUNT: lambda: self.node.smm.stats.entries,
+            IA32_TIME_STAMP_COUNTER: lambda: self.node.clock.rdtsc(),
+            MSR_SMM_DELAYED: lambda: 0,
+            MSR_SMM_BLOCKED: lambda: 0,
+        }
+
+    def rdmsr(self, index: int) -> int:
+        """Read an MSR; raises like the #GP fault for unknown registers."""
+        try:
+            reader = self._readers[index]
+        except KeyError:
+            raise ValueError(f"rdmsr: unimplemented MSR {index:#x}") from None
+        if self.node.frozen:
+            raise RuntimeError(
+                "rdmsr executed while the node is in SMM — host software "
+                "cannot run during SMM; read through a gated task instead"
+            )
+        return reader()
+
+    def smi_count(self) -> int:
+        """Convenience: MSR_SMI_COUNT (what turbostat's SMI column shows)."""
+        return self.rdmsr(MSR_SMI_COUNT)

@@ -1,0 +1,148 @@
+"""A node: the composition point of the hardware model.
+
+A :class:`Node` owns a topology, per-CPU executors, caches, clocks, the
+SMM controller, an interrupt controller, a memory model, and — crucially —
+the **wake-up gate** that implements SMM's "all host software stops"
+semantics for every process hosted on the node:
+
+* Task processes are created with ``gate=node``.  Every resumption of such
+  a process (a sleep expiring, a message arriving, an event triggering)
+  goes through :meth:`Node.deliver`, which queues the wake-up while the
+  node is frozen and flushes the queue in FIFO order at SMM exit.
+* Compute segments cannot make progress during the freeze because every
+  CPU's gross rate is 0 while ``frozen``.
+
+Hardware-level processes (the SMM exit timer, the SMI source, in-flight
+NIC transfers) are *not* gated — DMA and timers below the host keep
+running during SMM, as on real machines; only their visibility to host
+software is delayed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.simx.engine import Engine
+from repro.simx.timeline import Timeline
+from repro.machine.cache import CacheHierarchy
+from repro.machine.clock import Clock
+from repro.machine.cpu import LogicalCpu
+from repro.machine.interrupts import InterruptController
+from repro.machine.memory import MemoryModel
+from repro.machine.smm import SmmController
+from repro.machine.topology import MachineSpec, Topology
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One simulated machine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        spec: MachineSpec,
+        name: str = "node0",
+        timeline: Optional[Timeline] = None,
+        boot_offset_ns: int = 0,
+    ):
+        self.engine = engine
+        self.spec = spec
+        self.name = name
+        self.timeline = timeline if timeline is not None else Timeline()
+        self.topology = Topology(spec)
+        self.cache_hierarchy: CacheHierarchy = spec.hierarchy()
+        self.clock = Clock(engine, tsc_hz=spec.base_hz, boot_offset_ns=boot_offset_ns)
+        self.memory = MemoryModel(capacity_bytes=spec.memory_bytes)
+        self.cpus: List[LogicalCpu] = [LogicalCpu(self, st) for st in self.topology.cpus]
+        self.smm = SmmController(self)
+        self.irq = InterruptController(self)
+        self.nic = None  # attached by repro.mpi.cluster when clustered
+        self.scheduler = None  # attached by repro.sched (see repro.system)
+        self._frozen = False
+        self._deferred: List[Callable[[], None]] = []
+        self._unfreeze_listeners: List[Callable[[], None]] = []
+        self.topology.add_listener(self._on_hotplug)
+
+    # -- basic accessors -------------------------------------------------------
+    def cpu(self, index: int) -> LogicalCpu:
+        return self.cpus[index]
+
+    @property
+    def frozen(self) -> bool:
+        """True while all cores are in System Management Mode."""
+        return self._frozen
+
+    @property
+    def online_cpus(self) -> List[LogicalCpu]:
+        return [c for c in self.cpus if c.state.online]
+
+    # -- rate bookkeeping --------------------------------------------------
+    def sync(self) -> None:
+        """Integrate all executors and the accounting up to *now* at the
+        currently-assigned rates.  Must be called *before* any mutation
+        that changes rates (placement, freeze, hotplug)."""
+        if self.scheduler is not None:
+            self.scheduler.accounting.advance()
+        for cpu in self.cpus:
+            cpu.executor.sync()
+
+    def apply_rates(self) -> None:
+        """Recompute and install the rate assignment for every CPU."""
+        for cpu in self.cpus:
+            rates = cpu.compute_rates()
+            if rates or len(cpu.executor):
+                cpu.executor.set_rates(rates)
+
+    def recompute(self) -> None:
+        """sync + apply_rates — the one call sites use after any change."""
+        self.sync()
+        self.apply_rates()
+
+    # -- SMM freeze protocol ----------------------------------------------------
+    def freeze(self) -> None:
+        """Called by the SMM controller at SMI entry."""
+        self.sync()
+        self._frozen = True
+        self.apply_rates()
+
+    def unfreeze(self) -> None:
+        """Called by the SMM controller at SMM exit: resume execution,
+        flush deferred wake-ups (FIFO), notify listeners (scheduler
+        re-balance, detectors)."""
+        self.sync()
+        self._frozen = False
+        self.apply_rates()
+        deferred, self._deferred = self._deferred, []
+        for fn in deferred:
+            self.engine.schedule(0, fn)
+        for fn in self._unfreeze_listeners:
+            fn()
+
+    def add_unfreeze_listener(self, fn: Callable[[], None]) -> None:
+        self._unfreeze_listeners.append(fn)
+
+    # -- the wake-up gate (simx Process gate protocol) ------------------------
+    def deliver(self, fn: Callable[[], None]) -> None:
+        """Deliver a wake-up to host software: immediate (scheduled at +0)
+        when running, deferred to SMM exit when frozen."""
+        if self._frozen:
+            self._deferred.append(fn)
+        else:
+            self.engine.schedule(0, fn)
+
+    # -- hotplug ----------------------------------------------------------
+    def _on_hotplug(self, cpu_state) -> None:
+        cpu = self.cpus[cpu_state.index]
+        if not cpu_state.online and cpu.busy:
+            raise RuntimeError(
+                f"cannot offline cpu{cpu_state.index} with work resident; "
+                "migrate tasks first (the scheduler does this via sysfs.offline)"
+            )
+        self.recompute()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Node {self.name} spec={self.spec.name} online={self.topology.n_online} "
+            f"frozen={self._frozen}>"
+        )

@@ -1,0 +1,277 @@
+"""Message matching, ranks, and point-to-point communication.
+
+Semantics (a faithful subset of MPI, shaped like mpi4py's lowercase API):
+
+* **Eager buffered sends** — ``send`` returns once the local library work
+  (overhead + copy) is done; the wire transfer proceeds asynchronously.
+  This matches small/medium-message MPI behaviour; the rendezvous
+  protocol for huge messages is not modeled (the paper's workloads
+  exchange at most tens of MB, where eager + NIC serialization captures
+  the timing).
+* **Non-overtaking matching** — messages between a (source, dest) pair
+  with equal tags are matched in send order (the per-rank
+  :class:`repro.simx.resources.Store` scans oldest-first).
+* ``ANY_SOURCE`` / ``ANY_TAG`` wildcards are supported.
+* ``isend``/``irecv`` return :class:`Request` objects; ``wait`` blocks the
+  calling rank's task.
+
+Every CPU cost (library overhead, eager copy) is executed as *work* on
+the rank's task, so it freezes with SMM, shares the CPU under
+oversubscription, and shows up in the kernel's (mis-)accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.simx.engine import Event
+from repro.simx.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.cluster import Cluster
+    from repro.sched.task import Task
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "Request", "Rank", "Communicator"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Tag space reserved for collective algorithms (see collectives.py).
+COLL_TAG_BASE = 1 << 20
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message (envelope + optional payload)."""
+
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    payload: Any = None
+    seq: int = 0
+
+
+class Request:
+    """Handle for a non-blocking operation."""
+
+    def __init__(self, event: Event, kind: str):
+        self.event = event
+        self.kind = kind
+
+    @property
+    def complete(self) -> bool:
+        return self.event.triggered
+
+    def test(self) -> Optional[Message]:
+        """Non-blocking completion check: the message if done, else None."""
+        if self.event.triggered and self.event.ok:
+            return self.event.value
+        return None
+
+
+class Communicator:
+    """A set of ranks with a private matching context."""
+
+    _ids = itertools.count()
+
+    def __init__(self, cluster: "Cluster", tasks: Sequence["Task"]):
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.tasks = list(tasks)
+        self.cid = next(Communicator._ids)
+        self._mailboxes: List[Store] = [
+            Store(self.engine, name=f"comm{self.cid}.rank{r}.mbox")
+            for r in range(len(tasks))
+        ]
+        self._send_seq = 0
+        self.ranks: List[Rank] = [Rank(self, r, t) for r, t in enumerate(tasks)]
+
+    @property
+    def size(self) -> int:
+        return len(self.tasks)
+
+    # -- wire interface ------------------------------------------------------
+    def _inject(self, msg: Message) -> None:
+        """Hand a message to the network; it lands in the destination's
+        mailbox through the node gate."""
+        src_node = self.tasks[msg.src].node
+        dst_node = self.tasks[msg.dst].node
+        mbox = self._mailboxes[msg.dst]
+        self.cluster.network.transfer(
+            src_node, dst_node, msg.nbytes, lambda: mbox.put(msg)
+        )
+
+    def _match_async(self, dst: int, src: int, tag: int) -> Event:
+        def pred(m: Message, src=src, tag=tag) -> bool:
+            return (src == ANY_SOURCE or m.src == src) and (
+                tag == ANY_TAG or m.tag == tag
+            )
+
+        return self._mailboxes[dst].get_async(pred)
+
+
+class Rank:
+    """Per-rank endpoint: the object an application body receives.
+
+    All communication methods are generators — drive them with
+    ``yield from`` inside the rank's task body.
+    """
+
+    def __init__(self, comm: Communicator, rank: int, task: "Task"):
+        self.comm = comm
+        self.rank = rank
+        self.task = task
+        self._coll_seq = 0
+        self.sent_messages = 0
+        self.sent_bytes = 0
+        self.recv_messages = 0
+
+    # -- convenience ------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def now_ns(self) -> int:
+        return self.task.now_ns()
+
+    def compute(self, work_units: float, profile=None) -> Generator:
+        """Application compute on this rank's task."""
+        yield from self.task.compute(work_units, profile=profile)
+
+    def _overhead(self, nbytes: int) -> float:
+        spec = self.comm.cluster.network.spec
+        return spec.sw_overhead_ops + spec.per_byte_ops * nbytes
+
+    # -- point-to-point -----------------------------------------------------
+    def send(self, dst: int, nbytes: int, payload: Any = None, tag: int = 0
+             ) -> Generator:
+        """Eager buffered send: local library cost, then fire and forget."""
+        if not (0 <= dst < self.size):
+            raise ValueError(f"bad destination rank {dst}")
+        yield from self.task.compute(self._overhead(nbytes))
+        self.comm._send_seq += 1
+        msg = Message(self.rank, dst, tag, nbytes, payload, seq=self.comm._send_seq)
+        self.comm._inject(msg)
+        self.sent_messages += 1
+        self.sent_bytes += nbytes
+
+    def isend(self, dst: int, nbytes: int, payload: Any = None, tag: int = 0
+              ) -> Generator[Any, Any, Request]:
+        """Non-blocking send.  With the eager protocol the local cost is
+        still paid inline (as in real MPI, where the eager copy happens in
+        the isend call); the returned request is already complete."""
+        yield from self.send(dst, nbytes, payload, tag)
+        ev = self.comm.engine.event(name="isend.done")
+        ev.succeed(None)
+        return Request(ev, "isend")
+
+    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Post a receive; returns immediately with a Request."""
+        ev = self.comm._match_async(self.rank, src, tag)
+        return Request(ev, "irecv")
+
+    def wait(self, request: Request) -> Generator[Any, Any, Message]:
+        """Block until the request completes; for receives, pay the
+        receive-side library cost and return the message."""
+        msg = yield from self.task.wait(request.event)
+        if request.kind == "irecv" and msg is not None:
+            yield from self.task.compute(self._overhead(msg.nbytes))
+            self.recv_messages += 1
+        return msg
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG
+             ) -> Generator[Any, Any, Message]:
+        """Blocking receive."""
+        req = self.irecv(src, tag)
+        msg = yield from self.wait(req)
+        return msg
+
+    def sendrecv(
+        self,
+        dst: int,
+        nbytes: int,
+        payload: Any = None,
+        src: int = ANY_SOURCE,
+        send_tag: int = 0,
+        recv_tag: int = ANY_TAG,
+    ) -> Generator[Any, Any, Message]:
+        """Combined send+recv (deadlock-free: the send is eager)."""
+        req = self.irecv(src, recv_tag)
+        yield from self.send(dst, nbytes, payload, send_tag)
+        msg = yield from self.wait(req)
+        return msg
+
+    # -- collectives (delegated; see collectives.py) -------------------------
+    def _next_coll_tag(self) -> int:
+        """Collective calls execute in program order on every rank (SPMD),
+        so a per-rank sequence number yields matching tags cluster-wide."""
+        self._coll_seq += 1
+        return COLL_TAG_BASE + self._coll_seq
+
+    def barrier(self) -> Generator:
+        from repro.mpi.collectives import barrier
+
+        yield from barrier(self)
+
+    def bcast(self, value: Any = None, root: int = 0, nbytes: int = 8) -> Generator:
+        from repro.mpi.collectives import bcast
+
+        result = yield from bcast(self, value, root, nbytes)
+        return result
+
+    def reduce(self, value: Any, root: int = 0, nbytes: int = 8, op=None) -> Generator:
+        from repro.mpi.collectives import reduce as _reduce
+
+        result = yield from _reduce(self, value, root, nbytes, op)
+        return result
+
+    def allreduce(self, value: Any, nbytes: int = 8, op=None) -> Generator:
+        from repro.mpi.collectives import allreduce
+
+        result = yield from allreduce(self, value, nbytes, op)
+        return result
+
+    def allgather(self, value: Any, nbytes: int = 8) -> Generator:
+        from repro.mpi.collectives import allgather
+
+        result = yield from allgather(self, value, nbytes)
+        return result
+
+    def alltoall(self, per_pair_nbytes: int, values: Optional[List[Any]] = None
+                 ) -> Generator:
+        from repro.mpi.collectives import alltoall
+
+        result = yield from alltoall(self, per_pair_nbytes, values)
+        return result
+
+    def scatter(self, values: Optional[List[Any]] = None, root: int = 0,
+                nbytes: int = 8) -> Generator:
+        from repro.mpi.collectives import scatter
+
+        result = yield from scatter(self, values, root, nbytes)
+        return result
+
+    def gather(self, value: Any, root: int = 0, nbytes: int = 8) -> Generator:
+        from repro.mpi.collectives import gather
+
+        result = yield from gather(self, value, root, nbytes)
+        return result
+
+    def reduce_scatter(self, values: List[Any], nbytes: int = 8, op=None
+                       ) -> Generator:
+        from repro.mpi.collectives import reduce_scatter
+
+        result = yield from reduce_scatter(self, values, nbytes, op)
+        return result
+
+    def scan(self, value: Any, nbytes: int = 8, op=None) -> Generator:
+        from repro.mpi.collectives import scan
+
+        result = yield from scan(self, value, nbytes, op)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Rank {self.rank}/{self.size} on {self.task.node.name}>"

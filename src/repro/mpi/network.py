@@ -1,0 +1,135 @@
+"""The cluster interconnect: an α–β model with NIC serialization.
+
+Message cost between distinct nodes::
+
+    t_deliver = rx_nic_end( tx_nic_end(now, n) + α , n )
+
+where each NIC direction is a FIFO serializer of bandwidth β — all ranks
+of a node share one NIC, which is what makes 4-ranks-per-node placements
+"poor fits for the underlying platform" for communication-heavy codes
+(the paper's observation about FT, §III.C): four ranks' worth of
+all-to-all traffic funnels through a single link.
+
+Intra-node messages bypass the NIC entirely (shared-memory transport at
+``memcpy_bw``).
+
+Delivery to the destination's MPI matching engine is routed through the
+**node gate**: DMA lands the bytes during SMM, but the unexpected-message
+queue and any blocked receiver only learn about them at SMM exit — one of
+the paths by which a frozen node stalls its communication partners.
+
+The default constants are calibrated against the paper's SMM-0 base times
+(:mod:`repro.core.calibration`); they land near classic GbE + TCP figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TYPE_CHECKING
+
+from repro.simx.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.node import Node
+
+__all__ = ["NetworkSpec", "Nic", "Network"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Interconnect constants.
+
+    ``latency_ns`` (α) — per-message one-way latency.
+    ``bandwidth_bps`` (β) — NIC serialization bandwidth, bytes/second.
+    ``memcpy_bps`` — intra-node shared-memory transport bandwidth.
+    ``sw_overhead_ops`` — CPU work (work units) burned per send and per
+    recv in the MPI library (affected by SMM like all compute).
+    ``per_byte_ops`` — CPU copy cost per byte (eager-protocol memcpy).
+    """
+
+    latency_ns: int = 120_000
+    bandwidth_bps: float = 110e6
+    memcpy_bps: float = 3e9
+    sw_overhead_ops: float = 30_000.0
+    per_byte_ops: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.latency_ns < 0 or self.bandwidth_bps <= 0 or self.memcpy_bps <= 0:
+            raise ValueError("bad network constants")
+
+    def wire_ns(self, nbytes: int) -> int:
+        """Serialization time of ``nbytes`` on one NIC direction."""
+        return int(nbytes * 1e9 / self.bandwidth_bps)
+
+    def memcpy_ns(self, nbytes: int) -> int:
+        return int(nbytes * 1e9 / self.memcpy_bps)
+
+
+class Nic:
+    """Per-node full-duplex NIC: two independent FIFO serializers."""
+
+    def __init__(self, spec: NetworkSpec):
+        self.spec = spec
+        self._tx_free = 0
+        self._rx_free = 0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+
+    def occupy_tx(self, earliest: int, nbytes: int) -> int:
+        """Serialize ``nbytes`` outbound starting no earlier than
+        ``earliest``; returns the finish time."""
+        start = max(earliest, self._tx_free)
+        end = start + self.spec.wire_ns(nbytes)
+        self._tx_free = end
+        self.tx_bytes += nbytes
+        return end
+
+    def occupy_rx(self, earliest: int, nbytes: int) -> int:
+        start = max(earliest, self._rx_free)
+        end = start + self.spec.wire_ns(nbytes)
+        self._rx_free = end
+        self.rx_bytes += nbytes
+        return end
+
+    def busy_until(self) -> int:
+        return max(self._tx_free, self._rx_free)
+
+
+class Network:
+    """The interconnect joining a cluster's nodes."""
+
+    def __init__(self, engine: Engine, spec: NetworkSpec):
+        self.engine = engine
+        self.spec = spec
+        self.messages = 0
+        self.bytes_moved = 0
+
+    def attach(self, node: "Node") -> None:
+        """Give a node its NIC."""
+        node.nic = Nic(self.spec)
+
+    def transfer(
+        self,
+        src: "Node",
+        dst: "Node",
+        nbytes: int,
+        on_deliver: Callable[[], None],
+    ) -> int:
+        """Move ``nbytes`` from src to dst; ``on_deliver`` runs on the
+        destination *through its gate* when the data is visible to host
+        software.  Returns the scheduled physical arrival time."""
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        self.messages += 1
+        self.bytes_moved += nbytes
+        now = self.engine.now
+        if src is dst:
+            t_done = now + 2_000 + self.spec.memcpy_ns(nbytes)
+        else:
+            if src.nic is None or dst.nic is None:
+                raise RuntimeError("node has no NIC; was it attached to the network?")
+            t_tx = src.nic.occupy_tx(now, nbytes)
+            t_arrive = t_tx + self.spec.latency_ns
+            t_done = dst.nic.occupy_rx(t_arrive, nbytes)
+        self.engine.schedule_at(t_done, lambda: dst.deliver(on_deliver))
+        return t_done

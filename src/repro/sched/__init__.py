@@ -1,0 +1,14 @@
+"""repro.sched — the operating-system substrate.
+
+Provides the task model, a Linux-flavoured scheduler (greedy HTT-aware
+placement, periodic load balancing, post-SMM wake-up perturbation), the
+kernel's — deliberately SMM-blind — process time accounting, and the sysfs
+hotplug front-end the paper's multithreaded methodology uses (§IV.A).
+"""
+
+from repro.sched.task import Task, TaskAccount, TaskState
+from repro.sched.scheduler import Scheduler
+from repro.sched.accounting import AccountingReport
+from repro.sched.sysfs import Sysfs
+
+__all__ = ["Task", "TaskAccount", "TaskState", "Scheduler", "AccountingReport", "Sysfs"]

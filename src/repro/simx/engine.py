@@ -1,0 +1,600 @@
+"""The discrete-event engine: clock, event heap, and generator processes.
+
+Time model
+----------
+Simulated time is an ``int`` count of nanoseconds from simulation start.
+Using integers removes floating-point drift: two events scheduled for the
+same instant compare equal, and replays are exact.
+
+Process model
+-------------
+A *process* wraps a generator.  The generator communicates with the engine
+by yielding one of:
+
+``Delay(ns)`` or a plain ``int``
+    Suspend for that many nanoseconds of simulated time.
+
+:class:`Event`
+    Suspend until the event succeeds (resumes with the event's value) or
+    fails (the stored exception is thrown into the generator).
+
+:class:`Process`
+    Suspend until that process terminates (join).  Resumes with the
+    process's return value; re-raises the process's exception.
+
+:class:`AllOf` / :class:`AnyOf`
+    Composite waits over several events/processes.
+
+Gates
+-----
+A process may be constructed with a *gate* — any object with a method
+``deliver(fn: Callable[[], None]) -> None``.  Every resumption of the
+process is routed through the gate.  This is how System Management Mode is
+modeled: a node acts as the gate for every task process it hosts, and
+while the node's cores are frozen in SMM the gate queues wake-ups instead
+of delivering them (see :class:`repro.machine.node.Node`).  Hardware-level
+processes (the SMM controller itself, the SMI source, NIC transfers) are
+created without a gate and are therefore unaffected by the freeze — just
+like real hardware below the host software stack.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.simx.errors import DeadlockError, ProcessKilled, SimulationError
+
+__all__ = ["Engine", "Delay", "Event", "AllOf", "AnyOf", "Interrupt", "Process", "Handle"]
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Yieldable command: suspend the process for ``ns`` nanoseconds."""
+
+    ns: int
+
+    def __post_init__(self) -> None:
+        if self.ns < 0:
+            raise ValueError(f"negative delay: {self.ns}")
+
+
+class Interrupt(SimulationError):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Carries an arbitrary ``cause``.  Used e.g. by the interrupt-controller
+    model to preempt a task that is sleeping.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *untriggered*; exactly one of :meth:`succeed` or
+    :meth:`fail` may be called, after which waiters are resumed.  Waiters
+    that register after triggering are resumed immediately (on delivery
+    through their gate).
+    """
+
+    __slots__ = ("engine", "_ok", "_value", "_exc", "_callbacks", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.name = name
+        self._ok: Optional[bool] = None
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._ok is not None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The success value (or the exception if the event failed)."""
+        if self._ok is None:
+            raise SimulationError(f"event {self.name!r} not yet triggered")
+        return self._value if self._ok else self._exc
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self._ok is not None:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._ok is not None:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._exc = exc
+        self._dispatch()
+        return self
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb(event)``; invoked immediately if already triggered."""
+        if self._ok is not None:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if self._ok is None else ("ok" if self._ok else "failed")
+        return f"<Event {self.name!r} {state}>"
+
+
+class AllOf:
+    """Composite wait: resume when *all* of the given waitables trigger.
+
+    Resumes with a list of values in input order.  If any waitable fails,
+    the first failure is raised into the waiting process.
+    """
+
+    def __init__(self, waitables: Iterable[Any]):
+        self.waitables = list(waitables)
+
+
+class AnyOf:
+    """Composite wait: resume when *any one* of the given waitables triggers.
+
+    Resumes with ``(index, value)`` of the first trigger.  A failure of the
+    first-triggering waitable is raised.
+    """
+
+    def __init__(self, waitables: Iterable[Any]):
+        self.waitables = list(waitables)
+        if not self.waitables:
+            raise ValueError("AnyOf requires at least one waitable")
+
+
+class Handle:
+    """A cancelable scheduled callback returned by :meth:`Engine.schedule`.
+
+    ``daemon`` callbacks do not keep the engine alive: like daemon
+    threads, they serve perpetual background activities (the SMI trigger
+    timer, the kernel's periodic load balancer) and :meth:`Engine.run`
+    returns once only daemon events remain.
+    """
+
+    __slots__ = ("engine", "time", "seq", "fn", "cancelled", "daemon")
+
+    def __init__(self, engine: "Engine", time: int, seq: int,
+                 fn: Callable[[], None], daemon: bool):
+        self.engine = engine
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+        self.daemon = daemon
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        if not self.cancelled:
+            self.cancelled = True
+            if not self.daemon:
+                self.engine._foreground -= 1
+
+    def __lt__(self, other: "Handle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Process:
+    """A running generator on the engine.  See module docstring for the
+    yield protocol.  A process is itself waitable (join)."""
+
+    __slots__ = (
+        "engine",
+        "name",
+        "gen",
+        "gate",
+        "daemon",
+        "done_event",
+        "_alive",
+        "_pending_handle",
+        "_waiting_on",
+    )
+
+    def __init__(
+        self,
+        engine: "Engine",
+        gen: Generator[Any, Any, Any],
+        name: str = "proc",
+        gate: Any = None,
+        daemon: bool = False,
+    ):
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"process body must be a generator (got {type(gen).__name__}); "
+                "did you forget `yield` in the function?"
+            )
+        self.engine = engine
+        self.name = name
+        self.gen = gen
+        self.gate = gate
+        self.daemon = daemon
+        self.done_event = Event(engine, name=f"{name}.done")
+        self._alive = True
+        self._pending_handle: Optional[Handle] = None
+        self._waiting_on: Any = None
+        engine._live_processes += 1
+        # First step happens at the current instant, in scheduling order.
+        engine.schedule(0, self._step, None, None, daemon=daemon)
+
+    # -- public -----------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator; raises if not finished or failed."""
+        return self.done_event.value
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Only a process that is suspended (waiting on a delay or event) can
+        be interrupted; interrupting a dead process is a no-op.
+        """
+        if not self._alive:
+            return
+        self._cancel_pending()
+        self.engine.schedule(0, self._step, None, Interrupt(cause))
+
+    def kill(self) -> None:
+        """Terminate the process by throwing :class:`ProcessKilled` into it."""
+        if not self._alive:
+            return
+        self._cancel_pending()
+        self.engine.schedule(0, self._step, None, ProcessKilled(self.name))
+
+    # -- engine internals ---------------------------------------------------
+    def _cancel_pending(self) -> None:
+        if self._pending_handle is not None:
+            self._pending_handle.cancel()
+            self._pending_handle = None
+        self._waiting_on = None
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        """Resume through the gate (if any).
+
+        Resumption is always *scheduled* (never synchronous): an event may
+        trigger deep inside a rate-executor sync or an interrupt handler,
+        and running user generator code re-entrantly from there would let
+        a task mutate CPU state mid-recomputation.  Scheduling at +0 ns
+        keeps simulated time identical while serializing the control flow.
+        """
+        self._pending_handle = None
+        self._waiting_on = None
+        if self.gate is None:
+            self.engine.schedule(0, self._step, value, exc, daemon=self.daemon)
+        else:
+            self.gate.deliver(lambda: self._step(value, exc))
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if not self._alive:
+            return
+        try:
+            if exc is not None:
+                cmd = self.gen.throw(exc)
+            else:
+                cmd = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(ok=True, value=stop.value)
+            return
+        except ProcessKilled as pk:
+            self._finish(ok=True, value=None, killed=pk)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate into joiners
+            self._finish(ok=False, exc=err)
+            return
+        self._wait_on(cmd)
+
+    def _finish(
+        self,
+        ok: bool,
+        value: Any = None,
+        exc: Optional[BaseException] = None,
+        killed: Optional[ProcessKilled] = None,
+    ) -> None:
+        self._alive = False
+        self.engine._live_processes -= 1
+        self.gen.close()
+        if ok:
+            self.done_event.succeed(value)
+        else:
+            assert exc is not None
+            if not self.done_event._callbacks:
+                # No joiner: surface the error at the engine level rather
+                # than dropping it silently.
+                self.engine._record_orphan_failure(self, exc)
+            self.done_event.fail(exc)
+
+    def _wait_on(self, cmd: Any) -> None:
+        eng = self.engine
+        if isinstance(cmd, int):
+            cmd = Delay(cmd)
+        if isinstance(cmd, Delay):
+            self._pending_handle = eng.schedule(
+                cmd.ns, self._resume, None, None, daemon=self.daemon
+            )
+            self._waiting_on = cmd
+        elif isinstance(cmd, Process):
+            self._wait_event(cmd.done_event)
+        elif isinstance(cmd, Event):
+            self._wait_event(cmd)
+        elif isinstance(cmd, AllOf):
+            self._wait_all(cmd)
+        elif isinstance(cmd, AnyOf):
+            self._wait_any(cmd)
+        else:
+            self._resume(
+                None,
+                TypeError(f"process {self.name!r} yielded unsupported {cmd!r}"),
+            )
+
+    def _wait_event(self, ev: Event) -> None:
+        self._waiting_on = ev
+        token = object()
+        self._pending_handle = _EventHandle(self, token)
+
+        def on_trigger(event: Event, token=token) -> None:
+            handle = self._pending_handle
+            if not isinstance(handle, _EventHandle) or handle.token is not token:
+                return  # stale registration (process was interrupted/killed)
+            if event.ok:
+                self._resume(event._value, None)
+            else:
+                self._resume(None, event._exc)
+
+        ev.add_callback(on_trigger)
+
+    def _wait_all(self, allof: AllOf) -> None:
+        events = [_as_event(w) for w in allof.waitables]
+        if not events:
+            self._pending_handle = self.engine.schedule(0, self._resume, [], None)
+            return
+        self._waiting_on = allof
+        token = object()
+        self._pending_handle = _EventHandle(self, token)
+        remaining = {"n": len(events)}
+
+        def on_one(event: Event, token=token) -> None:
+            handle = self._pending_handle
+            if not isinstance(handle, _EventHandle) or handle.token is not token:
+                return
+            if not event.ok:
+                self._resume(None, event._exc)
+                return
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                self._resume([e._value for e in events], None)
+
+        for e in events:
+            e.add_callback(on_one)
+
+    def _wait_any(self, anyof: AnyOf) -> None:
+        events = [_as_event(w) for w in anyof.waitables]
+        self._waiting_on = anyof
+        token = object()
+        self._pending_handle = _EventHandle(self, token)
+
+        def make_cb(i: int):
+            def on_one(event: Event, token=token) -> None:
+                handle = self._pending_handle
+                if not isinstance(handle, _EventHandle) or handle.token is not token:
+                    return
+                if event.ok:
+                    self._resume((i, event._value), None)
+                else:
+                    self._resume(None, event._exc)
+
+            return on_one
+
+        for i, e in enumerate(events):
+            e.add_callback(make_cb(i))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name!r} {state} waiting_on={self._waiting_on!r}>"
+
+
+class _EventHandle:
+    """Pseudo-handle marking 'waiting on an event'; cancel() invalidates the
+    registration token so stale callbacks are ignored."""
+
+    __slots__ = ("proc", "token", "cancelled")
+
+    def __init__(self, proc: Process, token: object):
+        self.proc = proc
+        self.token = token
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self.token = None
+
+
+def _as_event(w: Any) -> Event:
+    if isinstance(w, Event):
+        return w
+    if isinstance(w, Process):
+        return w.done_event
+    raise TypeError(f"cannot wait on {w!r}")
+
+
+class Engine:
+    """The event loop: an event heap plus a live-process census.
+
+    Typical use::
+
+        eng = Engine()
+        def body():
+            yield Delay(1_000)
+            return 42
+        p = eng.process(body(), name="answer")
+        eng.run()
+        assert p.result == 42
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Handle] = []
+        self._now = 0
+        self._seq = 0
+        self._live_processes = 0
+        self._foreground = 0  # pending non-daemon callbacks
+        self._orphan_failures: list[tuple[str, BaseException]] = []
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- scheduling -----------------------------------------------------------
+    def schedule(self, delay_ns: int, fn: Callable[..., None], *args: Any,
+                 daemon: bool = False) -> Handle:
+        """Schedule ``fn(*args)`` after ``delay_ns`` nanoseconds."""
+        return self.schedule_at(self._now + int(delay_ns), fn, *args, daemon=daemon)
+
+    def schedule_at(self, t_ns: int, fn: Callable[..., None], *args: Any,
+                    daemon: bool = False) -> Handle:
+        """Schedule ``fn(*args)`` at absolute time ``t_ns``.
+
+        ``daemon=True`` events do not keep :meth:`run` alive on their own.
+        """
+        if t_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {t_ns} < now={self._now}"
+            )
+        self._seq += 1
+        h = Handle(self, int(t_ns), self._seq,
+                   (lambda: fn(*args)) if args else fn, daemon)
+        if not daemon:
+            self._foreground += 1
+        heapq.heappush(self._heap, h)
+        return h
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay_ns: int, value: Any = None) -> Event:
+        """An event that succeeds after ``delay_ns``, carrying ``value``."""
+        ev = Event(self, name=f"timeout+{delay_ns}")
+        self.schedule(delay_ns, ev.succeed, value)
+        return ev
+
+    def process(
+        self,
+        gen: Generator[Any, Any, Any],
+        name: str = "proc",
+        gate: Any = None,
+        daemon: bool = False,
+    ) -> Process:
+        """Start a new process from a generator.  ``daemon`` processes
+        (perpetual noise sources, periodic kernel work) do not keep
+        :meth:`run` alive."""
+        return Process(self, gen, name=name, gate=gate, daemon=daemon)
+
+    # -- execution --------------------------------------------------------------
+    def run(self, until_ns: Optional[int] = None) -> int:
+        """Run until the heap is exhausted or ``until_ns`` is reached.
+
+        Returns the final simulated time.  Unhandled process failures with
+        no joiner are re-raised here so they cannot be lost.
+        """
+        heap = self._heap
+        while heap and self._foreground > 0:
+            h = heap[0]
+            if until_ns is not None and h.time > until_ns:
+                self._now = until_ns
+                return self._now
+            heapq.heappop(heap)
+            if h.cancelled:
+                continue
+            if not h.daemon:
+                self._foreground -= 1
+            self._now = h.time
+            h.fn()
+            if self._orphan_failures:
+                name, exc = self._orphan_failures[0]
+                raise SimulationError(
+                    f"process {name!r} failed with no joiner"
+                ) from exc
+        if until_ns is not None and until_ns > self._now:
+            self._now = until_ns
+        return self._now
+
+    def run_until(self, event: Event, limit_ns: Optional[int] = None) -> int:
+        """Run until ``event`` triggers (or the heap empties / ``limit_ns``).
+
+        This is how experiments with perpetual noise sources terminate:
+        the workload's completion event stops the loop even though the
+        SMI source would keep scheduling forever.
+        """
+        heap = self._heap
+        while heap and not event.triggered:
+            h = heap[0]
+            if limit_ns is not None and h.time > limit_ns:
+                self._now = limit_ns
+                return self._now
+            heapq.heappop(heap)
+            if h.cancelled:
+                continue
+            if not h.daemon:
+                self._foreground -= 1
+            self._now = h.time
+            h.fn()
+            if self._orphan_failures:
+                name, exc = self._orphan_failures[0]
+                raise SimulationError(
+                    f"process {name!r} failed with no joiner"
+                ) from exc
+        return self._now
+
+    def run_until_deadlock_check(self) -> int:
+        """Run to completion; raise :class:`DeadlockError` if processes
+        remain alive with an empty heap (e.g. an MPI recv never matched)."""
+        t = self.run()
+        if self._live_processes > 0:
+            raise DeadlockError(
+                f"{self._live_processes} process(es) still alive at t={t} "
+                "with no scheduled events (blocked forever)"
+            )
+        return t
+
+    def _record_orphan_failure(self, proc: Process, exc: BaseException) -> None:
+        self._orphan_failures.append((proc.name, exc))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Engine now={self._now} pending={len(self._heap)} "
+            f"live={self._live_processes}>"
+        )

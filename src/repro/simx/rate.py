@@ -1,0 +1,211 @@
+"""Piecewise-constant-rate work execution.
+
+This is the numerical heart of the CPU model.  A :class:`WorkItem` is a
+demand of ``W`` abstract work units (think: useful operations).  A
+:class:`RateExecutor` serves a set of items, each at its own
+piecewise-constant rate (units per nanosecond).  Rates change only at
+discrete instants — task arrival/departure, SMM freeze/unfreeze, an HTT
+sibling becoming busy or idle, a cache-contention change — and between
+those instants the executor needs **no events at all**: it simply knows
+when the earliest completion will occur and schedules exactly one timer.
+
+This "fluid" formulation makes whole-run simulations exact and cheap: a
+24-thread convolution run produces a few hundred events rather than
+billions of cycle ticks, yet completion times are identical to what an
+infinitesimally-fine round-robin would give (processor sharing is the
+fluid limit of round-robin; see DESIGN.md §5.1).
+
+Invariants (property-tested in ``tests/simx/test_rate.py``):
+
+* *Work conservation*: at every instant, sum over items of executed work
+  equals the integral of the total service rate.
+* *Monotonicity*: an item's remaining demand never increases.
+* *Exact completion*: an item completes exactly when its integrated rate
+  reaches its demand (to within one nanosecond of timer quantization).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.simx.engine import Engine, Event, Handle
+from repro.simx.errors import SimulationError
+
+__all__ = ["WorkItem", "RateExecutor"]
+
+# Completion slack: float rounding can leave a vanishing residue of work;
+# anything below this fraction of a unit counts as done.
+_EPS_WORK = 1e-6
+
+# Completion horizon: an ETA beyond ~292 years of simulated time means the
+# assigned rate is effectively zero (denormal floats); schedule nothing and
+# wait for the next rate change instead of overflowing the clock.
+_ETA_CAP = float(1 << 62)
+
+
+class WorkItem:
+    """A demand of ``demand`` work units with a completion event.
+
+    ``meta`` is an arbitrary payload (the owning task, for the CPU model).
+    """
+
+    __slots__ = ("demand", "remaining", "done", "meta", "started_at", "finished_at")
+
+    def __init__(self, engine: Engine, demand: float, meta=None, name: str = "work"):
+        if demand < 0:
+            raise ValueError(f"negative demand: {demand}")
+        self.demand = float(demand)
+        self.remaining = float(demand)
+        self.done: Event = engine.event(name=f"{name}.done")
+        self.meta = meta
+        self.started_at: Optional[int] = None
+        self.finished_at: Optional[int] = None
+
+    @property
+    def executed(self) -> float:
+        """Work completed so far."""
+        return self.demand - self.remaining
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WorkItem {self.remaining:.3g}/{self.demand:.3g}>"
+
+
+class RateExecutor:
+    """Serves :class:`WorkItem`\\ s at externally-assigned rates.
+
+    The owner (a :class:`repro.machine.cpu.LogicalCpu`) is responsible for
+    calling :meth:`set_rates` with a full rate assignment whenever anything
+    that affects rates changes.  The executor:
+
+    1. advances every item's ``remaining`` for the elapsed interval at the
+       *old* rates (``sync``),
+    2. records the new rates,
+    3. re-schedules the single next-completion timer.
+
+    Completion order among simultaneous finishers follows insertion order
+    (deterministic).
+    """
+
+    def __init__(self, engine: Engine, on_complete: Callable[[WorkItem], None]):
+        self.engine = engine
+        self.on_complete = on_complete
+        self._rates: Dict[WorkItem, float] = {}  # units per ns
+        self._last_sync = engine.now
+        self._timer: Optional[Handle] = None
+        self.total_work_served = 0.0  # lifetime integral, for conservation tests
+        #: Optional hook ``pre_sync(dt_ns)`` called at the top of every
+        #: non-empty sync window, *before* items are advanced or evicted.
+        #: The CPU model uses it for kernel-style time accounting: the
+        #: window [last_sync, now) is homogeneous (rates and freeze state
+        #: constant), so integrating task CPU shares here is exact.
+        self.pre_sync: Optional[Callable[[int], None]] = None
+
+    # -- membership --------------------------------------------------------
+    @property
+    def items(self):
+        return self._rates.keys()
+
+    def __len__(self) -> int:
+        return len(self._rates)
+
+    def add(self, item: WorkItem, rate: float = 0.0) -> None:
+        """Admit an item (initially at ``rate``).  Caller normally follows
+        with :meth:`set_rates` to rebalance everyone."""
+        if item in self._rates:
+            raise SimulationError("work item already admitted")
+        self.sync()
+        if item.started_at is None:
+            item.started_at = self.engine.now
+        self._rates[item] = float(rate)
+        self._reschedule()
+
+    def remove(self, item: WorkItem) -> None:
+        """Evict an item (e.g. the task migrated to another CPU)."""
+        self.sync()
+        self._rates.pop(item, None)
+        self._reschedule()
+
+    # -- rate control ---------------------------------------------------------
+    def sync(self) -> None:
+        """Advance all items to ``engine.now`` at the current rates, and
+        complete any that finish exactly in the elapsed window."""
+        now = self.engine.now
+        dt = now - self._last_sync
+        self._last_sync = now
+        if dt <= 0 or not self._rates:
+            return
+        if self.pre_sync is not None:
+            self.pre_sync(dt)
+        finished = []
+        for item, rate in self._rates.items():
+            if rate <= 0.0:
+                continue
+            served = rate * dt
+            if served >= item.remaining - _EPS_WORK:
+                served = item.remaining
+                finished.append(item)
+            item.remaining -= served
+            self.total_work_served += served
+        for item in finished:
+            self._complete(item)
+
+    def set_rates(self, rates: Dict[WorkItem, float]) -> None:
+        """Assign new rates.  Items not mentioned keep their old rate;
+        callers that rebalance everything pass a complete mapping.
+        :meth:`sync` must already have been called by the code path that
+        changed conditions — ``set_rates`` calls it defensively anyway."""
+        self.sync()
+        for item, rate in rates.items():
+            if item not in self._rates:
+                raise SimulationError("set_rates for unadmitted item")
+            if rate < 0:
+                raise ValueError("negative rate")
+            self._rates[item] = float(rate)
+        self._reschedule()
+
+    def rate_of(self, item: WorkItem) -> float:
+        return self._rates[item]
+
+    # -- internals -------------------------------------------------------------
+    def _complete(self, item: WorkItem) -> None:
+        del self._rates[item]
+        item.remaining = 0.0
+        item.finished_at = self.engine.now
+        self.on_complete(item)
+        if not item.done.triggered:
+            item.done.succeed(item)
+
+    def _reschedule(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        soonest: Optional[int] = None
+        for item, rate in self._rates.items():
+            if rate <= 0.0:
+                continue
+            if item.remaining <= _EPS_WORK:
+                # Degenerate zero-demand item: completes now.
+                eta = 0
+            else:
+                eta_f = item.remaining / rate + 0.999999
+                if eta_f >= _ETA_CAP:
+                    # Vanishing rate: no practical progress — treat like a
+                    # zero rate (no completion timer until rates change).
+                    continue
+                eta = max(1, int(eta_f))
+            if soonest is None or eta < soonest:
+                soonest = eta
+        if soonest is not None:
+            self._timer = self.engine.schedule(soonest, self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        self.sync()
+        # sync() completed whoever finished; if rounding left stragglers
+        # within epsilon, finish them too.
+        leftovers = [
+            it for it, r in self._rates.items() if r > 0 and it.remaining <= _EPS_WORK
+        ]
+        for it in leftovers:
+            self._complete(it)
+        self._reschedule()

@@ -1,0 +1,243 @@
+"""Synchronization and communication primitives for simulation processes.
+
+All primitives are *fair* (FIFO) and deterministic.  They are used both by
+the OS substrate (run-queue hand-off, pipe model) and by the simulated MPI
+(point-to-point channels under the hood of :mod:`repro.mpi.comm`).
+
+Usage inside a process generator::
+
+    lock = Lock(engine)
+    def body():
+        yield from lock.acquire()
+        try:
+            ...
+        finally:
+            lock.release()
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.simx.engine import Engine, Event
+from repro.simx.errors import SimulationError
+
+__all__ = ["Lock", "Semaphore", "Barrier", "Channel", "Store"]
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wake-up order."""
+
+    def __init__(self, engine: Engine, value: int = 1, name: str = "sem"):
+        if value < 0:
+            raise ValueError("semaphore value must be >= 0")
+        self.engine = engine
+        self.name = name
+        self._value = value
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        """Generator: suspend until a unit is available, then take it."""
+        if self._value > 0 and not self._waiters:
+            self._value -= 1
+            return
+        ev = self.engine.event(name=f"{self.name}.acquire")
+        self._waiters.append(ev)
+        yield ev
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; returns True on success."""
+        if self._value > 0 and not self._waiters:
+            self._value -= 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Return a unit; wakes the oldest waiter if any."""
+        if self._waiters:
+            # Hand the unit directly to the next waiter (no count bump) so
+            # a fast looper cannot barge past queued processes.
+            self._waiters.popleft().succeed()
+        else:
+            self._value += 1
+
+
+class Lock(Semaphore):
+    """Binary mutex.  ``release`` on an unheld lock raises."""
+
+    def __init__(self, engine: Engine, name: str = "lock"):
+        super().__init__(engine, value=1, name=name)
+
+    @property
+    def held(self) -> bool:
+        return self._value == 0
+
+    def release(self) -> None:
+        if self._value == 1 and not self._waiters:
+            raise SimulationError(f"release of unheld lock {self.name!r}")
+        super().release()
+
+
+class Barrier:
+    """Reusable N-party barrier.
+
+    The i-th arrival of each generation suspends until all N have arrived;
+    all are then released at the same instant.  ``wait()`` resumes with the
+    arrival index (0-based) within the generation, which tests use to
+    verify release ordering.
+    """
+
+    def __init__(self, engine: Engine, parties: int, name: str = "barrier"):
+        if parties < 1:
+            raise ValueError("barrier needs >= 1 parties")
+        self.engine = engine
+        self.parties = parties
+        self.name = name
+        self._generation = 0
+        self._arrived: list[Event] = []
+
+    def wait(self) -> Generator[Any, Any, int]:
+        index = len(self._arrived)
+        if index + 1 == self.parties:
+            arrived, self._arrived = self._arrived, []
+            self._generation += 1
+            for ev in arrived:
+                ev.succeed(None)
+            return index
+        ev = self.engine.event(name=f"{self.name}.g{self._generation}")
+        self._arrived.append(ev)
+        yield ev
+        return index
+
+
+class Channel:
+    """A rendezvous-free FIFO message channel with optional capacity.
+
+    ``put`` blocks when the channel holds ``capacity`` items (capacity
+    ``None`` = unbounded); ``get`` blocks when empty.  This is the building
+    block for the pipe model in the UnixBench substrate and for MPI eager
+    message queues.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        capacity: Optional[int] = None,
+        name: str = "chan",
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Generator[Any, Any, None]:
+        """Generator: enqueue ``item``, blocking while full."""
+        if self._getters:
+            # Direct handoff to the oldest blocked getter.
+            self._getters.popleft().succeed(item)
+            return
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        ev = self.engine.event(name=f"{self.name}.put")
+        self._putters.append((ev, item))
+        yield ev
+
+    def try_put(self, item: Any) -> bool:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            return True
+        return False
+
+    def get(self) -> Generator[Any, Any, Any]:
+        """Generator: dequeue the oldest item, blocking while empty."""
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            return item
+        ev = self.engine.event(name=f"{self.name}.get")
+        self._getters.append(ev)
+        item = yield ev
+        return item
+
+    def try_get(self) -> tuple[bool, Any]:
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def _admit_putter(self) -> None:
+        if self._putters:
+            ev, item = self._putters.popleft()
+            self._items.append(item)
+            ev.succeed()
+
+
+class Store:
+    """An unbounded keyed mailbox with predicate matching.
+
+    Used by the MPI matching engine: receivers wait for the first message
+    satisfying a predicate (source/tag match); messages arriving earlier
+    are held in an unexpected-message queue, preserving MPI's
+    non-overtaking order between any (source, tag) pair.
+    """
+
+    def __init__(self, engine: Engine, name: str = "store"):
+        self.engine = engine
+        self.name = name
+        self._items: list[Any] = []
+        self._waiters: list[tuple[Any, Event]] = []  # (predicate, event)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item; wakes the *oldest* waiter whose predicate
+        matches (FIFO among waiters, preserving arrival order of items)."""
+        for i, (pred, ev) in enumerate(self._waiters):
+            if pred(item):
+                del self._waiters[i]
+                ev.succeed(item)
+                return
+        self._items.append(item)
+
+    def get_async(self, predicate) -> Event:
+        """Non-blocking matching: returns an event that succeeds (with the
+        item) as soon as a matching item is available — immediately if one
+        is already queued.  This is the primitive under MPI ``irecv``."""
+        ev = self.engine.event(name=f"{self.name}.match")
+        for i, item in enumerate(self._items):
+            if predicate(item):
+                del self._items[i]
+                ev.succeed(item)
+                return ev
+        self._waiters.append((predicate, ev))
+        return ev
+
+    def get(self, predicate) -> Generator[Any, Any, Any]:
+        """Generator: retrieve the oldest item matching ``predicate``."""
+        item = yield self.get_async(predicate)
+        return item
+
+    def peek(self, predicate) -> Optional[Any]:
+        """Return (without removing) the oldest matching item, or None."""
+        for item in self._items:
+            if predicate(item):
+                return item
+        return None

@@ -1,0 +1,127 @@
+"""Trace recording: the simulator's equivalent of a measurement infrastructure.
+
+The paper's central methodological point is that *the platform's own
+instrumentation lies* about SMM time.  The :class:`Timeline` is the
+omniscient observer that the real hardware lacks: every interesting
+transition (SMM entry/exit, task state changes, messages, interrupts) is
+recorded here with ground-truth timestamps, so the analysis layer
+(:mod:`repro.core.attribution`) can compare ground truth against the
+kernel's (deliberately wrong) accounting and against what a profiling tool
+would report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+__all__ = ["TraceRecord", "Timeline"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    ``kind`` is a dotted event name (``smm.enter``, ``task.run``,
+    ``net.deliver``, ...); ``where`` identifies the component (node id, cpu
+    id); ``data`` is a small dict of event attributes.
+    """
+
+    time: int
+    kind: str
+    where: str
+    data: dict = field(default_factory=dict)
+
+
+class Timeline:
+    """An append-only trace with simple querying.
+
+    Recording can be disabled per-kind-prefix for big runs (the benchmark
+    harness disables ``task.*`` records for million-event BT runs while
+    keeping ``smm.*``).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+        self._muted_prefixes: tuple[str, ...] = ()
+        self._counters: dict[str, int] = {}
+
+    # -- recording ----------------------------------------------------------
+    def record(self, time: int, kind: str, where: str, **data: Any) -> None:
+        self._counters[kind] = self._counters.get(kind, 0) + 1
+        if not self.enabled:
+            return
+        if self._muted_prefixes and kind.startswith(self._muted_prefixes):
+            return
+        self._records.append(TraceRecord(time, kind, where, data))
+
+    def mute(self, *prefixes: str) -> None:
+        """Stop storing records whose kind starts with any prefix
+        (counters still accumulate)."""
+        self._muted_prefixes = tuple(set(self._muted_prefixes) | set(prefixes))
+
+    # -- querying ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def select(
+        self,
+        kind: Optional[str] = None,
+        where: Optional[str] = None,
+        t0: Optional[int] = None,
+        t1: Optional[int] = None,
+        pred: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> list[TraceRecord]:
+        """Filter records by kind prefix, component, time window, predicate."""
+        out = []
+        for r in self._records:
+            if kind is not None and not r.kind.startswith(kind):
+                continue
+            if where is not None and r.where != where:
+                continue
+            if t0 is not None and r.time < t0:
+                continue
+            if t1 is not None and r.time >= t1:
+                continue
+            if pred is not None and not pred(r):
+                continue
+            out.append(r)
+        return out
+
+    def count(self, kind: str) -> int:
+        """Total number of records of exactly this kind (ignores muting)."""
+        return self._counters.get(kind, 0)
+
+    def intervals(self, enter_kind: str, exit_kind: str, where: Optional[str] = None
+                  ) -> list[tuple[int, int]]:
+        """Pair up enter/exit records into [start, end) intervals.
+
+        Used to extract SMM residency windows:
+        ``timeline.intervals("smm.enter", "smm.exit", where="node0")``.
+        Unclosed trailing intervals are dropped.
+        """
+        starts: list[int] = []
+        out: list[tuple[int, int]] = []
+        for r in self._records:
+            if where is not None and r.where != where:
+                continue
+            if r.kind == enter_kind:
+                starts.append(r.time)
+            elif r.kind == exit_kind and starts:
+                out.append((starts.pop(), r.time))
+        return out
+
+    @staticmethod
+    def total_overlap(intervals: Iterable[tuple[int, int]], t0: int, t1: int) -> int:
+        """Total time inside ``[t0, t1)`` covered by the (possibly
+        unsorted, non-overlapping) intervals."""
+        tot = 0
+        for a, b in intervals:
+            lo, hi = max(a, t0), min(b, t1)
+            if hi > lo:
+                tot += hi - lo
+        return tot

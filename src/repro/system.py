@@ -1,0 +1,62 @@
+"""Composition helpers: build fully-wired simulated machines.
+
+``machine`` (hardware) and ``sched`` (OS) are kept import-independent;
+this module is the one place that assembles a bootable node — topology,
+caches, clocks, SMM, interrupts, scheduler, sysfs — the way examples,
+experiments, and the MPI cluster builder consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simx.engine import Engine
+from repro.simx.timeline import Timeline
+from repro.machine.node import Node
+from repro.machine.topology import MachineSpec, R410_SPEC, WYEAST_SPEC
+from repro.sched.scheduler import Scheduler
+from repro.sched.sysfs import Sysfs
+
+__all__ = ["SimulatedMachine", "make_node", "make_machine"]
+
+
+@dataclass
+class SimulatedMachine:
+    """A bootable node bundle: hardware + OS + control interfaces."""
+
+    engine: Engine
+    node: Node
+    scheduler: Scheduler
+    sysfs: Sysfs
+    timeline: Timeline
+
+
+def make_node(
+    engine: Engine,
+    spec: MachineSpec,
+    name: str = "node0",
+    timeline: Optional[Timeline] = None,
+    seed: int = 0,
+    enable_balancer: bool = True,
+    boot_offset_ns: int = 0,
+) -> Node:
+    """Build one node with its scheduler attached."""
+    node = Node(engine, spec, name=name, timeline=timeline, boot_offset_ns=boot_offset_ns)
+    Scheduler(node, seed=seed, enable_balancer=enable_balancer)
+    return node
+
+
+def make_machine(
+    spec: MachineSpec = R410_SPEC,
+    seed: int = 0,
+    enable_balancer: bool = True,
+    timeline: Optional[Timeline] = None,
+) -> SimulatedMachine:
+    """Fresh engine + one node: the standalone-machine setup used by the
+    multithreaded experiments (§IV)."""
+    engine = Engine()
+    tl = timeline if timeline is not None else Timeline()
+    node = make_node(engine, spec, name="node0", timeline=tl, seed=seed,
+                     enable_balancer=enable_balancer)
+    return SimulatedMachine(engine, node, node.scheduler, Sysfs(node), tl)

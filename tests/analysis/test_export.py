@@ -1,0 +1,69 @@
+"""Trace export: Gantt and Chrome-trace JSON."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import chrome_trace, gantt
+from repro.simx import Timeline
+
+
+def make_timeline():
+    tl = Timeline()
+    tl.record(100, "smm.enter", "node0", duration_ns=200)
+    tl.record(300, "smm.exit", "node0", measured_ns=200)
+    tl.record(500, "smm.enter", "node1")
+    tl.record(600, "smm.exit", "node1")
+    tl.record(650, "irq.deliver", "node0", irq_class="DEVICE", vector=7, latency_ns=5)
+    tl.record(700, "sched.misplace", "node1", task="t", cpu=5)
+    return tl
+
+
+def test_gantt_marks_residency():
+    text = gantt(make_timeline(), ["node0", "node1"], 0, 1000, width=50)
+    lines = text.splitlines()
+    lane0 = [l for l in lines if "node0" in l][0]
+    lane1 = [l for l in lines if "node1" in l][0]
+    assert "█" in lane0 and "█" in lane1
+    # node0's window [100,300) starts earlier than node1's [500,600)
+    assert lane0.index("█") < lane1.index("█")
+
+
+def test_gantt_validates_window():
+    with pytest.raises(ValueError):
+        gantt(make_timeline(), ["node0"], 10, 10)
+
+
+def test_chrome_trace_structure():
+    data = json.loads(chrome_trace(make_timeline()))
+    events = data["traceEvents"]
+    phases = [e["ph"] for e in events]
+    assert phases.count("B") == 2 and phases.count("E") == 2
+    assert phases.count("i") == 2
+    smm_b = [e for e in events if e["ph"] == "B"][0]
+    assert smm_b["pid"] == "node0"
+    assert smm_b["ts"] == pytest.approx(0.1)  # 100 ns = 0.1 µs
+
+
+def test_chrome_trace_node_filter():
+    data = json.loads(chrome_trace(make_timeline(), nodes=["node1"]))
+    assert all(e["pid"] == "node1" for e in data["traceEvents"])
+
+
+def test_export_from_live_run():
+    from repro.core.smi import SmiProfile
+    from repro.machine.profile import COMPUTE_BOUND
+    from repro.mpi import Cluster, ClusterSpec, run_mpi_job
+
+    c = Cluster(ClusterSpec(n_nodes=2), seed=1)
+    c.enable_smi(SmiProfile.LONG, 300, seed=1)
+
+    def app(rk):
+        yield from rk.compute(2.27e9 * 0.8)
+        return None
+
+    run_mpi_job(c, app, nranks=2, profile=COMPUTE_BOUND)
+    text = gantt(c.timeline, [n.name for n in c.nodes], 0, c.engine.now)
+    assert text.count("█") > 2
+    data = json.loads(chrome_trace(c.timeline))
+    assert len(data["traceEvents"]) >= 4

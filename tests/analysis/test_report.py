@@ -1,0 +1,30 @@
+"""Paper-vs-measured comparison records."""
+
+from repro.analysis.report import Comparison, ShapeCheck
+
+
+def test_comparison_ratio_and_line():
+    c = Comparison("EP.A/1 long %", 11.8, 11.0)
+    assert c.ratio > 1.0
+    assert "ratio" in c.line()
+    assert Comparison("x", 1.0, None).ratio is None
+    assert "paper      -" in Comparison("x", 1.0, None).line()
+
+
+def test_shape_check_verdicts():
+    chk = ShapeCheck(
+        claim="noise grows with scale",
+        predicate=lambda cs: cs[-1].measured > cs[0].measured,
+    )
+    chk.add("1 node", 11.0, 11.0)
+    chk.add("16 nodes", 15.0, 40.0)
+    assert chk.holds is True
+    assert "HOLDS" in chk.render()
+
+    chk2 = ShapeCheck(claim="informational")
+    chk2.add("a", 1.0, 2.0)
+    assert chk2.holds is None
+    assert "informational" in chk2.render()
+
+    chk3 = ShapeCheck(claim="fails", predicate=lambda cs: False)
+    assert "FAILS" in chk3.render()

@@ -1,0 +1,66 @@
+"""Statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import (
+    confidence_interval95,
+    geomean,
+    mean,
+    pct_change,
+    summarize,
+)
+
+
+def test_mean_and_empty():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_geomean():
+    assert geomean([4.0, 9.0]) == pytest.approx(6.0)
+    with pytest.raises(ValueError):
+        geomean([1.0, -1.0])
+
+
+def test_pct_change_matches_paper_columns():
+    # Table 1, BT A/1, SMM2: 86.87 -> 96.24 = 10.79 %
+    assert pct_change(86.87, 96.24) == pytest.approx(10.79, abs=0.01)
+    with pytest.raises(ValueError):
+        pct_change(0.0, 1.0)
+
+
+def test_ci95_zero_for_single_value():
+    assert confidence_interval95([5.0]) == 0.0
+
+
+def test_ci95_known_case():
+    # n=2, values 0 and 2: std=sqrt(2), t=12.706 → ci = 12.706
+    assert confidence_interval95([0.0, 2.0]) == pytest.approx(12.706, rel=1e-3)
+
+
+def test_summarize_fields():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.n == 4
+    assert s.mean == 2.5
+    assert s.min == 1.0 and s.max == 4.0
+    assert s.cv == pytest.approx(s.std / s.mean)
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=30))
+def test_geomean_between_min_and_max(values):
+    g = geomean(values)
+    assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=30))
+def test_mean_bounded(values):
+    m = mean(values)
+    assert min(values) - 1e-6 <= m <= max(values) + 1e-6

@@ -1,0 +1,79 @@
+"""Table rendering, figure series, CSV output."""
+
+from repro.analysis.figures import Series, ascii_chart, series_csv
+from repro.analysis.tables import NasTableRow, render_nas_table, rows_csv
+from repro.analysis.tables import HttRow, render_htt_table
+
+
+def make_rows():
+    return [
+        NasTableRow("A", 1, {0: 23.12, 1: 23.17, 2: 25.84},
+                    paper=(23.12, 23.18, 25.66)),
+        NasTableRow("A", 16, {0: 1.45, 1: 1.45, 2: 1.66},
+                    paper=(1.46, 1.47, 2.04)),
+        NasTableRow("C", 1, {0: None, 1: None, 2: None}, paper=None),
+    ]
+
+
+def test_row_delta_and_pct():
+    r = make_rows()[0]
+    assert r.delta(2) == 25.84 - 23.12
+    assert r.pct(2) == 100 * (25.84 - 23.12) / 23.12
+    assert r.paper_pct(2) == 100 * (25.66 - 23.12) / 23.12
+
+
+def test_infeasible_row_yields_none():
+    r = make_rows()[2]
+    assert r.delta(2) is None and r.pct(2) is None and r.paper_pct(1) is None
+
+
+def test_render_shows_dashes_for_blank_cells():
+    text = render_nas_table("T", make_rows())
+    assert "Table" not in text or True
+    assert "-" in text.splitlines()[-1]  # the infeasible row renders dashes
+    assert "23.12" in text
+    assert "(23.12)" in text  # paper column
+
+
+def test_rows_csv_parses():
+    csv = rows_csv(make_rows())
+    lines = csv.strip().splitlines()
+    assert lines[0].startswith("cls,row,")
+    assert len(lines) == 4
+    assert lines[1].split(",")[0] == "A"
+
+
+def test_htt_table_renders_deltas():
+    rows = [
+        HttRow("A", 1, {0: (5.87, 5.81), 1: (5.87, 5.81), 2: (6.47, 6.78)},
+               paper={0: (5.87, 5.81), 2: (6.47, 6.78)}),
+        HttRow("A", 16, {0: (0.37, 0.39), 2: (None, None)}),
+    ]
+    text = render_htt_table("T4", rows)
+    assert "5.87" in text and "6.78" in text
+    assert "ht0" in text
+
+
+def test_series_and_csv():
+    s1 = Series("a", [(1, 10.0), (2, 20.0)])
+    s2 = Series("b")
+    s2.add(2, 5.0)
+    csv = series_csv([s1, s2], x_name="iv")
+    lines = csv.strip().splitlines()
+    assert lines[0] == "iv,a,b"
+    assert lines[1] == "1,10,"
+    assert lines[2] == "2,20,5"
+    assert s1.xs() == [1.0, 2.0]
+
+
+def test_ascii_chart_renders_all_series_marks():
+    s1 = Series("one", [(0, 0.0), (10, 5.0)])
+    s2 = Series("two", [(0, 5.0), (10, 0.0)])
+    text = ascii_chart([s1, s2], title="demo", width=40, height=8)
+    assert "demo" in text
+    assert "1" in text and "2" in text
+    assert "1=one" in text and "2=two" in text
+
+
+def test_ascii_chart_empty():
+    assert "empty" in ascii_chart([])

@@ -1,0 +1,97 @@
+"""The cachegrind-style simulator and the CF/CU regime contrast."""
+
+import pytest
+
+from repro.apps.cachegrind import (
+    CacheSim,
+    CacheStack,
+    convolve_address_stream,
+    convolve_miss_rate,
+)
+
+
+def test_cache_geometry_validation():
+    with pytest.raises(ValueError):
+        CacheSim(size_bytes=1000, ways=8, line_bytes=64)
+
+
+def test_hit_after_miss_same_line():
+    c = CacheSim(4 << 10, 2, 64)
+    assert not c.access(0x1000)   # compulsory miss
+    assert c.access(0x1000)       # hit
+    assert c.access(0x1030)       # same 64 B line
+    assert c.stats.references == 3
+    assert c.stats.misses == 1
+
+
+def test_lru_eviction_order():
+    # direct-mapped-ish: 2 ways, hammer 3 conflicting lines
+    c = CacheSim(2 * 64, 2, 64)   # one set, two ways
+    a, b, d = 0x0, 0x40, 0x80
+    c.access(a)
+    c.access(b)
+    c.access(d)                    # evicts a (LRU)
+    assert not c.access(a)         # a gone
+    assert c.access(d)             # d resident
+
+
+def test_associativity_prevents_conflict_misses():
+    addrs = [i * 4 << 10 for i in range(4)]  # same set in a small cache
+    direct = CacheSim(4 << 10, 1, 64)
+    assoc = CacheSim(4 << 10, 8, 64)
+    for _ in range(3):
+        for a in addrs:
+            direct.access(a)
+            assoc.access(a)
+    assert assoc.stats.misses == 4            # compulsory only
+    assert direct.stats.misses > assoc.stats.misses
+
+
+def test_address_stream_shape():
+    """Per output pixel: k² image reads + k² kernel reads + 1 store."""
+    stream = list(convolve_address_stream(4, 4, 3, block=2))
+    assert len(stream) == 4 * 4 * (9 + 9 + 1)
+    # stores target the output region
+    stores = stream[18::19]
+    assert all(a >= 0x80_0000 for a in stores)
+
+
+def test_cf_regime_low_memory_traffic():
+    """CF-like: small image + big resident kernel ⇒ almost no traffic
+    escapes the cache hierarchy (the paper's ≈1 % configuration)."""
+    cf = convolve_miss_rate(
+        image_w=64, image_h=64, kernel_side=15, block=4,
+        stack=CacheStack(CacheSim(16 << 10, 8, 64), CacheSim(256 << 10, 16, 64)),
+    )
+    dram_per_ref = cf.d1.stats.miss_rate * cf.ll.stats.miss_rate
+    assert cf.d1.stats.miss_rate < 0.01
+    assert dram_per_ref < 0.002
+
+
+def test_cu_regime_heavy_memory_traffic():
+    """CU-like: streaming image ≫ LL with a 3×3 kernel ⇒ the LL misses on
+    essentially all its traffic (the paper's ≈70 % regime — cachegrind's
+    LL summary), and DRAM traffic per reference is ≳10× the CF case."""
+    cu = convolve_miss_rate(
+        image_w=2048, image_h=64, kernel_side=3, block=64,
+        stack=CacheStack(CacheSim(4 << 10, 8, 64), CacheSim(32 << 10, 16, 64)),
+    )
+    cf = convolve_miss_rate(
+        image_w=64, image_h=64, kernel_side=15, block=4,
+        stack=CacheStack(CacheSim(16 << 10, 8, 64), CacheSim(256 << 10, 16, 64)),
+    )
+    assert cu.ll.stats.miss_rate > 0.6        # the high-miss regime
+    cu_dram = cu.d1.stats.miss_rate * cu.ll.stats.miss_rate
+    cf_dram = cf.d1.stats.miss_rate * cf.ll.stats.miss_rate
+    assert cu_dram > 10 * cf_dram
+
+
+def test_profiles_ordering_matches_simulated_contrast():
+    """The fluid-model profile constants must order the same way the
+    cache simulation does: CU ≫ CF in DRAM miss rate."""
+    from repro.apps.convolve import CACHE_FRIENDLY, CACHE_UNFRIENDLY
+
+    assert (
+        CACHE_UNFRIENDLY.profile.base_miss_rate
+        > 10 * CACHE_FRIENDLY.profile.base_miss_rate
+    )

@@ -1,0 +1,79 @@
+"""The real NumPy convolution: numerical ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.apps.convolve_native import (
+    convolve2d,
+    convolve2d_blocked,
+    run_native_convolve,
+)
+
+
+def brute_force(image, kernel):
+    km, kn = kernel.shape
+    ry, rx = km // 2, kn // 2
+    h, w = image.shape
+    out = np.zeros_like(image, dtype=float)
+    for i in range(h):
+        for j in range(w):
+            acc = 0.0
+            for dy in range(km):
+                for dx in range(kn):
+                    y, x = i + dy - ry, j + dx - rx
+                    if 0 <= y < h and 0 <= x < w:
+                        acc += kernel[dy, dx] * image[y, x]
+            out[i, j] = acc
+    return out
+
+
+def test_convolve2d_matches_brute_force():
+    rng = np.random.default_rng(0)
+    image = rng.random((12, 9))
+    kernel = rng.random((3, 5))
+    np.testing.assert_allclose(convolve2d(image, kernel), brute_force(image, kernel),
+                               rtol=1e-12)
+
+
+def test_identity_kernel_is_identity():
+    rng = np.random.default_rng(1)
+    image = rng.random((16, 16))
+    kernel = np.zeros((3, 3))
+    kernel[1, 1] = 1.0
+    np.testing.assert_allclose(convolve2d(image, kernel), image)
+
+
+def test_even_kernel_rejected():
+    with pytest.raises(ValueError):
+        convolve2d(np.ones((4, 4)), np.ones((2, 3)))
+
+
+def test_non_2d_rejected():
+    with pytest.raises(ValueError):
+        convolve2d(np.ones(4), np.ones((3, 3)))
+
+
+def test_blocked_equals_unblocked():
+    """The paper's parallel decomposition must be numerically identical
+    to the serial kernel (no data dependencies, §IV.B)."""
+    rng = np.random.default_rng(2)
+    image = rng.random((70, 55))
+    kernel = rng.random((5, 5))
+    serial = convolve2d(image, kernel)
+    for block, threads in ((16, 4), (32, 2), (128, 8)):
+        parallel = convolve2d_blocked(image, kernel, block=block, max_threads=threads)
+        np.testing.assert_allclose(parallel, serial, rtol=1e-12)
+
+
+def test_run_native_convolve_reports():
+    r = run_native_convolve(image_side=64, kernel_side=3, block=32, max_threads=2)
+    assert r.elapsed_s > 0
+    assert r.madds == 64 * 64 * 9
+    assert r.mops > 0
+    assert np.isfinite(r.checksum)
+
+
+def test_run_native_deterministic_given_seed():
+    a = run_native_convolve(image_side=32, kernel_side=3, seed=5)
+    b = run_native_convolve(image_side=32, kernel_side=3, seed=5)
+    assert a.checksum == b.checksum

@@ -1,0 +1,110 @@
+"""The NAS application models: correctness, base-time fidelity, scaling."""
+
+import pytest
+
+from repro.apps.nas.bt import bt_valid_ranks
+from repro.apps.nas.ft import ft_feasible
+from repro.apps.nas.params import NasClass
+from repro.apps.nas.study import NasConfig, nas_config_feasible, run_nas_config
+from repro.paperdata import paper_cell
+
+
+def test_ep_single_rank_base_matches_paper_exactly():
+    t = run_nas_config(NasConfig("EP", NasClass.A, 1, 1), smm=0, seed=1)
+    assert t == pytest.approx(23.12, rel=0.005)
+
+
+def test_bt_single_rank_base_matches_paper_exactly():
+    t = run_nas_config(NasConfig("BT", NasClass.A, 1, 1), smm=0, seed=1)
+    assert t == pytest.approx(86.87, rel=0.005)
+
+
+def test_ft_single_rank_base_matches_paper_exactly():
+    t = run_nas_config(NasConfig("FT", NasClass.A, 1, 1), smm=0, seed=1)
+    assert t == pytest.approx(7.64, rel=0.01)
+
+
+def test_ep_scales_linearly():
+    t1 = run_nas_config(NasConfig("EP", NasClass.A, 1, 1), smm=0, seed=1)
+    t4 = run_nas_config(NasConfig("EP", NasClass.A, 4, 1), smm=0, seed=1)
+    assert t4 == pytest.approx(t1 / 4, rel=0.05)
+
+
+def test_ep_4_per_node_matches_4_nodes():
+    """1 node × 4 ranks ≈ 4 nodes × 1 rank for EP (no comm, no cache war)."""
+    a = run_nas_config(NasConfig("EP", NasClass.A, 1, 4), smm=0, seed=1)
+    b = run_nas_config(NasConfig("EP", NasClass.A, 4, 1), smm=0, seed=1)
+    assert a == pytest.approx(b, rel=0.05)
+
+
+def test_bt_requires_square_ranks():
+    assert bt_valid_ranks(1) and bt_valid_ranks(4) and bt_valid_ranks(64)
+    assert not bt_valid_ranks(2) and not bt_valid_ranks(8)
+    assert not nas_config_feasible(NasConfig("BT", NasClass.A, 2, 1))
+    assert run_nas_config(NasConfig("BT", NasClass.A, 2, 1), smm=0) is None
+
+
+def test_ft_c_small_rank_counts_infeasible():
+    """Table 3's '-' cells."""
+    assert not ft_feasible(NasClass.C, 1)
+    assert not ft_feasible(NasClass.C, 2)
+    assert ft_feasible(NasClass.C, 4)
+    assert run_nas_config(NasConfig("FT", NasClass.C, 1, 1), smm=0) is None
+    assert run_nas_config(NasConfig("FT", NasClass.C, 2, 1), smm=0) is None
+
+
+def test_short_smi_negligible_long_smi_visible():
+    cfg = NasConfig("EP", NasClass.A, 1, 1)
+    base = run_nas_config(cfg, smm=0, seed=2)
+    short = run_nas_config(cfg, smm=1, seed=2)
+    long = run_nas_config(cfg, smm=2, seed=2)
+    assert abs(short - base) / base < 0.01          # paper: ±0.3 %
+    assert 0.08 < (long - base) / base < 0.16       # paper: ~11 %
+
+
+def test_long_smi_pct_grows_with_nodes_for_ep():
+    """The paper's central scaling observation (Table 2)."""
+
+    def pct(nodes):
+        cfg = NasConfig("EP", NasClass.A, nodes, 1)
+        b = run_nas_config(cfg, smm=0, seed=3)
+        l = run_nas_config(cfg, smm=2, seed=3)
+        return (l - b) / b
+
+    p1, p16 = pct(1), pct(16)
+    assert p16 > p1 * 1.15
+
+
+def test_bt_amplifies_more_than_ep_at_scale():
+    """Synchronization amplifies noise: BT ≫ EP at 16 nodes (Table 1 vs 2)."""
+
+    def pct(bench):
+        cfg = NasConfig(bench, NasClass.A, 16, 1)
+        b = run_nas_config(cfg, smm=0, seed=3)
+        l = run_nas_config(cfg, smm=2, seed=3)
+        return (l - b) / b
+
+    assert pct("BT") > 2 * pct("EP")
+
+
+def test_verification_values_flow_through_collectives():
+    """A failed checksum raises — prove it runs by not raising, for every
+    benchmark at a multi-rank configuration."""
+    assert run_nas_config(NasConfig("EP", NasClass.A, 4, 1), smm=0, seed=1) > 0
+    assert run_nas_config(NasConfig("BT", NasClass.A, 4, 1), smm=0, seed=1) > 0
+    assert run_nas_config(NasConfig("FT", NasClass.A, 4, 1), smm=0, seed=1) > 0
+
+
+def test_paper_cell_lookup():
+    assert paper_cell("EP", 1, NasClass.A, 1) == (23.12, 23.18, 25.66)
+    assert paper_cell("FT", 1, NasClass.C, 1) is None  # blank cell
+    assert paper_cell("BT", 4, NasClass.C, 16)[2] == 535.67
+
+
+def test_determinism_same_seed():
+    cfg = NasConfig("FT", NasClass.A, 4, 1)
+    a = run_nas_config(cfg, smm=2, seed=9)
+    b = run_nas_config(cfg, smm=2, seed=9)
+    assert a == b
+    c = run_nas_config(cfg, smm=2, seed=10)
+    assert a != c

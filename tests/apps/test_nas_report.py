@@ -1,0 +1,35 @@
+"""NPB-style report rendering."""
+
+from repro.apps.nas.ep import make_ep_app
+from repro.apps.nas.params import EP_PARAMS, NasClass
+from repro.apps.nas.report import npb_report
+from repro.apps.nas.params import NAS_EP_PROFILE
+from repro.mpi import Cluster, ClusterSpec, run_mpi_job
+
+
+def test_npb_report_block():
+    c = Cluster(ClusterSpec(n_nodes=4))
+    res = run_mpi_job(c, make_ep_app(NasClass.A), nranks=4,
+                      ranks_per_node=1, profile=NAS_EP_PROFILE)
+    text = npb_report("EP", NasClass.A, res)
+    assert "EP Benchmark Completed" in text
+    assert "Class           =            A" in text
+    assert "2^28 random pairs" in text
+    assert "Verification    =            SUCCESSFUL" in text
+    assert "Mop/s total" in text
+    # MOPs consistency: ops/time
+    total_ops = sum(r["work_ops"] for r in res.rank_results)
+    mops = total_ops / res.elapsed_s / 1e6
+    assert f"{mops:.2f}" in text
+
+
+def test_npb_report_flags_failure():
+    from repro.mpi.cluster import JobResult
+
+    fake = JobResult(
+        nranks=2, ranks_per_node=1,
+        rank_results=[{"verified": False, "work_ops": 10.0, "elapsed_s": 1.0},
+                      {"verified": True, "work_ops": 10.0, "elapsed_s": 1.0}],
+        wall_s=1.0, elapsed_s=1.0,
+    )
+    assert "UNSUCCESSFUL" in npb_report("EP", NasClass.A, fake)

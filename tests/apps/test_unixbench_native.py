@@ -1,0 +1,15 @@
+"""Host-native UnixBench twins (real machine, short windows)."""
+
+from repro.apps.unixbench.native import native_test_functions, run_native_unixbench
+
+
+def test_each_native_test_produces_ops():
+    for name, fn in native_test_functions().items():
+        assert fn() > 0, name
+
+
+def test_native_run_scores_all_five():
+    r = run_native_unixbench(duration_s=0.05)
+    assert len(r.tests) == 5
+    assert all(t.raw > 0 for t in r.tests)
+    assert r.index > 0

@@ -1,0 +1,78 @@
+"""Closed-form models, and their agreement with the simulator."""
+
+import math
+
+import pytest
+
+from repro.core.analytic import (
+    coupled_utilization_bounds,
+    duty_cycle,
+    expected_extra_max_of_n,
+    serial_slowdown,
+)
+
+
+def test_duty_cycle_free_running():
+    assert duty_cycle(105e6, 1000e6) == pytest.approx(0.105)
+
+
+def test_duty_cycle_swallowed_regime():
+    assert duty_cycle(105e6, 50e6) == pytest.approx(105 / 155)
+
+
+def test_duty_cycle_zero_duration():
+    assert duty_cycle(0, 1000e6) == 0.0
+
+
+def test_serial_slowdown():
+    assert serial_slowdown(105e6, 1000e6) == pytest.approx(1 / 0.895)
+    assert serial_slowdown(100e6, 100e6) != math.inf  # swallowed regime caps duty
+
+
+def test_max_of_n_grows_with_n():
+    extras = [
+        expected_extra_max_of_n(1.46, 0.105, 1.0, n) for n in (1, 4, 16, 64)
+    ]
+    assert extras == sorted(extras)
+    assert extras[0] >= 0.105 * 0.9  # at least ~1 SMI lands in a 1.46 s run
+    assert extras[-1] <= 0.105 * 3   # bounded by a few SMIs
+
+
+def test_max_of_n_matches_simulator_for_ep():
+    """EP = independent ranks + final sync: the analytic E[max] should
+    land within a factor of ~2 of the simulated extra."""
+    from repro.apps.nas.params import NasClass
+    from repro.apps.nas.study import NasConfig, run_nas_config
+
+    cfg = NasConfig("EP", NasClass.A, 4, 1)
+    base = run_nas_config(cfg, smm=0, seed=3)
+    noisy = run_nas_config(cfg, smm=2, seed=3)
+    simulated_extra = noisy - base
+    analytic = expected_extra_max_of_n(base, 0.105, 1.0, 4)
+    assert analytic / 2.5 < simulated_extra < analytic * 2.5
+
+
+def test_coupled_bounds_ordering():
+    lo, hi = coupled_utilization_bounds(0.105, 1.0, 16, spread_s=0.4)
+    assert 0.0 <= lo <= hi <= 1.0
+    assert hi == pytest.approx(0.895)
+    assert lo == pytest.approx(1 - 0.505)
+
+
+def test_coupled_bounds_single_node_degenerates():
+    lo, hi = coupled_utilization_bounds(0.105, 1.0, 1, spread_s=0.4)
+    assert lo == hi
+
+
+def test_bt_simulated_utilization_within_bounds():
+    """The tightly-synchronized BT's long-SMI utilization must land
+    between the clustered-phase union bound and the aligned-phase bound."""
+    from repro.apps.nas.params import NasClass
+    from repro.apps.nas.study import NasConfig, run_nas_config
+
+    cfg = NasConfig("BT", NasClass.A, 16, 1)
+    base = run_nas_config(cfg, smm=0, seed=3)
+    noisy = run_nas_config(cfg, smm=2, seed=3)
+    utilization = base / noisy
+    lo, hi = coupled_utilization_bounds(0.105, 1.0, 16, spread_s=0.4)
+    assert lo * 0.9 <= utilization <= hi * 1.02

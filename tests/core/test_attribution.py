@@ -1,0 +1,98 @@
+"""Attribution: the kernel's lie about SMM time, quantified."""
+
+import pytest
+
+from repro.core.attribution import attribute
+from repro.core.smi import SmiProfile, SmiSource
+from repro.machine.profile import WorkloadProfile
+from repro.machine.topology import WYEAST_SPEC
+from repro.system import make_machine
+
+REG = WorkloadProfile(name="reg", mem_ref_fraction=0.0, base_miss_rate=0.0)
+
+
+def run_machine(with_smi: bool, n_tasks: int = 2, work_s: float = 1.0, seed: int = 4):
+    m = make_machine(WYEAST_SPEC, seed=seed)
+    if with_smi:
+        SmiSource(m.node, SmiProfile.LONG, 300, seed=seed)
+    tasks = []
+
+    def body(task):
+        yield from task.compute(WYEAST_SPEC.base_hz * work_s)
+
+    for i in range(n_tasks):
+        tasks.append(m.scheduler.spawn(body, f"t{i}", REG))
+    done = m.engine.event("all")
+    remaining = {"n": n_tasks}
+
+    def on_done(_):
+        remaining["n"] -= 1
+        if remaining["n"] == 0 and not done.triggered:
+            done.succeed()
+
+    for t in tasks:
+        t.proc.done_event.add_callback(on_done)
+    m.engine.run_until(done)
+    return m
+
+
+def test_clean_run_has_zero_stolen():
+    m = run_machine(with_smi=False)
+    rep = attribute(m.node)
+    assert rep.total_stolen_s == 0.0
+    assert rep.max_share_error() == pytest.approx(0.0, abs=1e-12)
+    assert rep.total_kernel_s == pytest.approx(rep.total_true_s)
+
+
+def test_kernel_time_equals_true_plus_stolen():
+    m = run_machine(with_smi=True)
+    rep = attribute(m.node)
+    assert rep.conservation_error_s() < 1e-9
+    assert rep.total_stolen_s > 0.1
+    # kernel over-reports by roughly the duty cycle (105/300 ≈ 35 %)
+    inflation = rep.total_stolen_s / rep.total_true_s
+    assert 0.2 < inflation < 0.55
+
+
+def test_stolen_matches_smm_residency_overlap():
+    """Stolen time ≤ total SMM residency × busy CPUs."""
+    m = run_machine(with_smi=True, n_tasks=2)
+    rep = attribute(m.node)
+    assert rep.total_stolen_s <= 2 * rep.smm_total_s + 1e-6
+    assert rep.total_stolen_s >= 0.5 * rep.smm_total_s
+
+
+def test_per_task_inflation_reported():
+    m = run_machine(with_smi=True)
+    rep = attribute(m.node)
+    for t in rep.tasks:
+        assert t.kernel_s == pytest.approx(t.true_s + t.stolen_s)
+        assert t.inflation_pct > 5.0
+
+
+def test_accounting_conservation_via_scheduler():
+    m = run_machine(with_smi=True, n_tasks=3)
+    assert m.scheduler.accounting.conservation_error() < 1.0  # ns
+
+
+def test_tool_share_error_when_victims_differ():
+    """A task that runs only in quiet periods is under-charged relative
+    to one straddling the SMIs — the tool mis-ranks them."""
+    m = make_machine(WYEAST_SPEC, seed=9)
+
+    def early(task):  # finishes before the first SMI
+        yield from task.compute(WYEAST_SPEC.base_hz * 0.2)
+
+    def late(task):
+        yield from task.sleep(300_000_000)
+        yield from task.compute(WYEAST_SPEC.base_hz * 0.2)
+
+    a = m.scheduler.spawn(early, "early", REG, affinity={0})
+    b = m.scheduler.spawn(late, "late", REG, affinity={1})
+    m.engine.schedule(400_000_000, m.node.smm.trigger, 105_000_000)
+    m.engine.run()
+    rep = attribute(m.node)
+    assert rep.max_share_error() > 0.05
+    by = {t.name: t for t in rep.tasks}
+    assert by["early"].stolen_s == 0.0
+    assert by["late"].stolen_s > 0.09

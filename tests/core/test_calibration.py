@@ -1,0 +1,27 @@
+"""Calibration re-derivation and network-fit reporting."""
+
+import pytest
+
+from repro.core.calibration import CalibrationRow, derive_work_units, fit_network_quality
+
+
+def test_all_nine_work_constants_rederive_exactly():
+    rows = derive_work_units()
+    assert len(rows) == 9  # 3 benchmarks × 3 classes
+    for r in rows:
+        assert r.relative_error < 1e-9
+
+
+def test_calibration_row_error_math():
+    r = CalibrationRow("EP", None, 1.0, derived_work=110.0, stored_work=100.0)
+    assert r.relative_error == pytest.approx(0.1)
+
+
+def test_network_fit_quality_cells():
+    out = fit_network_quality(seed=3)
+    assert ("FT", 2) in out and ("EP", 4) in out
+    for (bench, ranks), (sim, paper) in out.items():
+        assert sim > 0 and paper > 0
+        if bench in ("FT", "EP"):
+            # the cells that constrain the fit agree within ~35 %
+            assert abs(sim - paper) / paper < 0.35, (bench, ranks, sim, paper)

@@ -1,0 +1,79 @@
+"""Gap detector: catches SMIs, clean baseline, BIOSBITS accounting."""
+
+import pytest
+
+from repro.core.detector import BIOSBITS_THRESHOLD_NS, GapDetector, host_gap_scan
+from repro.core.smi import SmiProfile, SmiSource
+from repro.machine.topology import WYEAST_SPEC
+from repro.system import make_machine
+
+
+def run_detector(machine, window_s=1.0, quantum_ns=50_000):
+    det = GapDetector(machine.node, quantum_ns=quantum_ns)
+    proc = machine.engine.process(
+        det.run(int(window_s * 1e9)), name="detector", gate=machine.node
+    )
+    machine.engine.run_until(proc.done_event)
+    return det.report
+
+
+def test_clean_machine_has_no_gaps():
+    m = make_machine(WYEAST_SPEC)
+    rep = run_detector(m, window_s=0.5)
+    assert rep.detected == 0
+    assert rep.samples > 5000
+
+
+def test_detects_every_long_smi():
+    m = make_machine(WYEAST_SPEC, seed=1)
+    SmiSource(m.node, SmiProfile.LONG, 200, seed=4)
+    rep = run_detector(m, window_s=1.0)
+    entries = m.node.smm.stats.entries
+    assert entries >= 4
+    assert rep.detected == entries
+    # measured widths ≈ the SMI residencies
+    for g in rep.gaps:
+        assert 95_000_000 < g.width_ns < 120_000_000
+    assert rep.biosbits_violations == rep.detected  # all exceed 150 µs
+
+
+def test_detects_short_smis_above_biosbits_threshold():
+    """Even 1–3 ms SMIs are far above the 150 µs BIOSBITS budget — the
+    tooling angle: short SMIs are invisible in throughput but glaring to
+    a latency detector."""
+    m = make_machine(WYEAST_SPEC, seed=2)
+    SmiSource(m.node, SmiProfile.SHORT, 100, seed=5)
+    rep = run_detector(m, window_s=0.5)
+    assert rep.detected >= 3
+    assert rep.biosbits_violations == rep.detected
+    assert rep.max_gap_ns() < 5_000_000
+
+
+def test_total_gap_estimates_stolen_time():
+    m = make_machine(WYEAST_SPEC, seed=3)
+    SmiSource(m.node, SmiProfile.LONG, 500, seed=6)
+    rep = run_detector(m, window_s=2.0)
+    stolen = m.node.smm.stats.total_ns
+    assert rep.total_gap_ns == pytest.approx(stolen, rel=0.1)
+
+
+def test_threshold_configurable():
+    m = make_machine(WYEAST_SPEC, seed=1)
+    SmiSource(m.node, SmiProfile.SHORT, 100, seed=7)
+    det = GapDetector(m.node, quantum_ns=50_000, threshold_ns=10_000_000)
+    proc = m.engine.process(det.run(int(0.5e9)), name="det", gate=m.node)
+    m.engine.run_until(proc.done_event)
+    assert det.report.detected == 0  # 1-3 ms gaps below a 10 ms threshold
+
+
+def test_bad_quantum_rejected():
+    m = make_machine(WYEAST_SPEC)
+    with pytest.raises(ValueError):
+        GapDetector(m.node, quantum_ns=0)
+
+
+def test_host_gap_scan_runs_on_real_clock():
+    rep = host_gap_scan(window_s=0.05)
+    assert rep.samples > 100
+    assert rep.threshold_ns == BIOSBITS_THRESHOLD_NS
+    assert rep.window_ns == 50_000_000

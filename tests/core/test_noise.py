@@ -1,0 +1,54 @@
+"""Noise taxonomy and Ferreira-style absorption/amplification."""
+
+import pytest
+
+from repro.core.noise import (
+    DAEMON,
+    OS_TICK,
+    SMI_LONG_PULSE,
+    NoisePulse,
+    absorption_experiment,
+)
+
+
+def test_pulse_validation():
+    with pytest.raises(ValueError):
+        NoisePulse("bad", 1000, mechanism="quantum")
+
+
+def test_taxonomy_constants():
+    assert OS_TICK.mechanism == "task"
+    assert DAEMON.mechanism == "task"
+    assert SMI_LONG_PULSE.mechanism == "smm"
+    assert SMI_LONG_PULSE.duration_ns == 105_000_000
+
+
+def test_smi_pulse_fully_retained():
+    """An SMM pulse freezes everyone — no slack can absorb it; retained
+    fraction ≈ 1 regardless of where it lands."""
+    f = absorption_experiment(SMI_LONG_PULSE, offset_ns=30_000_000)
+    assert 0.9 < f < 1.2
+
+
+def test_task_pulse_partially_absorbed():
+    """A one-CPU noise task steals from a single worker; with 4 workers on
+    4 cores the others keep running and the barrier hides part of it —
+    Ferreira et al.'s absorption."""
+    pulse = NoisePulse("daemon-long", 105_000_000, mechanism="task")
+    f_task = absorption_experiment(pulse, offset_ns=30_000_000)
+    f_smm = absorption_experiment(SMI_LONG_PULSE, offset_ns=30_000_000)
+    assert f_task < f_smm
+    assert f_task < 0.9
+
+
+def test_pulse_after_completion_is_fully_absorbed():
+    """Noise landing after the phases end costs nothing."""
+    f = absorption_experiment(SMI_LONG_PULSE, offset_ns=10_000_000_000)
+    assert abs(f) < 0.05
+
+
+def test_os_tick_negligible():
+    # A 10 µs tick costs at most a few multiples of itself (sharing slows
+    # the victim 2×, plus scheduling slack) on a 200 ms run — microseconds.
+    f = absorption_experiment(OS_TICK, offset_ns=30_000_000)
+    assert abs(f) <= 3.0

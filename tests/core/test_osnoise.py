@@ -1,0 +1,71 @@
+"""OS-noise sources and the SMI-vs-OS-noise comparison."""
+
+import pytest
+
+from repro.core.osnoise import OsNoiseSource, equal_duty_comparison
+from repro.machine.profile import WorkloadProfile
+from repro.machine.topology import WYEAST_SPEC
+from repro.system import make_machine
+
+REG = WorkloadProfile(name="reg", mem_ref_fraction=0.0, base_miss_rate=0.0)
+
+
+def test_validation():
+    m = make_machine(WYEAST_SPEC)
+    with pytest.raises(ValueError):
+        OsNoiseSource(m.node, 0, 1000)
+    with pytest.raises(ValueError):
+        OsNoiseSource(m.node, 1000, 0)
+
+
+def test_duty_cycle_property():
+    m = make_machine(WYEAST_SPEC)
+    src = OsNoiseSource(m.node, 10_000_000, 100_000_000, seed=1)
+    assert src.duty_cycle == pytest.approx(0.1)
+    src.stop()
+
+
+def test_injections_happen_per_cpu():
+    m = make_machine(WYEAST_SPEC, seed=1)
+    m.sysfs.set_htt(False)  # 4 CPUs
+    src = OsNoiseSource(m.node, 1_000_000, 100_000_000, seed=1)
+
+    def body(task):
+        yield from task.compute(WYEAST_SPEC.base_hz * 0.5)
+
+    t = m.scheduler.spawn(body, "w", REG)
+    m.engine.run_until(t.proc.done_event)
+    src.stop()
+    # ~5 rounds × 4 CPUs
+    assert src.injections >= 12
+
+
+def test_os_noise_slows_one_cpu_not_all():
+    """A single-CPU victim pinned away from its noise... OS noise on CPU0
+    barely touches a worker pinned to CPU3."""
+    m = make_machine(WYEAST_SPEC, seed=2)
+    m.sysfs.set_htt(False)
+    work = WYEAST_SPEC.base_hz * 0.5
+
+    def body(task):
+        yield from task.compute(work)
+
+    t = m.scheduler.spawn(body, "w", REG, affinity={3})
+    # heavy noise, but only on cpu0
+    src = OsNoiseSource(m.node, 50_000_000, 100_000_000, seed=2, per_cpu=False)
+    # per_cpu=False spawns unpinned noise; scheduler sends it to idle CPUs
+    m.engine.run_until(t.proc.done_event)
+    src.stop()
+    assert t.finished_ns / 1e9 == pytest.approx(0.5, rel=0.02)
+
+
+def test_equal_duty_smm_hurts_more_than_os_noise():
+    """§II.C: at identical duty cycles, with idle headroom available, the
+    OS routes schedulable noise onto idle cores (mostly absorbed) while
+    the SMM freeze stops every core — SMM is strictly more harmful."""
+    res = equal_duty_comparison(duty=0.105, n_phases=8, phase_work_s=0.05, seed=3)
+    slow_os = res["os"] / res["clean"]
+    slow_smm = res["smm"] / res["clean"]
+    assert slow_smm > 1.05          # ≈ the duty cycle, unabsorbable
+    assert slow_os < slow_smm       # schedulable noise partially absorbed
+    assert slow_os < 1.08           # mostly routed to the idle cores

@@ -1,0 +1,56 @@
+"""Integrity of the transcribed paper tables."""
+
+from repro.apps.nas.params import NasClass
+from repro.paperdata import (
+    MPI_TABLES,
+    TABLE1_BT,
+    TABLE2_EP,
+    TABLE3_FT,
+    TABLE4_EP_HTT,
+    TABLE5_FT_HTT,
+)
+
+A, B, C = NasClass.A, NasClass.B, NasClass.C
+
+
+def test_table_shapes():
+    assert set(TABLE1_BT) == {1, 4} and set(TABLE2_EP) == {1, 4}
+    assert len(TABLE1_BT[1]) == 9          # 3 classes × rows {1,4,16}
+    assert len(TABLE2_EP[1]) == 15         # 3 classes × rows {1,2,4,8,16}
+    assert len(TABLE3_FT[1]) == 13         # two blank C cells
+    assert len(TABLE3_FT[4]) == 15
+    assert len(TABLE4_EP_HTT) == 15 and len(TABLE5_FT_HTT) == 15
+
+
+def test_every_cell_is_a_time_triple():
+    for bench, table in MPI_TABLES.items():
+        for rpn, cells in table.items():
+            for key, (s0, s1, s2) in cells.items():
+                assert s0 > 0 and s1 > 0 and s2 > 0, (bench, rpn, key)
+                # long SMIs never *help* in the paper's tables
+                assert s2 > s0 * 0.99, (bench, rpn, key)
+
+
+def test_short_smi_cells_are_near_base():
+    """Transcription sanity: SMM1 within ±15 % of SMM0 everywhere (the
+    worst published outlier is EP-A/16 at +13.5 %)."""
+    for bench, table in MPI_TABLES.items():
+        for rpn, cells in table.items():
+            for key, (s0, s1, _s2) in cells.items():
+                assert abs(s1 - s0) / s0 < 0.15, (bench, rpn, key)
+
+
+def test_known_anchor_values():
+    assert TABLE1_BT[1][(A, 1)] == (86.87, 86.89, 96.24)
+    assert TABLE2_EP[4][(A, 16)] == (0.37, 0.42, 0.65)
+    assert TABLE3_FT[1][(B, 8)] == (26.74, 26.74, 41.52)
+    assert TABLE4_EP_HTT[(A, 16)][2] == (0.65, 0.88)
+    assert TABLE5_FT_HTT[(C, 16)][2] == (412.11, 392.96)
+
+
+def test_htt_tables_have_all_smm_classes():
+    for table in (TABLE4_EP_HTT, TABLE5_FT_HTT):
+        for key, cells in table.items():
+            assert set(cells) == {0, 1, 2}, key
+            for smm, (h0, h1) in cells.items():
+                assert h0 > 0 and h1 > 0

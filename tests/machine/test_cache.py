@@ -1,0 +1,107 @@
+"""Cache contention model: solo-anchoring, monotonicity, domains."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.cache import (
+    CacheHierarchy,
+    CacheSpec,
+    nehalem_hierarchy,
+    paper_r410_hierarchy,
+    pressure_miss_rate,
+)
+from repro.machine.profile import WorkloadProfile
+
+
+def prof(ws, miss=0.01, sens=1.0):
+    return WorkloadProfile(
+        name="t", working_set_bytes=ws, base_miss_rate=miss,
+        mem_ref_fraction=0.3, cache_sensitivity=sens,
+    )
+
+
+def test_pressure_below_one_keeps_base():
+    assert pressure_miss_rate(0.05, 0.5) == 0.05
+    assert pressure_miss_rate(0.05, 1.0) == 0.05
+
+
+def test_pressure_inflates_toward_one():
+    assert pressure_miss_rate(0.05, 2.0) == pytest.approx(0.05 + 0.95 * 0.5)
+    assert pressure_miss_rate(0.05, 1e9) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_solo_task_has_zero_extras():
+    """base_miss_rate is the solo behaviour — alone, no contention deltas,
+    even for a working set far larger than every cache."""
+    h = nehalem_hierarchy()
+    p = prof(1 << 30)  # 1 GiB streaming
+    extra_dram, extra_mid = h.contention(p, [p], [p])
+    assert extra_dram == 0.0
+    assert extra_mid == 0.0
+    assert h.efficiency(p, [p], [p]) == pytest.approx(p.efficiency())
+
+
+def test_core_sharing_inflates_mid_not_dram():
+    """Two tasks that together bust L2 but fit LLC pay mid-latency only."""
+    h = nehalem_hierarchy()  # L2 256 KB core, L3 8 MB socket
+    p = prof(200 << 10)  # fits L2 alone; two of them: 400 KB > 256 KB
+    extra_dram, extra_mid = h.contention(p, [p, p], [p, p])
+    assert extra_mid > 0.0
+    assert extra_dram == 0.0
+
+
+def test_llc_sharing_inflates_dram():
+    h = nehalem_hierarchy()
+    p = prof(6 << 20)  # fits the 8 MB LLC alone; two do not
+    extra_dram, _ = h.contention(p, [p], [p, p])
+    assert extra_dram > 0.0
+
+
+def test_sensitivity_scales_extras():
+    h = nehalem_hierarchy()
+    full = prof(6 << 20, sens=1.0)
+    damped = prof(6 << 20, sens=0.25)
+    ed_full, _ = h.contention(full, [full], [full, full])
+    ed_damp, _ = h.contention(damped, [damped], [damped, damped])
+    assert ed_damp == pytest.approx(0.25 * ed_full)
+
+
+def test_paper_convolve_miss_rates_reproduced():
+    """The CF/CU profiles must land at the paper's cachegrind numbers."""
+    from repro.apps.convolve import CACHE_FRIENDLY, CACHE_UNFRIENDLY
+
+    assert CACHE_FRIENDLY.profile.base_miss_rate == pytest.approx(0.01)
+    assert CACHE_UNFRIENDLY.profile.base_miss_rate == pytest.approx(0.70)
+
+
+def test_hierarchy_requires_socket_level():
+    with pytest.raises(ValueError):
+        CacheHierarchy([CacheSpec("L1", 32 << 10, "core")])
+
+
+def test_bad_specs_rejected():
+    with pytest.raises(ValueError):
+        CacheSpec("L1", 0, "core")
+    with pytest.raises(ValueError):
+        CacheSpec("L1", 1024, "l4")
+
+
+def test_r410_paper_hierarchy_sizes():
+    h = paper_r410_hierarchy()
+    assert [lv.size_bytes for lv in h.levels] == [4 << 20, 8 << 20, 24 << 20]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    own=st.integers(min_value=1 << 10, max_value=64 << 20),
+    others=st.lists(st.integers(min_value=1 << 10, max_value=64 << 20), max_size=6),
+)
+def test_more_coresidents_never_helps(own, others):
+    """Monotonicity: adding a co-resident can only raise contention."""
+    h = nehalem_hierarchy()
+    me = prof(own)
+    peers = [prof(w) for w in others]
+    base_eff = h.efficiency(me, [me] + peers, [me] + peers)
+    bigger = peers + [prof(8 << 20)]
+    new_eff = h.efficiency(me, [me] + bigger, [me] + bigger)
+    assert new_eff <= base_eff + 1e-12

@@ -1,0 +1,136 @@
+"""CPU execution: timing exactness, processor sharing, HTT coupling."""
+
+import pytest
+
+from repro.machine.profile import WorkloadProfile
+from repro.machine.topology import R410_SPEC, WYEAST_SPEC
+from repro.system import make_machine
+
+REG = WorkloadProfile(name="reg", mem_ref_fraction=0.0, base_miss_rate=0.0,
+                      htt_yield=1.0, working_set_bytes=1024)
+REG_HTT = REG.with_(htt_yield=1.5)
+
+
+def run_workers(machine, n, work, profile, affinity=None):
+    tasks = []
+
+    def body(task):
+        yield from task.compute(work)
+        return task.now_ns()
+
+    for i in range(n):
+        tasks.append(machine.scheduler.spawn(body, f"w{i}", profile, affinity))
+    machine.engine.run()
+    return tasks
+
+
+def test_single_task_exact_time():
+    m = make_machine(WYEAST_SPEC)
+    work = WYEAST_SPEC.base_hz * 0.5  # half a second at efficiency 1
+    (t,) = run_workers(m, 1, work, REG)
+    assert t.finished_ns / 1e9 == pytest.approx(0.5, rel=1e-6)
+
+
+def test_two_tasks_one_cpu_processor_sharing():
+    m = make_machine(WYEAST_SPEC)
+    work = WYEAST_SPEC.base_hz * 0.1
+    # pin both to cpu0: each gets half the rate -> both finish at 0.2 s
+    tasks = run_workers(m, 2, work, REG, affinity={0})
+    for t in tasks:
+        assert t.finished_ns / 1e9 == pytest.approx(0.2, rel=1e-4)
+
+
+def test_tasks_spread_to_distinct_physical_cores():
+    m = make_machine(R410_SPEC)
+    work = R410_SPEC.base_hz * 0.05
+    tasks = run_workers(m, 4, work, REG)
+    # 4 tasks on 4 physical cores: all at full speed, no HTT penalty.
+    for t in tasks:
+        assert t.finished_ns / 1e9 == pytest.approx(0.05, rel=1e-4)
+
+
+def test_htt_yield_one_halves_sibling_throughput():
+    m = make_machine(R410_SPEC)
+    work = R410_SPEC.base_hz * 0.1
+    # pin two tasks to the two siblings of core0 (cpus 0 and 4)
+    tasks = []
+
+    def body(task):
+        yield from task.compute(work)
+        return task.now_ns()
+
+    tasks.append(m.scheduler.spawn(body, "a", REG, affinity={0}))
+    tasks.append(m.scheduler.spawn(body, "b", REG, affinity={4}))
+    m.engine.run()
+    # htt_yield=1.0: the pair delivers 1 core's worth; each runs at 0.5.
+    for t in tasks:
+        assert t.finished_ns / 1e9 == pytest.approx(0.2, rel=1e-4)
+
+
+def test_htt_yield_above_one_beats_sharing():
+    m = make_machine(R410_SPEC)
+    work = R410_SPEC.base_hz * 0.1
+
+    def body(task):
+        yield from task.compute(work)
+        return task.now_ns()
+
+    a = m.scheduler.spawn(body, "a", REG_HTT, affinity={0})
+    b = m.scheduler.spawn(body, "b", REG_HTT, affinity={4})
+    m.engine.run()
+    # yield 1.5: each sibling runs at 0.75 -> 0.1/0.75 s.
+    expect = 0.1 / 0.75
+    assert a.finished_ns / 1e9 == pytest.approx(expect, rel=1e-4)
+    assert b.finished_ns / 1e9 == pytest.approx(expect, rel=1e-4)
+
+
+def test_mixed_yield_uses_mean_of_task_mix():
+    m = make_machine(R410_SPEC)
+    work = R410_SPEC.base_hz * 0.1
+
+    def body(task):
+        yield from task.compute(work)
+
+    a = m.scheduler.spawn(body, "a", REG, affinity={0})          # yield 1.0
+    b = m.scheduler.spawn(body, "b", REG_HTT, affinity={4})      # yield 1.5
+    m.engine.run()
+    # mean yield 1.25 -> each sibling at 0.625
+    expect = 0.1 / 0.625
+    assert a.finished_ns / 1e9 == pytest.approx(expect, rel=1e-4)
+
+
+def test_smm_freeze_stops_all_cpus():
+    """An SMI freezes every logical CPU simultaneously (§II.A)."""
+    m = make_machine(R410_SPEC)
+    work = R410_SPEC.base_hz * 0.1
+    tasks = []
+
+    def body(task):
+        yield from task.compute(work)
+        return task.now_ns()
+
+    for i, cpu in enumerate((0, 1, 2, 3)):
+        tasks.append(m.scheduler.spawn(body, f"w{i}", REG, affinity={cpu}))
+    m.engine.schedule(50_000_000, m.node.smm.trigger, 30_000_000)
+    m.engine.run()
+    for t in tasks:
+        # 0.1 s of work + 30 ms freeze (+ entry latency)
+        assert t.finished_ns / 1e9 == pytest.approx(0.13, rel=1e-2)
+
+
+def test_gross_hz_zero_when_offline_or_idle():
+    m = make_machine(R410_SPEC)
+    cpu = m.node.cpu(1)
+    assert cpu.gross_hz() == 0.0  # idle
+    m.node.topology.set_online(1, False)
+    assert cpu.gross_hz() == 0.0
+
+
+def test_placing_work_on_offline_cpu_rejected():
+    m = make_machine(R410_SPEC)
+    m.node.topology.set_online(5, False)
+    from repro.simx.rate import WorkItem
+
+    item = WorkItem(m.engine, 100.0, meta=None)
+    with pytest.raises(RuntimeError):
+        m.node.cpu(5).add_segment(item)

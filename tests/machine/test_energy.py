@@ -1,0 +1,61 @@
+"""Energy model: SMIs raise energy-to-solution (the [7] finding)."""
+
+import pytest
+
+from repro.core.smi import SmiProfile, SmiSource
+from repro.machine.energy import EnergyReport, PowerModel, energy_report
+from repro.machine.profile import WorkloadProfile
+from repro.machine.topology import WYEAST_SPEC
+from repro.system import make_machine
+
+REG = WorkloadProfile(name="reg", mem_ref_fraction=0.0, base_miss_rate=0.0)
+
+
+def test_power_model_bounds():
+    pm = PowerModel(idle_w=100, active_w=200)
+    assert pm.power(0.0) == 100
+    assert pm.power(1.0) == 200
+    assert pm.power(2.0) == 200  # clamped
+    with pytest.raises(ValueError):
+        PowerModel(idle_w=0, active_w=100)
+    with pytest.raises(ValueError):
+        PowerModel(idle_w=300, active_w=100)
+
+
+def test_report_math():
+    rep = EnergyReport(window_s=10.0, busy_cpu_s=40.0, smm_s=0.0, n_cpus=8,
+                       model=PowerModel(100, 200))
+    assert rep.utilization == pytest.approx(0.5)
+    assert rep.energy_j == pytest.approx(150 * 10)
+    assert rep.energy_per_op(1e9) == pytest.approx(1.5e-6)
+    with pytest.raises(ValueError):
+        rep.energy_per_op(0)
+
+
+def _run(with_smi: bool):
+    m = make_machine(WYEAST_SPEC, seed=2)
+    if with_smi:
+        SmiSource(m.node, SmiProfile.LONG, 400, seed=2)
+    work = WYEAST_SPEC.base_hz * 1.0
+
+    def body(task):
+        yield from task.compute(work)
+
+    t = m.scheduler.spawn(body, "w", REG)
+    m.engine.run_until(t.proc.done_event)
+    rep = energy_report(m.node, window_s=t.finished_ns / 1e9)
+    return rep, work
+
+
+def test_smi_raises_energy_to_solution():
+    clean, work = _run(False)
+    noisy, _ = _run(True)
+    assert noisy.energy_j > clean.energy_j * 1.1
+    assert noisy.energy_per_op(work) > clean.energy_per_op(work) * 1.1
+    assert noisy.smm_s > 0.2
+
+
+def test_useful_busy_time_unchanged_by_noise():
+    clean, _ = _run(False)
+    noisy, _ = _run(True)
+    assert noisy.busy_cpu_s == pytest.approx(clean.busy_cpu_s, rel=0.01)

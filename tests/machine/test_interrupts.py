@@ -1,0 +1,93 @@
+"""Interrupt controller: priority, masking, SMM deferral."""
+
+import pytest
+
+from repro.machine.interrupts import IrqClass
+from repro.machine.smm import ENTRY_LATENCY_NS
+from repro.machine.topology import WYEAST_SPEC
+from repro.system import make_machine
+
+
+def test_device_irq_delivers_promptly_when_running():
+    m = make_machine(WYEAST_SPEC)
+    seen = []
+    m.node.irq.register(7, lambda rec, payload: seen.append((m.engine.now, payload)))
+    m.engine.schedule(100, m.node.irq.raise_irq, IrqClass.DEVICE, 7, "pkt")
+    m.engine.run()
+    assert seen == [(100, "pkt")]
+    assert m.node.irq.max_delivery_latency_ns() == 0
+
+
+def test_irq_during_smm_deferred_to_exit():
+    """§II.A: 'other device interrupts will only be handled after [SMM]
+    has finished its work'."""
+    m = make_machine(WYEAST_SPEC)
+    seen = []
+    m.node.irq.register(7, lambda rec, _p: seen.append(m.engine.now))
+    m.node.smm.trigger(10_000_000)
+    m.engine.schedule(2_000_000, m.node.irq.raise_irq, IrqClass.DEVICE, 7)
+    m.engine.run()
+    exit_t = 10_000_000 + ENTRY_LATENCY_NS
+    assert seen == [exit_t]
+    assert m.node.irq.deferred_by_smm == 1
+    assert m.node.irq.max_delivery_latency_ns(IrqClass.DEVICE) == exit_t - 2_000_000
+
+
+def test_nmi_also_blocked_by_smm():
+    """SMIs outrank NMIs — even 'non-maskable' interrupts wait."""
+    m = make_machine(WYEAST_SPEC)
+    seen = []
+    m.node.irq.register(2, lambda rec, _p: seen.append(m.engine.now))
+    m.node.smm.trigger(5_000_000)
+    m.engine.schedule(1_000_000, m.node.irq.raise_irq, IrqClass.NMI, 2)
+    m.engine.run()
+    assert seen == [5_000_000 + ENTRY_LATENCY_NS]
+
+
+def test_smi_via_controller_enters_smm_immediately():
+    m = make_machine(WYEAST_SPEC)
+    m.node.irq.raise_irq(IrqClass.SMI, 0, smi_duration_ns=1_000_000)
+    assert m.node.frozen
+    m.engine.run()
+    assert m.node.smm.stats.entries == 1
+
+
+def test_smi_requires_duration():
+    m = make_machine(WYEAST_SPEC)
+    with pytest.raises(ValueError):
+        m.node.irq.raise_irq(IrqClass.SMI, 0)
+
+
+def test_masking_holds_and_unmask_flushes():
+    m = make_machine(WYEAST_SPEC)
+    seen = []
+    m.node.irq.register(9, lambda rec, p: seen.append((m.engine.now, p)))
+    m.node.irq.mask(9)
+    m.engine.schedule(10, m.node.irq.raise_irq, IrqClass.DEVICE, 9, "held")
+    m.engine.schedule(500, m.node.irq.unmask, 9)
+    m.engine.run()
+    assert seen == [(500, "held")]
+
+
+def test_nmi_ignores_masks():
+    m = make_machine(WYEAST_SPEC)
+    seen = []
+    m.node.irq.register(2, lambda rec, _p: seen.append(m.engine.now))
+    m.node.irq.mask(2)  # masking an NMI vector has no effect
+    m.engine.schedule(10, m.node.irq.raise_irq, IrqClass.NMI, 2)
+    m.engine.run()
+    assert seen == [10]
+
+
+def test_priority_ordering_constant():
+    assert IrqClass.SMI < IrqClass.NMI < IrqClass.TIMER < IrqClass.DEVICE
+
+
+def test_history_records_latency():
+    m = make_machine(WYEAST_SPEC)
+    m.node.irq.register(7, lambda rec, _p: None)
+    m.node.smm.trigger(3_000_000)
+    m.engine.schedule(1_000_000, m.node.irq.raise_irq, IrqClass.DEVICE, 7)
+    m.engine.run()
+    rec = [r for r in m.node.irq.history if r.irq_class is IrqClass.DEVICE][0]
+    assert rec.latency_ns == (3_000_000 + ENTRY_LATENCY_NS) - 1_000_000

@@ -1,0 +1,48 @@
+"""Memory capacity model."""
+
+import pytest
+
+from repro.machine.memory import MemoryModel, OutOfMemory, OS_RESERVED_BYTES
+
+
+def test_available_accounts_for_reservation():
+    mm = MemoryModel(capacity_bytes=12 << 30)
+    assert mm.available_bytes == (12 << 30) - OS_RESERVED_BYTES
+
+
+def test_allocate_and_free():
+    mm = MemoryModel(capacity_bytes=12 << 30)
+    mm.allocate(4 << 30, "array")
+    assert mm.allocated_bytes == 4 << 30
+    mm.free(4 << 30)
+    assert mm.allocated_bytes == 0
+
+
+def test_overcommit_raises():
+    mm = MemoryModel(capacity_bytes=12 << 30)
+    with pytest.raises(OutOfMemory):
+        mm.allocate(11 << 30, "too big")
+
+
+def test_fits_is_consistent_with_allocate():
+    mm = MemoryModel(capacity_bytes=12 << 30)
+    n = mm.available_bytes
+    assert mm.fits(n)
+    assert not mm.fits(n + 1)
+    mm.allocate(n)
+    assert not mm.fits(1)
+
+
+def test_bad_free_rejected():
+    mm = MemoryModel(capacity_bytes=1 << 30, reserved_bytes=0)
+    mm.allocate(100)
+    with pytest.raises(ValueError):
+        mm.free(200)
+    with pytest.raises(ValueError):
+        mm.free(-1)
+
+
+def test_negative_allocation_rejected():
+    mm = MemoryModel(capacity_bytes=1 << 30)
+    with pytest.raises(ValueError):
+        mm.allocate(-5)

@@ -1,0 +1,64 @@
+"""MSR interface: the OS-visible SMI count."""
+
+import pytest
+
+from repro.machine.msr import IA32_TIME_STAMP_COUNTER, MSR_SMI_COUNT, Msr
+from repro.machine.topology import WYEAST_SPEC
+from repro.system import make_machine
+
+
+def test_smi_count_tracks_entries():
+    m = make_machine(WYEAST_SPEC)
+    msr = Msr(m.node)
+    assert msr.smi_count() == 0
+    for _ in range(3):
+        m.node.smm.trigger(1_000_000)
+        m.engine.run()
+    assert msr.smi_count() == 3
+
+
+def test_tsc_msr_reads_clock():
+    m = make_machine(WYEAST_SPEC)
+    msr = Msr(m.node)
+    m.engine.schedule(1_000_000_000, lambda: None)
+    m.engine.run()
+    assert msr.rdmsr(IA32_TIME_STAMP_COUNTER) == m.node.clock.rdtsc()
+
+
+def test_unknown_msr_faults():
+    m = make_machine(WYEAST_SPEC)
+    with pytest.raises(ValueError):
+        Msr(m.node).rdmsr(0xDEAD)
+
+
+def test_rdmsr_impossible_during_smm():
+    """Host software cannot execute during SMM — reading the count from
+    inside the freeze is a modeling error, not a measurement."""
+    m = make_machine(WYEAST_SPEC)
+    msr = Msr(m.node)
+    m.node.smm.trigger(10_000_000)
+    with pytest.raises(RuntimeError):
+        msr.rdmsr(MSR_SMI_COUNT)
+    m.engine.run()
+    assert msr.smi_count() == 1
+
+
+def test_count_is_the_only_visibility():
+    """The MSR exposes how MANY SMIs occurred, never how LONG — pairing
+    it with wall-clock gaps is exactly how real tools estimate SMM time
+    (and how the detector cross-checks)."""
+    from repro.core.detector import GapDetector
+    from repro.core.smi import SmiProfile, SmiSource
+
+    m = make_machine(WYEAST_SPEC, seed=2)
+    msr = Msr(m.node)
+    SmiSource(m.node, SmiProfile.LONG, 400, seed=2)
+    det = GapDetector(m.node)
+    proc = m.engine.process(det.run(int(1.5e9)), name="det", gate=m.node)
+    m.engine.run_until(proc.done_event)
+    count = msr.smi_count()
+    assert count >= 3
+    assert det.report.detected == count
+    # time per SMI from gaps/count lands in the configured class
+    mean_ns = det.report.total_gap_ns / count
+    assert 95e6 < mean_ns < 120e6

@@ -1,0 +1,73 @@
+"""Node composition: the wake-up gate, recompute protocol, hotplug guard."""
+
+import pytest
+
+from repro.machine.profile import WorkloadProfile
+from repro.machine.topology import WYEAST_SPEC
+from repro.system import make_machine
+
+REG = WorkloadProfile(name="reg", mem_ref_fraction=0.0, base_miss_rate=0.0)
+
+
+def test_deliver_immediate_when_running():
+    m = make_machine(WYEAST_SPEC)
+    seen = []
+    m.node.deliver(lambda: seen.append(m.engine.now))
+    m.engine.run()
+    assert seen == [0]
+
+
+def test_deliver_deferred_while_frozen_fifo():
+    m = make_machine(WYEAST_SPEC)
+    seen = []
+    m.node.smm.trigger(5_000_000)
+    for i in range(3):
+        m.node.deliver(lambda i=i: seen.append(i))
+    assert seen == []
+    m.engine.run()
+    assert seen == [0, 1, 2]
+
+
+def test_gate_protocol_with_custom_process():
+    """A process gated by the node resumes only after SMM exit."""
+    m = make_machine(WYEAST_SPEC)
+    resumed = []
+
+    def body():
+        yield m.engine.timeout(1_000_000)  # expires mid-SMM
+        resumed.append(m.engine.now)
+
+    m.engine.process(body(), name="gated", gate=m.node)
+    m.node.smm.trigger(10_000_000)
+    m.engine.run()
+    from repro.machine.smm import ENTRY_LATENCY_NS
+
+    assert resumed == [10_000_000 + ENTRY_LATENCY_NS]
+
+
+def test_offline_busy_cpu_guarded():
+    """Raw topology offlining of a busy CPU is a modeling error; the
+    sysfs wrapper (which migrates first) is the legal path."""
+    m = make_machine(WYEAST_SPEC)
+
+    def body(task):
+        yield from task.compute(WYEAST_SPEC.base_hz * 1.0)
+
+    t = m.scheduler.spawn(body, "w", REG, affinity={2})
+    m.engine.run(until_ns=1_000)
+    with pytest.raises(RuntimeError, match="migrate"):
+        m.node.topology.set_online(2, False)
+
+
+def test_unfreeze_listeners_called():
+    m = make_machine(WYEAST_SPEC)
+    calls = []
+    m.node.add_unfreeze_listener(lambda: calls.append(m.engine.now))
+    m.node.smm.trigger(1_000_000)
+    m.engine.run()
+    assert len(calls) == 1
+
+
+def test_repr_smoke():
+    m = make_machine(WYEAST_SPEC)
+    assert "node0" in repr(m.node)

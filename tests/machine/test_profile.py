@@ -1,0 +1,96 @@
+"""WorkloadProfile validation and cost model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.profile import (
+    COMPUTE_BOUND,
+    MEMORY_BOUND,
+    OS_INTENSIVE,
+    WorkloadProfile,
+)
+
+
+def test_defaults_valid():
+    p = WorkloadProfile(name="x")
+    assert 0 < p.htt_yield <= 2
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        {"htt_yield": 0.0},
+        {"htt_yield": 2.5},
+        {"base_miss_rate": -0.1},
+        {"base_miss_rate": 1.5},
+        {"mem_ref_fraction": 2.0},
+        {"working_set_bytes": -1},
+        {"miss_penalty_ops": -1.0},
+        {"cache_sensitivity": 1.5},
+    ],
+)
+def test_validation_rejects_bad_fields(kw):
+    with pytest.raises(ValueError):
+        WorkloadProfile(name="bad", **kw)
+
+
+def test_pure_register_workload_costs_exactly_one():
+    p = WorkloadProfile(name="reg", mem_ref_fraction=0.0, base_miss_rate=0.0)
+    assert p.cost_per_op() == 1.0
+    assert p.efficiency() == 1.0
+
+
+def test_cost_increases_with_miss_rate():
+    lo = WorkloadProfile(name="lo", base_miss_rate=0.01, mem_ref_fraction=0.3)
+    hi = WorkloadProfile(name="hi", base_miss_rate=0.7, mem_ref_fraction=0.3)
+    assert hi.cost_per_op() > lo.cost_per_op()
+
+
+def test_extras_monotone():
+    p = COMPUTE_BOUND
+    base = p.cost_per_op()
+    assert p.cost_per_op(extra_dram=0.1) > base
+    assert p.cost_per_op(extra_mid=0.5) > base
+    assert p.cost_per_op(0.1, 0.5) > p.cost_per_op(0.1, 0.0)
+
+
+def test_dram_miss_saturates_at_one():
+    p = WorkloadProfile(name="x", base_miss_rate=0.9, mem_ref_fraction=0.5)
+    # extra beyond saturation changes nothing
+    assert p.cost_per_op(extra_dram=0.5) == p.cost_per_op(extra_dram=0.2)
+
+
+def test_solo_rate_scales_with_hz():
+    p = COMPUTE_BOUND
+    assert p.solo_rate(2e9) == pytest.approx(2 * p.solo_rate(1e9))
+    assert p.solo_rate(2.27e9) < 2.27e9  # efficiency < 1 with memory refs
+
+
+def test_with_returns_modified_copy():
+    p = COMPUTE_BOUND.with_(htt_yield=1.5)
+    assert p.htt_yield == 1.5
+    assert COMPUTE_BOUND.htt_yield == 1.0
+    assert p.name == COMPUTE_BOUND.name
+
+
+def test_canonical_profiles_encode_paper_taxonomy():
+    # FP-intensive gains nothing from HTT (Leng et al. [4]).
+    assert COMPUTE_BOUND.htt_yield == 1.0
+    # Memory-bound thrashers gain little (the paper's CU convolve).
+    assert MEMORY_BOUND.htt_yield < 1.2
+    # OS/syscall mixes gain visibly (UnixBench's HTT benefit).
+    assert OS_INTENSIVE.htt_yield > 1.2
+    assert MEMORY_BOUND.base_miss_rate > 0.5
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    miss=st.floats(min_value=0, max_value=1),
+    mem=st.floats(min_value=0, max_value=1),
+    ed=st.floats(min_value=0, max_value=1),
+    em=st.floats(min_value=0, max_value=1),
+)
+def test_efficiency_always_in_unit_interval(miss, mem, ed, em):
+    p = WorkloadProfile(name="p", base_miss_rate=miss, mem_ref_fraction=mem)
+    eff = p.efficiency(ed, em)
+    assert 0.0 < eff <= 1.0

@@ -1,0 +1,127 @@
+"""SMM controller: freeze protocol, latching, self-measurement, gating."""
+
+import pytest
+
+from repro.machine.profile import WorkloadProfile
+from repro.machine.smm import ENTRY_LATENCY_NS, RELATCH_GAP_NS
+from repro.machine.topology import WYEAST_SPEC
+from repro.system import make_machine
+
+REG = WorkloadProfile(name="reg", mem_ref_fraction=0.0, base_miss_rate=0.0)
+
+
+def test_trigger_freezes_and_unfreezes():
+    m = make_machine(WYEAST_SPEC)
+    states = []
+    m.engine.schedule(0, m.node.smm.trigger, 1_000_000)
+    m.engine.schedule(500_000, lambda: states.append(("mid", m.node.frozen)))
+    m.engine.schedule(2_000_000, lambda: states.append(("after", m.node.frozen)))
+    m.engine.run()
+    assert states == [("mid", True), ("after", False)]
+
+
+def test_residency_includes_entry_latency():
+    m = make_machine(WYEAST_SPEC)
+    m.engine.schedule(0, m.node.smm.trigger, 2_000_000)
+    m.engine.run()
+    stats = m.node.smm.stats
+    assert stats.entries == 1
+    assert stats.measured_latency_ns[0] == pytest.approx(
+        2_000_000 + ENTRY_LATENCY_NS, rel=0.01
+    )
+
+
+def test_tsc_self_measurement_matches_duration():
+    """The driver's TSC-based latency measurement (§III.B)."""
+    m = make_machine(WYEAST_SPEC)
+    for d in (1_500_000, 105_000_000):
+        m.node.smm.trigger(d)
+        m.engine.run()
+    lats = m.node.smm.stats.measured_latency_ns
+    assert lats[0] == pytest.approx(1_500_000 + ENTRY_LATENCY_NS, rel=0.01)
+    assert lats[1] == pytest.approx(105_000_000 + ENTRY_LATENCY_NS, rel=0.01)
+
+
+def test_smi_during_smm_is_latched_and_coalesced():
+    m = make_machine(WYEAST_SPEC)
+    assert m.node.smm.trigger(10_000_000) is True
+    # two more while inside: latched, coalesced to the max duration
+    m.engine.schedule(1_000_000, m.node.smm.trigger, 3_000_000)
+    m.engine.schedule(2_000_000, m.node.smm.trigger, 5_000_000)
+    m.engine.run()
+    stats = m.node.smm.stats
+    assert stats.entries == 2  # original + one re-delivery
+    assert stats.latched == 2
+    # the re-delivered residency is the coalesced (max) one
+    assert stats.measured_latency_ns[1] == pytest.approx(
+        5_000_000 + ENTRY_LATENCY_NS, rel=0.01
+    )
+
+
+def test_relatch_gap_separates_back_to_back_smis():
+    m = make_machine(WYEAST_SPEC)
+    m.node.smm.trigger(10_000_000)
+    m.engine.schedule(1_000_000, m.node.smm.trigger, 10_000_000)
+    m.engine.run()
+    intervals = m.timeline.intervals("smm.enter", "smm.exit", where="node0")
+    assert len(intervals) == 2
+    gap = intervals[1][0] - intervals[0][1]
+    assert gap == RELATCH_GAP_NS
+
+
+def test_wait_exit_immediate_when_not_in_smm():
+    m = make_machine(WYEAST_SPEC)
+    ev = m.node.smm.wait_exit()
+    assert ev.triggered
+
+
+def test_wait_exit_fires_at_exit():
+    m = make_machine(WYEAST_SPEC)
+    times = []
+
+    def watcher():
+        yield m.engine.timeout(1)  # let the SMI land first
+        ev = m.node.smm.wait_exit()
+        yield ev
+        times.append(m.engine.now)
+
+    m.engine.process(watcher(), name="w", gate=None)  # ungated observer
+    m.node.smm.trigger(5_000_000)
+    m.engine.run()
+    assert times[0] == 5_000_000 + ENTRY_LATENCY_NS
+
+
+def test_gated_wakeups_deferred_fifo():
+    """Sleep expiries during SMM deliver at exit, in order."""
+    m = make_machine(WYEAST_SPEC)
+    order = []
+
+    def sleeper(name, ns):
+        def body(task):
+            yield from task.sleep(ns)
+            order.append((name, task.now_ns()))
+
+        return body
+
+    m.scheduler.spawn(sleeper("a", 2_000_000), "a", REG)
+    m.scheduler.spawn(sleeper("b", 3_000_000), "b", REG)
+    m.engine.schedule(1_000_000, m.node.smm.trigger, 10_000_000)
+    m.engine.run()
+    exit_t = 1_000_000 + 10_000_000 + ENTRY_LATENCY_NS
+    assert [n for n, _ in order] == ["a", "b"]
+    for _, t in order:
+        assert t == exit_t
+
+
+def test_invalid_duration_rejected():
+    m = make_machine(WYEAST_SPEC)
+    with pytest.raises(ValueError):
+        m.node.smm.trigger(0)
+
+
+def test_timeline_records_enter_exit():
+    m = make_machine(WYEAST_SPEC)
+    m.node.smm.trigger(1_000_000)
+    m.engine.run()
+    assert m.timeline.count("smm.enter") == 1
+    assert m.timeline.count("smm.exit") == 1

@@ -1,0 +1,91 @@
+"""Cluster construction and the mpirun launcher."""
+
+import pytest
+
+from repro.core.smi import SmiProfile
+from repro.machine.profile import COMPUTE_BOUND
+from repro.mpi import Cluster, ClusterSpec, run_mpi_job
+
+
+def test_cluster_builds_wired_nodes():
+    c = Cluster(ClusterSpec(n_nodes=4))
+    assert len(c.nodes) == 4
+    for n in c.nodes:
+        assert n.nic is not None
+        assert n.scheduler is not None
+    # MPI study default: HTT disabled on all nodes (§III.A).
+    assert all(n.topology.n_online == 4 for n in c.nodes)
+
+
+def test_htt_flag_onlines_siblings():
+    c = Cluster(ClusterSpec(n_nodes=2, htt=True))
+    assert all(n.topology.n_online == 8 for n in c.nodes)
+
+
+def test_block_placement():
+    c = Cluster(ClusterSpec(n_nodes=2))
+    placements = []
+
+    def app(rk):
+        placements.append((rk.rank, rk.task.node.name))
+        yield from rk.compute(1000.0)
+        return None
+
+    run_mpi_job(c, app, nranks=8, ranks_per_node=4, profile=COMPUTE_BOUND)
+    by_rank = dict(placements)
+    assert all(by_rank[r] == "node0" for r in range(4))
+    assert all(by_rank[r] == "node1" for r in range(4, 8))
+
+
+def test_too_many_ranks_rejected():
+    c = Cluster(ClusterSpec(n_nodes=2))
+    with pytest.raises(ValueError):
+        run_mpi_job(c, lambda rk: iter(()), nranks=3, ranks_per_node=1)
+
+
+def test_enable_smi_noop_for_smm0():
+    c = Cluster(ClusterSpec(n_nodes=2))
+    c.enable_smi(None)
+    assert c.smi_sources == []
+
+
+def test_enable_smi_attaches_one_source_per_node():
+    c = Cluster(ClusterSpec(n_nodes=3))
+    c.enable_smi(SmiProfile.SHORT, 1000, seed=1)
+    assert len(c.smi_sources) == 3
+    phases = {s.phase_ns for s in c.smi_sources}
+    assert len(phases) == 3  # independent phases
+
+
+def test_phase_spread_bounds_phases():
+    c = Cluster(ClusterSpec(n_nodes=8))
+    c.enable_smi(SmiProfile.LONG, 1000, seed=2, phase_spread_ns=100_000_000)
+    assert all(s.phase_ns < 100_000_000 for s in c.smi_sources)
+
+
+def test_job_result_fields():
+    c = Cluster(ClusterSpec(n_nodes=2))
+
+    def app(rk):
+        yield from rk.barrier()
+        t0 = rk.now_ns()
+        yield from rk.compute(2.27e9 * 0.01)
+        return {"elapsed_s": (rk.now_ns() - t0) / 1e9, "verified": True}
+
+    res = run_mpi_job(c, app, nranks=2, profile=COMPUTE_BOUND)
+    assert res.nranks == 2
+    assert res.elapsed_s is not None and res.elapsed_s > 0
+    assert res.wall_s >= res.elapsed_s
+    assert res.stats["messages"] > 0  # the barrier communicated
+
+
+def test_total_smm_time_accumulates():
+    c = Cluster(ClusterSpec(n_nodes=2))
+    c.enable_smi(SmiProfile.LONG, 100, seed=3)
+
+    def app(rk):
+        yield from rk.compute(2.27e9 * 0.3)
+        return None
+
+    run_mpi_job(c, app, nranks=2, profile=COMPUTE_BOUND)
+    assert c.total_smm_time_s() > 0.1

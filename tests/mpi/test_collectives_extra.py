@@ -1,0 +1,82 @@
+"""The extended collective set: scatter/gather/reduce_scatter/scan."""
+
+import pytest
+
+from repro.machine.profile import COMPUTE_BOUND
+from repro.mpi import Cluster, ClusterSpec, run_mpi_job
+
+
+def run_app(app, nranks):
+    c = Cluster(ClusterSpec(n_nodes=nranks))
+    return run_mpi_job(c, app, nranks=nranks, ranks_per_node=1,
+                       profile=COMPUTE_BOUND)
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+def test_scatter_distributes_blocks(p):
+    def app(rk):
+        values = [f"blk{i}" for i in range(p)] if rk.rank == 0 else None
+        mine = yield from rk.scatter(values, root=0)
+        return mine
+
+    res = run_app(app, p)
+    assert res.rank_results == [f"blk{i}" for i in range(p)]
+
+
+def test_scatter_root_validates_length():
+    def app(rk):
+        if rk.rank == 0:
+            try:
+                yield from rk.scatter([1], root=0)  # wrong length at p=2
+            except ValueError:
+                return "rejected"
+            return "?"
+        # non-root skips the collective: the root rejected before sending
+        yield from rk.compute(1000.0)
+        return "skipped"
+
+    res = run_app(app, 2)
+    assert res.rank_results == ["rejected", "skipped"]
+
+
+@pytest.mark.parametrize("p", [1, 2, 5, 8])
+def test_gather_collects_to_root(p):
+    def app(rk):
+        out = yield from rk.gather(rk.rank * 2, root=0)
+        return out
+
+    res = run_app(app, p)
+    assert res.rank_results[0] == [2 * i for i in range(p)]
+    assert all(v is None for v in res.rank_results[1:])
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 6])
+def test_reduce_scatter_elementwise(p):
+    def app(rk):
+        values = [rk.rank + 10 * i for i in range(p)]  # column i sums known
+        mine = yield from rk.reduce_scatter(values)
+        return mine
+
+    res = run_app(app, p)
+    ranks_sum = p * (p - 1) // 2
+    for i, got in enumerate(res.rank_results):
+        assert got == ranks_sum + 10 * i * p
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 7])
+def test_scan_inclusive_prefix(p):
+    def app(rk):
+        v = yield from rk.scan(rk.rank + 1)
+        return v
+
+    res = run_app(app, p)
+    assert res.rank_results == [sum(range(1, i + 2)) for i in range(p)]
+
+
+def test_scan_custom_op():
+    def app(rk):
+        v = yield from rk.scan(rk.rank + 1, op=lambda a, b: a * b)
+        return v
+
+    res = run_app(app, 4)
+    assert res.rank_results == [1, 2, 6, 24]

@@ -1,0 +1,133 @@
+"""How SMM freezes propagate through MPI wait chains.
+
+These tests pin down the *mechanisms* behind the tables: a frozen sender
+stalls its receiver; a frozen receiver stalls nothing until someone needs
+its answer; overlapping freezes absorb; chains serialize.
+"""
+
+import pytest
+
+from repro.core.smi import SmiProfile
+from repro.machine.profile import COMPUTE_BOUND
+from repro.machine.smm import ENTRY_LATENCY_NS
+from repro.mpi import Cluster, ClusterSpec, run_mpi_job
+
+WORK_10MS = 2.27e9 * 0.01
+
+
+def test_frozen_sender_stalls_receiver():
+    c = Cluster(ClusterSpec(n_nodes=2))
+    # node0 freezes just before its rank would send
+    c.engine.schedule(5_000_000, c.nodes[0].smm.trigger, 50_000_000)
+
+    def app(rk):
+        if rk.rank == 0:
+            yield from rk.compute(COMPUTE_BOUND.solo_rate(2.27e9) * 0.01)
+            yield from rk.send(1, 8, "late")
+            return None
+        t0 = rk.task.node.engine.now
+        yield from rk.recv(0)
+        return (rk.task.node.engine.now - t0) / 1e6  # ms
+
+    res = run_mpi_job(c, app, nranks=2, profile=COMPUTE_BOUND)
+    # receiver waited through the sender's ~55 ms freeze
+    assert res.rank_results[1] > 55.0
+
+
+def test_frozen_receiver_delays_only_delivery():
+    """The wire keeps moving during the receiver's freeze (DMA); only
+    visibility waits — total delay ≈ freeze end, not freeze + wire."""
+    c = Cluster(ClusterSpec(n_nodes=2))
+    c.engine.schedule(1_000_000, c.nodes[1].smm.trigger, 50_000_000)
+
+    def app(rk):
+        if rk.rank == 0:
+            yield from rk.send(1, 1_000_000, "bulk")  # ~9 ms wire at 110 MB/s
+            return None
+        t0 = rk.task.node.engine.now
+        yield from rk.recv(0)
+        return (rk.task.node.engine.now - t0) / 1e6
+
+    res = run_mpi_job(c, app, nranks=2, profile=COMPUTE_BOUND)
+    recv_ms = res.rank_results[1]
+    freeze_end = (1_000_000 + 50_000_000 + ENTRY_LATENCY_NS) / 1e6
+    assert recv_ms == pytest.approx(freeze_end, rel=0.1)
+
+
+def test_parallel_lanes_absorb_freezes_to_the_max():
+    """Freezes hitting *independent* ranks absorb into the barrier max:
+    whether the two nodes freeze together or at disjoint times, a
+    compute+barrier job pays one 50 ms window — parallelism is the
+    absorption mechanism (Ferreira et al. [24]); only serial dependence
+    (the pipeline test below) makes staggered freezes add up."""
+
+    def run(offsets):
+        c = Cluster(ClusterSpec(n_nodes=2))
+        for node, off in zip(c.nodes, offsets):
+            c.engine.schedule(off, node.smm.trigger, 50_000_000)
+
+        def app(rk):
+            yield from rk.compute(2.27e9 * 0.2)
+            yield from rk.barrier()
+            return None
+
+        res = run_mpi_job(c, app, nranks=2, profile=COMPUTE_BOUND)
+        return res.wall_s
+
+    aligned = run([10_000_000, 10_000_000])
+    disjoint = run([10_000_000, 100_000_000])
+    clean_ref = run([10_000_000_000, 10_000_000_000])  # after completion
+    assert aligned - clean_ref == pytest.approx(0.05, rel=0.15)
+    assert disjoint - clean_ref == pytest.approx(0.05, rel=0.15)
+
+
+def test_pipeline_chain_serializes_staggered_freezes():
+    """A 4-stage send chain: staggered freezes on consecutive nodes add
+    up in the end-to-end latency (the BT sweep mechanism)."""
+
+    def run(freeze: bool) -> float:
+        c = Cluster(ClusterSpec(n_nodes=4))
+        if freeze:
+            for i, node in enumerate(c.nodes):
+                c.engine.schedule(5_000_000 + i * 60_000_000,
+                                  node.smm.trigger, 50_000_000)
+
+        def app(rk):
+            if rk.rank == 0:
+                yield from rk.compute(WORK_10MS)
+                yield from rk.send(1, 8, 0)
+            else:
+                yield from rk.recv(rk.rank - 1)
+                yield from rk.compute(WORK_10MS)
+                if rk.rank < 3:
+                    yield from rk.send(rk.rank + 1, 8, rk.rank)
+            return None
+
+        res = run_mpi_job(c, app, nranks=4, profile=COMPUTE_BOUND)
+        return res.wall_s
+
+    clean = run(False)
+    noisy = run(True)
+    # each hop eats (part of) a staggered 50 ms freeze: ≥ 2.5 windows total
+    assert noisy - clean > 0.125
+
+
+def test_noise_does_not_reorder_messages():
+    """Freezes may delay but can never reorder a (src,dst,tag) stream."""
+    c = Cluster(ClusterSpec(n_nodes=2), seed=5)
+    c.enable_smi(SmiProfile.LONG, 100, seed=5)
+
+    def app(rk):
+        if rk.rank == 0:
+            for i in range(20):
+                yield from rk.send(1, 1024, i)
+                yield from rk.compute(2.27e9 * 0.005)
+            return None
+        got = []
+        for _ in range(20):
+            m = yield from rk.recv(0)
+            got.append(m.payload)
+        return got
+
+    res = run_mpi_job(c, app, nranks=2, profile=COMPUTE_BOUND)
+    assert res.rank_results[1] == list(range(20))

@@ -1,0 +1,91 @@
+"""Accounting conservation as a property: under ARBITRARY seeded SMI
+schedules and task mixes, kernel time ≡ true + stolen, and true service
+time is invariant to noise."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.smi import SmiDurations, SmiSource
+from repro.machine.profile import WorkloadProfile
+from repro.machine.topology import WYEAST_SPEC
+from repro.system import make_machine
+
+REG = WorkloadProfile(name="reg", mem_ref_fraction=0.0, base_miss_rate=0.0)
+
+
+def run_mix(n_tasks, work_s_each, smi_ms, interval_ms, seed):
+    m = make_machine(WYEAST_SPEC, seed=seed)
+    if smi_ms > 0:
+        SmiSource(
+            m.node,
+            SmiDurations("x", smi_ms * 1_000_000, smi_ms * 1_000_000),
+            interval_ms,
+            seed=seed,
+        )
+    tasks = []
+
+    def body(w):
+        def inner(task):
+            yield from task.compute(WYEAST_SPEC.base_hz * w)
+
+        return inner
+
+    for i, w in enumerate(work_s_each[:n_tasks]):
+        tasks.append(m.scheduler.spawn(body(w), f"t{i}", REG))
+    done = m.engine.event("all")
+    remaining = {"n": len(tasks)}
+
+    def on_done(_):
+        remaining["n"] -= 1
+        if remaining["n"] == 0 and not done.triggered:
+            done.succeed()
+
+    for t in tasks:
+        t.proc.done_event.add_callback(on_done)
+    m.engine.run_until(done, limit_ns=int(300e9))
+    return m, tasks
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_tasks=st.integers(min_value=1, max_value=6),
+    smi_ms=st.integers(min_value=0, max_value=150),
+    interval_ms=st.integers(min_value=200, max_value=1500),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_conservation_under_arbitrary_noise(n_tasks, smi_ms, interval_ms, seed):
+    works = [0.1, 0.2, 0.15, 0.05, 0.12, 0.18]
+    m, tasks = run_mix(n_tasks, works, smi_ms, interval_ms, seed)
+    for t in tasks:
+        assert t.acct.kernel_ns == pytest.approx(
+            t.acct.true_ns + t.acct.stolen_ns, rel=1e-9, abs=1.0
+        )
+    assert m.scheduler.accounting.conservation_error() < 10.0  # ns
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    smi_ms=st.integers(min_value=1, max_value=120),
+    interval_ms=st.integers(min_value=300, max_value=1200),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_work_invariant_and_occupancy_bounded(smi_ms, interval_ms, seed):
+    """Noise stretches wall time but never changes the work completed;
+    true occupancy can only grow (post-SMM misplacement may slow a task's
+    CPU share, never shrink its service need) and is bounded by the
+    sibling-sharing worst case (2×)."""
+    _, clean = run_mix(2, [0.1, 0.2], 0, 1000, seed)
+    _, noisy = run_mix(2, [0.1, 0.2], smi_ms, interval_ms, seed)
+    for tc, tn in zip(clean, noisy):
+        assert tn.acct.work_done == tc.acct.work_done
+        assert tn.acct.true_ns >= tc.acct.true_ns * 0.999
+        assert tn.acct.true_ns <= tc.acct.true_ns * 2.0
+        assert tn.acct.kernel_ns >= tn.acct.true_ns
+
+
+def test_stolen_bounded_by_residency_times_victims():
+    m, tasks = run_mix(4, [1.0, 1.0, 1.0, 1.0], 100, 400, seed=5)
+    total_stolen = sum(t.acct.stolen_ns for t in tasks)
+    # at most (#busy cpus) × residency can be charged
+    assert total_stolen <= 4 * m.node.smm.stats.total_ns * 1.001
+    assert total_stolen > 0

@@ -1,0 +1,167 @@
+"""Scheduler: placement policy, balancing, misplacement mechanism."""
+
+import pytest
+
+from repro.machine.profile import WorkloadProfile
+from repro.machine.topology import R410_SPEC
+from repro.sched.scheduler import BALANCE_PERIOD_NS
+from repro.system import make_machine
+
+REG = WorkloadProfile(name="reg", mem_ref_fraction=0.0, base_miss_rate=0.0,
+                      htt_yield=1.0)
+
+
+def spawn_spinners(m, n, seconds=1.0):
+    work = R410_SPEC.base_hz * seconds
+    tasks = []
+
+    def body(task):
+        yield from task.compute(work)
+
+    for i in range(n):
+        tasks.append(m.scheduler.spawn(body, f"s{i}", REG))
+    return tasks
+
+
+def test_placement_spreads_physical_cores_first():
+    """With 4 tasks and 8 logical CPUs, each task gets its own core."""
+    m = make_machine(R410_SPEC)
+    tasks = spawn_spinners(m, 4)
+    m.engine.run(until_ns=1_000_000)
+    cores = {t.cpu.state.core.index for t in tasks}
+    assert len(cores) == 4
+
+
+def test_fifth_task_lands_on_a_sibling():
+    m = make_machine(R410_SPEC)
+    tasks = spawn_spinners(m, 5)
+    m.engine.run(until_ns=1_000_000)
+    assert all(t.cpu.n_tasks == 1 for t in tasks)  # nobody stacked
+    cores = [t.cpu.state.core.index for t in tasks]
+    assert len(set(cores)) == 4  # one core hosts two siblings
+
+
+def test_oversubscription_stacks_evenly():
+    m = make_machine(R410_SPEC)
+    tasks = spawn_spinners(m, 16)
+    m.engine.run(until_ns=1_000_000)
+    loads = sorted(cpu.n_tasks for cpu in m.node.cpus)
+    assert loads == [2] * 8
+
+
+def test_idle_balance_pulls_from_stacked_cpu():
+    """When a task finishes and leaves an idle CPU next to a stacked one,
+    the idle balance rebalances within microseconds."""
+    m = make_machine(R410_SPEC)
+    m.sysfs.set_logical_cpus(2)
+    # Three tasks on two CPUs: loads 2/1. When the solo one finishes, the
+    # stacked pair must split across both CPUs.
+    short = R410_SPEC.base_hz * 0.01
+    long = R410_SPEC.base_hz * 1.0
+    done = []
+
+    def body(kind, work):
+        def inner(task):
+            yield from task.compute(work)
+            done.append(kind)
+
+        return inner
+
+    a = m.scheduler.spawn(body("long", long), "a", REG)
+    b = m.scheduler.spawn(body("long", long), "b", REG)
+    c = m.scheduler.spawn(body("short", short), "c", REG)
+    m.engine.run(until_ns=int(0.5e9))
+    # After the short task exits, a and b should occupy distinct CPUs.
+    assert a.cpu is not None and b.cpu is not None
+    assert a.cpu.index != b.cpu.index
+
+
+def test_evacuate_moves_work():
+    m = make_machine(R410_SPEC)
+    tasks = spawn_spinners(m, 2)
+    m.engine.run(until_ns=1_000)
+    victim_cpu = tasks[0].cpu.index
+    m.scheduler.evacuate(victim_cpu)
+    assert all(t.cpu.index != victim_cpu for t in tasks if t.cpu)
+
+
+def test_sysfs_offline_with_running_tasks():
+    m = make_machine(R410_SPEC)
+    tasks = spawn_spinners(m, 8, seconds=0.2)
+    m.engine.run(until_ns=1_000_000)
+    m.sysfs.set_logical_cpus(2)
+    assert m.node.topology.n_online == 2
+    m.engine.run()
+    # everyone completes despite the shrink
+    assert all(t.proc.result is None and not t.proc.alive for t in tasks)
+
+
+def test_misplacement_needs_htt():
+    """The post-SMM wake-up misplacement cannot happen with HTT off —
+    the mechanism behind Tables 4–5 being an HTT phenomenon."""
+    from repro.core.smi import SmiProfile, SmiSource
+
+    def run(htt: bool) -> int:
+        m = make_machine(R410_SPEC, seed=7)
+        if not htt:
+            m.sysfs.set_htt(False)
+        SmiSource(m.node, SmiProfile.LONG, 300, seed=3)
+        tasks = spawn_spinners(m, 4, seconds=3.0)
+        done = m.engine.event("all")
+        remaining = {"n": len(tasks)}
+
+        def on_done(_):
+            remaining["n"] -= 1
+            if remaining["n"] == 0 and not done.triggered:
+                done.succeed()
+
+        for t in tasks:
+            t.proc.done_event.add_callback(on_done)
+        m.engine.run_until(done)
+        return m.scheduler.misplacements
+
+    assert run(htt=False) == 0
+    assert run(htt=True) >= 1  # seeded: the 300 ms interval forces many tries
+
+
+def test_periodic_balancer_heals_sibling_sharing():
+    m = make_machine(R410_SPEC, seed=1)
+    tasks = spawn_spinners(m, 2, seconds=2.0)
+    m.engine.run(until_ns=1_000_000)
+    # Manually force a sibling-sharing misplacement.
+    a, b = tasks
+    sib = a.cpu.state.sibling
+    item = b.current_item
+    m.node.sync()
+    b.cpu.remove_segment(item)
+    m.node.cpu(sib.index).add_segment(item)
+    b.cpu = m.node.cpu(sib.index)
+    m.node.apply_rates()
+    assert b.cpu.state.core is a.cpu.state.core
+    # The periodic balancer must undo it within one period.
+    m.engine.run(until_ns=m.engine.now + BALANCE_PERIOD_NS + 1_000_000)
+    assert b.cpu.state.core is not a.cpu.state.core
+
+
+def test_deterministic_given_seed():
+    def run(seed):
+        from repro.core.smi import SmiProfile, SmiSource
+
+        m = make_machine(R410_SPEC, seed=seed)
+        SmiSource(m.node, SmiProfile.LONG, 500, seed=seed)
+        tasks = spawn_spinners(m, 6, seconds=1.5)
+        done = m.engine.event("all")
+        remaining = {"n": len(tasks)}
+
+        def on_done(_):
+            remaining["n"] -= 1
+            if remaining["n"] == 0 and not done.triggered:
+                done.succeed()
+
+        for t in tasks:
+            t.proc.done_event.add_callback(on_done)
+        m.engine.run_until(done)
+        return [t.finished_ns for t in tasks]
+
+    assert run(11) == run(11)
+    assert run(11) != run(12)  # different SMI phase ⇒ different trace

@@ -1,0 +1,196 @@
+"""Rate executor: the fluid work model's invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simx import Engine
+from repro.simx.rate import RateExecutor, WorkItem
+from repro.simx.errors import SimulationError
+
+
+def make(engine=None):
+    eng = engine or Engine()
+    completed = []
+    ex = RateExecutor(eng, completed.append)
+    return eng, ex, completed
+
+
+def test_single_item_completes_at_demand_over_rate():
+    eng, ex, done = make()
+    item = WorkItem(eng, demand=1000.0)
+    ex.add(item, rate=0.0)
+    ex.set_rates({item: 2.0})  # 2 units/ns -> 500 ns
+    eng.run()
+    assert done == [item]
+    assert item.finished_at == 500
+    assert item.remaining == 0.0
+
+
+def test_zero_demand_completes_immediately():
+    eng, ex, done = make()
+    item = WorkItem(eng, demand=0.0)
+    ex.add(item, rate=1.0)
+    ex.set_rates({item: 1.0})
+    eng.run()
+    assert done == [item]
+
+
+def test_rate_change_midway_shifts_completion():
+    eng, ex, done = make()
+    item = WorkItem(eng, demand=1000.0)
+    ex.add(item)
+    ex.set_rates({item: 1.0})  # would finish at t=1000
+    # At t=500 halve the rate: 500 remaining at 0.5 -> finish at 1500.
+    eng.schedule(500, lambda: ex.set_rates({item: 0.5}))
+    eng.run()
+    assert item.finished_at == 1500
+
+
+def test_zero_rate_window_freezes_progress():
+    """A freeze window delays completion by exactly its length."""
+    eng, ex, done = make()
+    item = WorkItem(eng, demand=1000.0)
+    ex.add(item)
+    ex.set_rates({item: 1.0})
+    eng.schedule(200, lambda: ex.set_rates({item: 0.0}))
+    eng.schedule(900, lambda: ex.set_rates({item: 1.0}))
+    eng.run()
+    assert item.finished_at == 1000 + 700
+
+
+def test_remove_mid_flight_keeps_partial_progress():
+    eng, ex, done = make()
+    item = WorkItem(eng, demand=1000.0)
+    ex.add(item)
+    ex.set_rates({item: 1.0})
+    eng.schedule(400, lambda: ex.remove(item))
+    eng.run()
+    assert done == []
+    assert item.remaining == pytest.approx(600.0)
+    assert item.executed == pytest.approx(400.0)
+
+
+def test_completion_order_among_simultaneous_finishers_is_insertion_order():
+    eng, ex, done = make()
+    a = WorkItem(eng, demand=100.0)
+    b = WorkItem(eng, demand=100.0)
+    ex.add(a)
+    ex.add(b)
+    ex.set_rates({a: 1.0, b: 1.0})
+    eng.run()
+    assert done == [a, b]
+
+
+def test_double_add_rejected():
+    eng, ex, _ = make()
+    item = WorkItem(eng, demand=10.0)
+    ex.add(item)
+    with pytest.raises(SimulationError):
+        ex.add(item)
+
+
+def test_set_rate_for_unknown_item_rejected():
+    eng, ex, _ = make()
+    item = WorkItem(eng, demand=10.0)
+    with pytest.raises(SimulationError):
+        ex.set_rates({item: 1.0})
+
+
+def test_negative_inputs_rejected():
+    eng, ex, _ = make()
+    with pytest.raises(ValueError):
+        WorkItem(eng, demand=-5.0)
+    item = WorkItem(eng, demand=5.0)
+    ex.add(item)
+    with pytest.raises(ValueError):
+        ex.set_rates({item: -1.0})
+
+
+def test_done_event_fires():
+    eng, ex, _ = make()
+    item = WorkItem(eng, demand=100.0)
+    seen = []
+
+    def body():
+        v = yield item.done
+        seen.append((v, eng.now))
+
+    eng.process(body())
+    ex.add(item)
+    ex.set_rates({item: 1.0})
+    eng.run()
+    assert seen == [(item, 100)]
+
+
+def test_pre_sync_windows_cover_elapsed_time():
+    """pre_sync(dt) calls tile the active timeline exactly."""
+    eng, ex, _ = make()
+    windows = []
+    ex.pre_sync = windows.append
+    item = WorkItem(eng, demand=1000.0)
+    ex.add(item)
+    ex.set_rates({item: 1.0})
+    eng.schedule(300, lambda: ex.set_rates({item: 0.5}))
+    eng.run()
+    assert sum(windows) == item.finished_at
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    demands=st.lists(
+        st.floats(min_value=1.0, max_value=1e6, allow_nan=False), min_size=1, max_size=8
+    ),
+    rate=st.floats(min_value=0.01, max_value=100.0),
+)
+def test_work_conservation(demands, rate):
+    """Total work served equals total demand once everything completes."""
+    eng, ex, done = make()
+    items = [WorkItem(eng, d) for d in demands]
+    for it in items:
+        ex.add(it)
+    ex.set_rates({it: rate for it in items})
+    eng.run()
+    assert len(done) == len(items)
+    assert ex.total_work_served == pytest.approx(sum(demands), rel=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    demand=st.floats(min_value=10.0, max_value=1e6),
+    changes=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=10_000),
+            st.floats(min_value=0.0, max_value=10.0),
+        ),
+        max_size=6,
+    ),
+)
+def test_remaining_never_increases(demand, changes):
+    """Monotonicity under arbitrary piecewise rate schedules."""
+    eng, ex, _ = make()
+    item = WorkItem(eng, demand)
+    ex.add(item)
+    ex.set_rates({item: 1.0})
+    observations = []
+    t = 0
+    for dt, r in changes:
+        t += dt
+
+        def change(r=r):
+            ex.sync()  # settle any completion due exactly now
+            observations.append(item.remaining)
+            if item in ex.items:
+                ex.set_rates({item: r})
+
+        eng.schedule_at(t, change)
+
+    # ensure completion eventually
+    def finish():
+        ex.sync()
+        if item in ex.items:
+            ex.set_rates({item: 5.0})
+
+    eng.schedule_at(t + 1, finish)
+    eng.run()
+    assert all(b <= a + 1e-9 for a, b in zip(observations, observations[1:]))
+    assert item.remaining == 0.0

@@ -1,0 +1,323 @@
+"""Synchronization primitives: fairness, blocking, matching."""
+
+import pytest
+
+from repro.simx import Barrier, Channel, Delay, Engine, Lock, Semaphore, Store
+from repro.simx.errors import SimulationError
+
+
+# ---------------------------------------------------------------------------
+# Semaphore / Lock
+# ---------------------------------------------------------------------------
+
+def test_semaphore_counts():
+    eng = Engine()
+    sem = Semaphore(eng, value=2)
+    assert sem.try_acquire()
+    assert sem.try_acquire()
+    assert not sem.try_acquire()
+    sem.release()
+    assert sem.try_acquire()
+
+
+def test_semaphore_fifo_wakeup():
+    eng = Engine()
+    sem = Semaphore(eng, value=1)
+    order = []
+
+    def worker(i):
+        def body():
+            yield from sem.acquire()
+            order.append(i)
+            yield Delay(10)
+            sem.release()
+
+        return body
+
+    for i in range(5):
+        eng.process(worker(i)(), name=f"w{i}")
+    eng.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_semaphore_handoff_no_barging():
+    """A releasing looper can't re-grab ahead of an already queued waiter."""
+    eng = Engine()
+    sem = Semaphore(eng, value=1)
+    got = []
+
+    def hog():
+        yield from sem.acquire()
+        yield Delay(10)
+        sem.release()
+        # immediately try again — waiter must win
+        if sem.try_acquire():
+            got.append("hog-barged")
+
+    def waiter():
+        yield Delay(1)
+        yield from sem.acquire()
+        got.append("waiter")
+
+    eng.process(hog())
+    eng.process(waiter())
+    eng.run()
+    assert got == ["waiter"]
+
+
+def test_lock_release_unheld_raises():
+    eng = Engine()
+    lock = Lock(eng)
+    with pytest.raises(SimulationError):
+        lock.release()
+
+
+def test_lock_held_property():
+    eng = Engine()
+    lock = Lock(eng)
+    assert not lock.held
+    assert lock.try_acquire()
+    assert lock.held
+    lock.release()
+    assert not lock.held
+
+
+def test_semaphore_negative_value_rejected():
+    with pytest.raises(ValueError):
+        Semaphore(Engine(), value=-1)
+
+
+# ---------------------------------------------------------------------------
+# Barrier
+# ---------------------------------------------------------------------------
+
+def test_barrier_releases_all_at_once():
+    eng = Engine()
+    bar = Barrier(eng, parties=3)
+    release_times = []
+
+    def worker(delay):
+        def body():
+            yield Delay(delay)
+            yield from bar.wait()
+            release_times.append(eng.now)
+
+        return body
+
+    for d in (10, 50, 90):
+        eng.process(worker(d)())
+    eng.run()
+    assert release_times == [90, 90, 90]
+
+
+def test_barrier_is_reusable_across_generations():
+    eng = Engine()
+    bar = Barrier(eng, parties=2)
+    phases = []
+
+    def worker(name, d):
+        def body():
+            for phase in range(3):
+                yield Delay(d)
+                yield from bar.wait()
+                phases.append((phase, name, eng.now))
+
+        return body
+
+    eng.process(worker("fast", 10)())
+    eng.process(worker("slow", 30)())
+    eng.run()
+    # Each phase completes at the slow worker's pace.
+    times = [t for (_p, _n, t) in phases]
+    assert times == [30, 30, 60, 60, 90, 90]
+
+
+def test_barrier_single_party_never_blocks():
+    eng = Engine()
+    bar = Barrier(eng, parties=1)
+
+    def body():
+        idx = yield from bar.wait()
+        return idx
+
+    p = eng.process(body())
+    eng.run()
+    assert p.result == 0
+    assert eng.now == 0
+
+
+def test_barrier_requires_parties():
+    with pytest.raises(ValueError):
+        Barrier(Engine(), parties=0)
+
+
+# ---------------------------------------------------------------------------
+# Channel
+# ---------------------------------------------------------------------------
+
+def test_channel_fifo():
+    eng = Engine()
+    ch = Channel(eng)
+    got = []
+
+    def producer():
+        for i in range(5):
+            yield from ch.put(i)
+            yield Delay(1)
+
+    def consumer():
+        for _ in range(5):
+            v = yield from ch.get()
+            got.append(v)
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_channel_get_blocks_until_put():
+    eng = Engine()
+    ch = Channel(eng)
+
+    def consumer():
+        v = yield from ch.get()
+        return (v, eng.now)
+
+    def producer():
+        yield Delay(123)
+        yield from ch.put("x")
+
+    p = eng.process(consumer())
+    eng.process(producer())
+    eng.run()
+    assert p.result == ("x", 123)
+
+
+def test_channel_capacity_blocks_put():
+    eng = Engine()
+    ch = Channel(eng, capacity=1)
+    events = []
+
+    def producer():
+        yield from ch.put(1)
+        events.append(("put1", eng.now))
+        yield from ch.put(2)  # blocks until consumer drains
+        events.append(("put2", eng.now))
+
+    def consumer():
+        yield Delay(100)
+        v = yield from ch.get()
+        events.append(("got", v, eng.now))
+        yield Delay(0)
+        v = yield from ch.get()
+        events.append(("got", v, eng.now))
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert ("put1", 0) in events
+    put2 = [e for e in events if e[0] == "put2"][0]
+    assert put2[1] >= 100
+
+
+def test_channel_try_ops():
+    eng = Engine()
+    ch = Channel(eng, capacity=1)
+    assert ch.try_put("a")
+    assert not ch.try_put("b")
+    ok, v = ch.try_get()
+    assert ok and v == "a"
+    ok, _ = ch.try_get()
+    assert not ok
+
+
+def test_channel_bad_capacity():
+    with pytest.raises(ValueError):
+        Channel(Engine(), capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+def test_store_predicate_matching():
+    eng = Engine()
+    store = Store(eng)
+    store.put({"tag": 1, "v": "one"})
+    store.put({"tag": 2, "v": "two"})
+
+    def body():
+        m = yield from store.get(lambda m: m["tag"] == 2)
+        return m["v"]
+
+    p = eng.process(body())
+    eng.run()
+    assert p.result == "two"
+    assert len(store) == 1  # tag-1 message still queued
+
+
+def test_store_non_overtaking_same_key():
+    """Items with the same key are matched in arrival order."""
+    eng = Engine()
+    store = Store(eng)
+    for i in range(5):
+        store.put({"k": "a", "seq": i})
+    got = []
+
+    def body():
+        for _ in range(5):
+            m = yield from store.get(lambda m: m["k"] == "a")
+            got.append(m["seq"])
+
+    eng.process(body())
+    eng.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_waiter_woken_on_put():
+    eng = Engine()
+    store = Store(eng)
+
+    def body():
+        m = yield from store.get(lambda m: m > 10)
+        return (m, eng.now)
+
+    p = eng.process(body())
+    eng.schedule(5, store.put, 3)    # doesn't match
+    eng.schedule(9, store.put, 99)   # matches
+    eng.run()
+    assert p.result == (99, 9)
+    assert store.peek(lambda m: m == 3) == 3
+
+
+def test_store_oldest_waiter_wins():
+    eng = Engine()
+    store = Store(eng)
+    got = []
+
+    def waiter(name):
+        def body():
+            m = yield from store.get(lambda m: True)
+            got.append((name, m))
+
+        return body
+
+    eng.process(waiter("first")())
+    eng.process(waiter("second")())
+    eng.schedule(10, store.put, "x")
+    eng.schedule(20, store.put, "y")
+    eng.run()
+    assert got == [("first", "x"), ("second", "y")]
+
+
+def test_store_get_async_immediate_and_deferred():
+    eng = Engine()
+    store = Store(eng)
+    store.put(1)
+    ev = store.get_async(lambda m: m == 1)
+    assert ev.triggered and ev.value == 1
+    ev2 = store.get_async(lambda m: m == 2)
+    assert not ev2.triggered
+    store.put(2)
+    assert ev2.triggered and ev2.value == 2
