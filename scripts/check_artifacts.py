@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""CI smoke check: the observability artifacts parse and are non-trivial.
+
+Usage: check_artifacts.py MANIFEST.json TRACE.json [RECORDS.jsonl]
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    manifest_path, trace_path = argv[1], argv[2]
+
+    man = json.load(open(manifest_path))
+    assert man["matrix"], "manifest has no planned matrix"
+    assert man["cells"], "manifest has no measured cells"
+    assert man["calibration"], "manifest is missing calibration constants"
+    assert all("base_seed" in c for c in man["matrix"]), \
+        "matrix cells must carry re-run seeds"
+
+    doc = json.load(open(trace_path))
+    events = doc["traceEvents"]
+    assert events, "empty trace"
+    smm = [e for e in events if e.get("ph") == "X" and e.get("name") == "SMM"]
+    assert smm, "no SMM duration events in the long-SMI scenario"
+    assert all(e["args"]["duration_ns"] > 0 for e in smm)
+
+    n_jsonl = 0
+    if len(argv) > 3:
+        with open(argv[3]) as fp:
+            n_jsonl = sum(1 for line in fp if json.loads(line)["kind"])
+        assert n_jsonl > 0, "empty jsonl dump"
+
+    print(f"ok: manifest {len(man['cells'])} cells, trace {len(events)} "
+          f"events ({len(smm)} SMM windows), jsonl {n_jsonl} lines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

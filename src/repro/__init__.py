@@ -26,8 +26,14 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
+import logging as _logging
+
 from repro.system import SimulatedMachine, make_machine, make_node
 from repro.core.smi import SmiProfile, SmiSource
+
+# Library convention: never configure handlers for the embedding
+# application; emit into the void unless the app opts in (repro-smm -v).
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 

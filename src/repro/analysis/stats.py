@@ -39,7 +39,10 @@ def geomean(values: Sequence[float]) -> float:
         raise ValueError("geomean of empty sequence")
     if any(v <= 0 for v in values):
         raise ValueError("geomean requires positive values")
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+    g = math.exp(sum(math.log(v) for v in values) / len(values))
+    # the exp/log round trip can drift a few ulp outside the mathematical
+    # [min, max] envelope for near-identical large values; clamp it back
+    return min(max(g, min(values)), max(values))
 
 
 def pct_change(base: float, value: float) -> float:

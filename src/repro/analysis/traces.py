@@ -59,6 +59,13 @@ def union_coverage(residencies: Sequence[SmmResidency]) -> float:
     if not residencies:
         return 0.0
     window = residencies[0].window_ns
+    for r in residencies[1:]:
+        if r.window_ns != window:
+            raise ValueError(
+                "union_coverage needs a common observation window: "
+                f"{residencies[0].node} has {window} ns but {r.node} has "
+                f"{r.window_ns} ns"
+            )
     events: List[Tuple[int, int]] = []
     for r in residencies:
         for a, b in r.intervals:

@@ -129,6 +129,7 @@ def run_convolve(
     smi_interval_jiffies: int = 1000,
     seed: int = 1,
     machine: Optional[SimulatedMachine] = None,
+    metrics=None,
 ) -> AppResult:
     """Run one Convolve experiment: ``threads`` workers on a machine
     configured to ``logical_cpus`` online CPUs (the paper's sysfs
@@ -137,7 +138,7 @@ def run_convolve(
     from repro.core.smi import SmiSource
 
     if machine is None:
-        machine = make_machine(R410_SPEC, seed=seed)
+        machine = make_machine(R410_SPEC, seed=seed, metrics=metrics)
     machine.sysfs.set_logical_cpus(logical_cpus)
     if smi_durations is not None:
         SmiSource(machine.node, smi_durations, smi_interval_jiffies, seed=seed + 17)

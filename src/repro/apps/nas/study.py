@@ -25,7 +25,11 @@ from repro.core.smi import SmiProfile
 from repro.mpi.cluster import Cluster, ClusterSpec, run_mpi_job
 from repro.mpi.network import NetworkSpec
 
-__all__ = ["NasConfig", "run_nas_config"]
+__all__ = ["NasConfig", "run_nas_config", "DEFAULT_PHASE_SPREAD_NS"]
+
+#: Driver-rollout phase stagger across nodes (see Cluster.enable_smi and
+#: DESIGN.md §6) — exported so run manifests can record it.
+DEFAULT_PHASE_SPREAD_NS = 400_000_000
 
 
 @dataclass(frozen=True)
@@ -73,7 +77,10 @@ def run_nas_config(
     seed: int = 1,
     interval_jiffies: int = 1000,
     network: Optional[NetworkSpec] = None,
-    phase_spread_ns: Optional[int] = 400_000_000,
+    phase_spread_ns: Optional[int] = DEFAULT_PHASE_SPREAD_NS,
+    timeline=None,
+    metrics=None,
+    trace: bool = False,
 ) -> Optional[float]:
     """Run one benchmark configuration under one SMI class.
 
@@ -82,6 +89,13 @@ def run_nas_config(
     configurations.  Raises if the run's algorithmic verification fails —
     the simulated collectives must deliver correct values even under
     noise.
+
+    Observability hooks: pass a :class:`repro.simx.timeline.Timeline` as
+    ``timeline`` to capture the run's ground-truth trace, a
+    :class:`repro.obs.metrics.MetricsRegistry` as ``metrics`` to collect
+    counters, and ``trace=True`` to additionally record network messages
+    and per-CPU task placements (heavier; meant for the ``repro-smm
+    trace`` exporter, not for table sweeps).
     """
     if not nas_config_feasible(cfg):
         return None
@@ -92,7 +106,11 @@ def run_nas_config(
         network=network if network is not None else NetworkSpec(),
         htt=cfg.htt,
     )
-    cluster = Cluster(spec, seed=seed)
+    cluster = Cluster(spec, seed=seed, timeline=timeline, metrics=metrics)
+    if trace:
+        cluster.network.trace = True
+        for node in cluster.nodes:
+            node.scheduler.trace_placements = True
     cluster.enable_smi(
         SmiProfile.by_index(smm),
         interval_jiffies=interval_jiffies,

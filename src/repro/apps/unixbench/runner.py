@@ -136,13 +136,14 @@ def run_unixbench(
     seed: int = 1,
     duration_s: float = DEFAULT_DURATION_S,
     machine: Optional[SimulatedMachine] = None,
+    metrics=None,
 ) -> UnixbenchRun:
     """One full duplex UnixBench run at a CPU configuration, optionally
     under SMI noise.  Returns single-copy and per-CPU-copy indices."""
     from repro.core.smi import SmiSource
 
     if machine is None:
-        machine = make_machine(R410_SPEC, seed=seed)
+        machine = make_machine(R410_SPEC, seed=seed, metrics=metrics)
     machine.sysfs.set_logical_cpus(logical_cpus)
     if smi_durations is not None:
         SmiSource(machine.node, smi_durations, smi_interval_jiffies, seed=seed + 29)

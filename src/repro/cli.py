@@ -5,35 +5,98 @@ Subcommands regenerate the paper's artifacts or run the tools:
 * ``table1|table2|table3`` — the MPI study tables (BT/EP/FT).
 * ``table4|table5`` — the HTT × SMI tables (EP/FT at 4 ranks/node).
 * ``figure1`` — Convolve sweeps; ``figure2`` — UnixBench sweeps.
+* ``trace`` — run one scenario and export a Chrome-trace/Perfetto JSON.
 * ``detect`` — run the hwlat-style gap detector on the *host*.
 * ``calibrate`` — print the calibration derivation.
 
 Use ``--quick`` everywhere for a reduced matrix (class A, 1 repetition);
 output is the paper-layout text table (add ``--csv`` for CSV).
+
+Observability flags:
+
+* ``-v/-vv`` (global) — INFO/DEBUG logging to stderr.
+* ``--metrics`` — collect and print the run's metrics registry
+  (engine/SMM/scheduler/network counters and histograms).
+* ``--manifest [PATH]`` — write a JSON run manifest (seed, matrix,
+  calibration constants, per-cell timings); defaults to
+  ``<subcommand>.manifest.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
 __all__ = ["main"]
 
 
+def _positive_int(text: str) -> int:
+    n = int(text)
+    if n < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return n
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--quick", action="store_true", help="reduced matrix, 1 rep")
-    p.add_argument("--reps", type=int, default=None, help="repetitions per cell")
+    p.add_argument("--reps", type=_positive_int, default=None,
+                   help="repetitions per cell (>= 1)")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--csv", action="store_true", help="emit CSV instead of text")
+    p.add_argument("--metrics", action="store_true",
+                   help="collect and print run metrics")
+    p.add_argument("--manifest", nargs="?", const="auto", default=None,
+                   metavar="PATH", help="write a JSON run manifest "
+                   "(default <subcommand>.manifest.json)")
+
+
+def _setup_logging(verbosity: int) -> None:
+    if verbosity <= 0:
+        return
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=level,
+        format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+    )
+
+
+def _obs_kwargs(args: argparse.Namespace, params: dict):
+    """(manifest, registry) per the common flags, plus handler kwargs."""
+    from repro.obs import MetricsRegistry, RunManifest
+
+    manifest = None
+    if getattr(args, "manifest", None) is not None:
+        manifest = RunManifest(command=args.cmd, params=params)
+    registry = MetricsRegistry() if getattr(args, "metrics", False) else None
+    return manifest, registry
+
+
+def _finish_obs(args: argparse.Namespace, manifest, registry) -> None:
+    if registry is not None:
+        print("\n-- metrics " + "-" * 49)
+        print(registry.render())
+    if manifest is not None:
+        path = args.manifest
+        if path == "auto":
+            path = f"{args.cmd}.manifest.json"
+        manifest.write(path)
+        print(f"manifest written to {path}", file=sys.stderr)
 
 
 def _mpi_table(bench: str, args: argparse.Namespace) -> int:
     from repro.harness.mpi_tables import build_table, render
 
     reps = args.reps if args.reps is not None else (1 if args.quick else 3)
-    halves = build_table(bench, quick=args.quick, reps=reps, seed=args.seed)
+    manifest, registry = _obs_kwargs(
+        args, {"bench": bench, "quick": args.quick, "reps": reps,
+               "seed": args.seed})
+    halves = build_table(bench, quick=args.quick, reps=reps, seed=args.seed,
+                         manifest=manifest, metrics=registry)
     print(render(bench, halves, csv=args.csv))
+    _finish_obs(args, manifest, registry)
     return 0
 
 
@@ -41,24 +104,87 @@ def _htt_table(bench: str, args: argparse.Namespace) -> int:
     from repro.harness.htt_tables import build_htt_table, render_htt
 
     reps = args.reps if args.reps is not None else (1 if args.quick else 3)
-    rows = build_htt_table(bench, quick=args.quick, reps=reps, seed=args.seed)
+    manifest, registry = _obs_kwargs(
+        args, {"bench": bench, "quick": args.quick, "reps": reps,
+               "seed": args.seed, "ranks_per_node": 4})
+    rows = build_htt_table(bench, quick=args.quick, reps=reps, seed=args.seed,
+                           manifest=manifest, metrics=registry)
     print(render_htt(bench, rows))
+    _finish_obs(args, manifest, registry)
     return 0
 
 
 def _figure1(args: argparse.Namespace) -> int:
     from repro.harness.figure1 import build_figure1, render_figure1
 
-    data = build_figure1(quick=args.quick, seed=args.seed)
+    manifest, registry = _obs_kwargs(
+        args, {"quick": args.quick, "seed": args.seed})
+    data = build_figure1(quick=args.quick, seed=args.seed,
+                         manifest=manifest, metrics=registry)
     print(render_figure1(data, csv=args.csv))
+    _finish_obs(args, manifest, registry)
     return 0
 
 
 def _figure2(args: argparse.Namespace) -> int:
     from repro.harness.figure2 import build_figure2, render_figure2
 
-    data = build_figure2(quick=args.quick, seed=args.seed)
+    manifest, registry = _obs_kwargs(
+        args, {"quick": args.quick, "seed": args.seed})
+    data = build_figure2(quick=args.quick, seed=args.seed,
+                         manifest=manifest, metrics=registry)
     print(render_figure2(data, csv=args.csv))
+    _finish_obs(args, manifest, registry)
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    """Run one MPI scenario with full tracing and export the artifacts."""
+    import repro
+    from repro.apps.nas.params import NasClass
+    from repro.apps.nas.study import NasConfig, run_nas_config
+    from repro.obs import MetricsRegistry, write_chrome_trace, write_jsonl
+    from repro.simx.timeline import Timeline
+
+    if args.quick:
+        bench, cls, nodes, rpn = "EP", NasClass.A, 2, 1
+    else:
+        bench, cls, nodes, rpn = (
+            args.bench, NasClass(args.cls), args.nodes, args.rpn,
+        )
+    cfg = NasConfig(bench, cls, nodes=nodes, ranks_per_node=rpn)
+    timeline = Timeline()
+    registry = MetricsRegistry() if args.metrics else None
+    elapsed = run_nas_config(
+        cfg, smm=args.smm, seed=args.seed,
+        interval_jiffies=args.interval,
+        timeline=timeline, metrics=registry, trace=True,
+    )
+    if elapsed is None:
+        print(f"configuration {cfg.label} is infeasible", file=sys.stderr)
+        return 2
+    out = args.out or (
+        f"{bench.lower()}-{cls.value.lower()}-n{nodes}-smm{args.smm}.trace.json"
+    )
+    n = write_chrome_trace(
+        timeline, out,
+        nodes=[f"node{i}" for i in range(nodes)],
+        extra={
+            "bench": bench, "class": cls.value, "nodes": nodes,
+            "ranks_per_node": rpn, "smm": args.smm,
+            "interval_jiffies": args.interval, "seed": args.seed,
+            "elapsed_s": elapsed, "version": repro.__version__,
+        },
+    )
+    print(f"{cfg.label} smm={args.smm}: {elapsed:.2f}s simulated")
+    print(f"wrote {out} ({n} events) — open in https://ui.perfetto.dev "
+          "or chrome://tracing")
+    if args.jsonl:
+        lines = write_jsonl(timeline, args.jsonl)
+        print(f"wrote {args.jsonl} ({lines} records)")
+    if registry is not None:
+        print("\n-- metrics " + "-" * 49)
+        print(registry.render())
     return 0
 
 
@@ -100,6 +226,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro-smm",
         description="SMM/SMI noise study reproduction (ICPP 2016)",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="-v: INFO logging to stderr, -vv: DEBUG",
+    )
     sub = parser.add_subparsers(dest="cmd", required=True)
     for bench, name in (("BT", "table1"), ("EP", "table2"), ("FT", "table3")):
         p = sub.add_parser(name, help=f"{bench} MPI table")
@@ -115,6 +245,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser("figure2", help="UnixBench sweeps")
     _add_common(p)
     p.set_defaults(fn=_figure2)
+    p = sub.add_parser(
+        "trace", help="run one scenario and export a Perfetto/Chrome trace")
+    p.add_argument("--bench", default="EP", choices=("EP", "BT", "FT"))
+    p.add_argument("--cls", default="A", choices=("A", "B", "C"),
+                   help="NAS problem class")
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--rpn", type=int, default=1, help="MPI ranks per node")
+    p.add_argument("--smm", type=int, default=2, choices=(0, 1, 2),
+                   help="SMI class: 0 none, 1 short, 2 long")
+    p.add_argument("--interval", type=int, default=1000,
+                   help="SMI interval in jiffies (1 jiffy = 1 ms)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--quick", action="store_true",
+                   help="shorthand for the tiny EP.A 2-node scenario")
+    p.add_argument("-o", "--out", default=None,
+                   help="output path (default <scenario>.trace.json)")
+    p.add_argument("--jsonl", default=None, metavar="PATH",
+                   help="also dump raw timeline records as JSON Lines")
+    p.add_argument("--metrics", action="store_true",
+                   help="collect and print run metrics")
+    p.set_defaults(fn=_trace)
     p = sub.add_parser("detect", help="host-native SMI/latency gap scan")
     p.add_argument("--window", type=float, default=1.0, help="seconds to scan")
     p.set_defaults(fn=_detect)
@@ -122,6 +273,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_common(p)
     p.set_defaults(fn=_calibrate)
     args = parser.parse_args(argv)
+    _setup_logging(args.verbose)
     return args.fn(args)
 
 

@@ -17,6 +17,7 @@ the experiments verify the 1–3 ms / 100–110 ms classes actually landed).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import List, Optional, TYPE_CHECKING
 
@@ -26,6 +27,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.node import Node
 
 __all__ = ["BlackboxSmiDriver", "DriverStats"]
+
+log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -73,6 +76,8 @@ class BlackboxSmiDriver:
         if self._source is not None:
             raise RuntimeError("driver already loaded")
         self._baseline_entries = self.node.smm.stats.entries
+        log.info("%s: loading SMI driver interval=%d jiffies seed=%d",
+                 self.node.name, self.interval_jiffies, self.seed)
         self._source = SmiSource(
             self.node, self.durations, self.interval_jiffies, seed=self.seed
         )
@@ -80,6 +85,9 @@ class BlackboxSmiDriver:
     def stop(self) -> None:
         """rmmod: stop triggering (pending SMM residency still completes)."""
         if self._source is not None:
+            log.info("%s: unloading SMI driver after %d entries",
+                     self.node.name,
+                     self.node.smm.stats.entries - self._baseline_entries)
             self._source.stop()
             self._source = None
 

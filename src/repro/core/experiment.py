@@ -14,6 +14,7 @@ reducer produces the paper-style row.
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import dataclass, field
 from statistics import mean, stdev
@@ -27,6 +28,8 @@ __all__ = [
     "run_matrix",
     "default_reps",
 ]
+
+log = logging.getLogger(__name__)
 
 #: The paper uses 6 repetitions; simulations are deterministic apart from
 #: seeded jitter, so harnesses default lower and honour REPRO_BENCH_REPS.
@@ -118,9 +121,12 @@ def run_repeated(
     """
     values: List[float] = []
     for r in range(reps):
-        v = runner(base_seed + 7919 * r)
+        seed = base_seed + 7919 * r
+        v = runner(seed)
         if v is None:
+            log.debug("rep %d/%d seed=%d: infeasible", r + 1, reps, seed)
             return None
+        log.debug("rep %d/%d seed=%d: %.6fs", r + 1, reps, seed, v)
         values.append(v)
     return Measurement(values)
 

@@ -68,6 +68,13 @@ class SamplingProfiler:
         self._proc = None
 
     def start(self, duration_ns: int) -> None:
+        # A restarted profiler must not carry samples from the previous
+        # window — stale counts would inflate every task's reported time —
+        # and a still-live previous sampler would double-count every tick.
+        if self._proc is not None and self._proc.alive:
+            self._proc.kill()
+        self.samples = {}
+        self.ticks = 0
         self.expected_ticks = duration_ns // self.period_ns
         self._proc = self.node.engine.process(
             self._run(duration_ns), name=f"{self.node.name}.profiler",

@@ -110,6 +110,14 @@ class SmiSource:
         self.swallowed_ticks = 0
         self._stopped = False
         self.proc = None
+        m = node.metrics
+        if m is not None:
+            self._m_triggered = m.counter("smi.triggered", "SMIs asserted")
+            self._m_swallowed = m.counter(
+                "smi.ticks_swallowed", "trigger ticks lost to in-progress SMM")
+        else:
+            self._m_triggered = None
+            self._m_swallowed = None
         if durations is None:
             return  # SMM 0: no noise source.
         if interval_jiffies <= 0:
@@ -140,12 +148,16 @@ class SmiSource:
                 # Swallowed tick: the timer can't run inside SMM; re-arm a
                 # full interval after exit (phase reset).
                 self.swallowed_ticks += 1
+                if self._m_swallowed is not None:
+                    self._m_swallowed.value += 1
                 yield self.node.smm.wait_exit()
                 t_next = engine.now + self.interval_ns
                 continue
             duration = self.durations.sample(self.rng)
             self.node.smm.trigger(duration, source="smi-driver")
             self.triggered += 1
+            if self._m_triggered is not None:
+                self._m_triggered.value += 1
             t_next += self.interval_ns
 
     # -- analysis helpers ---------------------------------------------------

@@ -8,6 +8,7 @@ effect (§IV.C) — the harness also verifies that claim.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -16,6 +17,8 @@ from repro.apps.unixbench import run_unixbench
 from repro.core.smi import SmiProfile
 
 __all__ = ["Figure2Data", "build_figure2", "render_figure2"]
+
+log = logging.getLogger(__name__)
 
 _INTERVALS = (100, 600, 1100, 1600)  # the paper's grid
 _CPU_CONFIGS_QUICK = (1, 2, 4, 8)
@@ -33,18 +36,28 @@ class Figure2Data:
     short_at_100ms: Dict[int, float] = field(default_factory=dict)
 
 
-def build_figure2(quick: bool = True, seed: int = 1) -> Figure2Data:
+def build_figure2(quick: bool = True, seed: int = 1,
+                  manifest=None, metrics=None) -> Figure2Data:
     cpus = _CPU_CONFIGS_QUICK if quick else _CPU_CONFIGS_FULL
     data = Figure2Data()
     for k in cpus:
-        data.baselines[k] = run_unixbench(k, seed=seed).total_index
+        log.info("figure2 cpus=%d", k)
+        if manifest is not None:
+            manifest.plan_cell(cpus=k, intervals_ms=list(_INTERVALS), seed=seed)
+        data.baselines[k] = run_unixbench(k, seed=seed, metrics=metrics).total_index
         data.short_at_100ms[k] = run_unixbench(
-            k, SmiProfile.SHORT, 100, seed=seed
+            k, SmiProfile.SHORT, 100, seed=seed, metrics=metrics
         ).total_index
+        if manifest is not None:
+            manifest.add_cell(f"{k}cpu baseline", index=data.baselines[k])
+            manifest.add_cell(f"{k}cpu short@100ms",
+                              index=data.short_at_100ms[k])
         s = Series(label=f"{k}cpu")
         for iv in _INTERVALS:
-            r = run_unixbench(k, SmiProfile.LONG, iv, seed=seed)
+            r = run_unixbench(k, SmiProfile.LONG, iv, seed=seed, metrics=metrics)
             s.add(iv, r.total_index)
+            if manifest is not None:
+                manifest.add_cell(f"{k}cpu long@{iv}ms", index=r.total_index)
         data.long_series.append(s)
     return data
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, List
 
 from repro.analysis.tables import HttRow, render_htt_table
@@ -11,6 +12,8 @@ from repro.core.experiment import run_repeated
 from repro.paperdata import TABLE4_EP_HTT, TABLE5_FT_HTT
 
 __all__ = ["build_htt_table", "render_htt"]
+
+log = logging.getLogger(__name__)
 
 _PAPER = {"EP": TABLE4_EP_HTT, "FT": TABLE5_FT_HTT}
 _TABLE_NO = {"EP": 4, "FT": 5}
@@ -23,6 +26,8 @@ def build_htt_table(
     reps: int = 1,
     seed: int = 1,
     progress=None,
+    manifest=None,
+    metrics=None,
 ) -> List[HttRow]:
     classes = [NasClass.A] if quick else [NasClass.A, NasClass.B, NasClass.C]
     rows: List[HttRow] = []
@@ -34,13 +39,28 @@ def build_htt_table(
                 for htt in (False, True):
                     if progress:
                         progress(f"{bench}.{cls.value} row={row} smm={smm} ht={int(htt)}")
+                    log.info("cell %s.%s row=%d smm=%d ht=%d reps=%d",
+                             bench, cls.value, row, smm, int(htt), reps)
+                    if manifest is not None:
+                        manifest.plan_cell(
+                            bench=bench, cls=cls.value, nodes=row,
+                            ranks_per_node=4, htt=htt, smm=smm, reps=reps,
+                            base_seed=seed + 31 * smm + (977 if htt else 0),
+                        )
                     cfg = NasConfig(bench, cls, nodes=row, ranks_per_node=4, htt=htt)
                     m = run_repeated(
-                        lambda s, cfg=cfg, smm=smm: run_nas_config(cfg, smm=smm, seed=s),
+                        lambda s, cfg=cfg, smm=smm: run_nas_config(
+                            cfg, smm=smm, seed=s, metrics=metrics),
                         reps=reps,
                         base_seed=seed + 31 * smm + (977 if htt else 0),
                     )
                     pair.append(m.mean if m is not None else None)
+                    if manifest is not None:
+                        manifest.add_cell(
+                            f"{bench}.{cls.value} n={row} smm={smm} ht={int(htt)}",
+                            mean_s=m.mean if m is not None else None,
+                            values_s=m.values if m is not None else None,
+                        )
                 cells[smm] = tuple(pair)
             rows.append(
                 HttRow(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, List
 
 from repro.analysis.tables import NasTableRow, render_nas_table, rows_csv
@@ -12,6 +13,8 @@ from repro.harness.common import bench_full
 from repro.paperdata import paper_cell
 
 __all__ = ["table_rows_spec", "build_table", "render"]
+
+log = logging.getLogger(__name__)
 
 #: row indices per benchmark, from the paper's tables.
 _ROWS = {"BT": (1, 4, 16), "EP": (1, 2, 4, 8, 16), "FT": (1, 2, 4, 8, 16)}
@@ -30,8 +33,16 @@ def build_table(
     reps: int = 1,
     seed: int = 1,
     progress=None,
+    manifest=None,
+    metrics=None,
 ) -> Dict[int, List[NasTableRow]]:
-    """Measure both halves of a table; returns {ranks_per_node: rows}."""
+    """Measure both halves of a table; returns {ranks_per_node: rows}.
+
+    ``manifest`` (a :class:`repro.obs.manifest.RunManifest`) receives the
+    planned matrix and per-cell timings; ``metrics`` (a
+    :class:`repro.obs.metrics.MetricsRegistry`) collects engine/SMM/
+    network counters across every run of the table.
+    """
     halves: Dict[int, List[NasTableRow]] = {}
     for rpn in (1, 4):
         rows: List[NasTableRow] = []
@@ -41,12 +52,27 @@ def build_table(
             for smm in (0, 1, 2):
                 if progress:
                     progress(f"{bench}.{cls.value} row={row} rpn={rpn} smm={smm}")
+                log.info("cell %s.%s row=%d rpn=%d smm=%d reps=%d",
+                         bench, cls.value, row, rpn, smm, reps)
+                if manifest is not None:
+                    manifest.plan_cell(
+                        bench=bench, cls=cls.value, nodes=row,
+                        ranks_per_node=rpn, smm=smm, reps=reps,
+                        base_seed=seed + 31 * smm,
+                    )
                 m = run_repeated(
-                    lambda s, cfg=cfg, smm=smm: run_nas_config(cfg, smm=smm, seed=s),
+                    lambda s, cfg=cfg, smm=smm: run_nas_config(
+                        cfg, smm=smm, seed=s, metrics=metrics),
                     reps=reps,
                     base_seed=seed + 31 * smm,
                 )
                 cells[smm] = m.mean if m is not None else None
+                if manifest is not None:
+                    manifest.add_cell(
+                        f"{bench}.{cls.value} n={row} rpn={rpn} smm={smm}",
+                        mean_s=m.mean if m is not None else None,
+                        values_s=m.values if m is not None else None,
+                    )
             rows.append(
                 NasTableRow(
                     cls=cls.value,

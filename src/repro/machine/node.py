@@ -45,11 +45,26 @@ class Node:
         name: str = "node0",
         timeline: Optional[Timeline] = None,
         boot_offset_ns: int = 0,
+        metrics=None,
     ):
         self.engine = engine
         self.spec = spec
         self.name = name
         self.timeline = timeline if timeline is not None else Timeline()
+        # Observability: instruments cached per node (None when disabled,
+        # leaving the gate hot path with a single attribute check).
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_deferred = metrics.counter(
+                "node.wakeups.deferred", "wake-ups queued while frozen in SMM")
+            self._m_flush = metrics.histogram(
+                "node.wakeups.flush_batch",
+                "deferred wake-ups coalesced per SMM exit",
+                buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256),
+            )
+        else:
+            self._m_deferred = None
+            self._m_flush = None
         self.topology = Topology(spec)
         self.cache_hierarchy: CacheHierarchy = spec.hierarchy()
         self.clock = Clock(engine, tsc_hz=spec.base_hz, boot_offset_ns=boot_offset_ns)
@@ -114,6 +129,8 @@ class Node:
         self._frozen = False
         self.apply_rates()
         deferred, self._deferred = self._deferred, []
+        if self._m_flush is not None:
+            self._m_flush.observe(len(deferred))
         for fn in deferred:
             self.engine.schedule(0, fn)
         for fn in self._unfreeze_listeners:
@@ -128,6 +145,8 @@ class Node:
         when running, deferred to SMM exit when frozen."""
         if self._frozen:
             self._deferred.append(fn)
+            if self._m_deferred is not None:
+                self._m_deferred.value += 1
         else:
             self.engine.schedule(0, fn)
 

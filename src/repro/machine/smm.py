@@ -72,6 +72,17 @@ class SmmController:
         self._pending_ns: Optional[int] = None
         self._exit_waiters: List[Event] = []
         self._enter_tsc = 0
+        m = node.metrics
+        if m is not None:
+            self._m_entries = m.counter("smm.entries", "SMM entries (all nodes)")
+            self._m_latched = m.counter(
+                "smm.latched", "SMIs latched while already in SMM")
+            self._m_residency = m.histogram(
+                "smm.residency_ns", "TSC-measured residency per SMM entry")
+        else:
+            self._m_entries = None
+            self._m_latched = None
+            self._m_residency = None
 
     # -- triggering ------------------------------------------------------------
     def trigger(self, duration_ns: int, source: str = "smi") -> bool:
@@ -85,6 +96,8 @@ class SmmController:
             raise ValueError("SMI duration must be positive")
         if self.in_smm:
             self.stats.latched += 1
+            if self._m_latched is not None:
+                self._m_latched.value += 1
             if self._pending_ns is None or duration_ns > self._pending_ns:
                 self._pending_ns = int(duration_ns)
             return False
@@ -121,6 +134,9 @@ class SmmController:
         self.stats.measured_latency_ns.append(measured)
         self.stats.durations_ns.append(measured)
         self.stats.total_ns += measured
+        if self._m_entries is not None:
+            self._m_entries.value += 1
+            self._m_residency.observe(measured)
         self.in_smm = False
         self.node.unfreeze()
         self.node.timeline.record(now, "smm.exit", self.node.name, measured_ns=measured)

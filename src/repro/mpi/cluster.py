@@ -47,11 +47,13 @@ class ClusterSpec:
 class Cluster:
     """A fresh engine + N wired nodes + interconnect."""
 
-    def __init__(self, spec: ClusterSpec, seed: int = 0, timeline: Optional[Timeline] = None):
+    def __init__(self, spec: ClusterSpec, seed: int = 0,
+                 timeline: Optional[Timeline] = None, metrics=None):
         self.spec = spec
-        self.engine = Engine()
+        self.engine = Engine(metrics=metrics)
         self.timeline = timeline if timeline is not None else Timeline()
-        self.network = Network(self.engine, spec.network)
+        self.metrics = metrics
+        self.network = Network(self.engine, spec.network, metrics=metrics)
         self.nodes: List[Node] = []
         self.smi_sources: List[SmiSource] = []
         for i in range(spec.n_nodes):
@@ -63,6 +65,7 @@ class Cluster:
                 seed=seed * 1009 + i,
                 # A distinct boot offset per node so TSC values differ.
                 boot_offset_ns=i * 37_000_000_000,
+                metrics=metrics,
             )
             if not spec.htt:
                 node.topology.set_htt(False)

@@ -94,15 +94,35 @@ class Nic:
     def busy_until(self) -> int:
         return max(self._tx_free, self._rx_free)
 
+    def tx_queue_delay(self, now: int) -> int:
+        """How long a message injected *now* would wait behind earlier
+        traffic before its serialization starts."""
+        return max(0, self._tx_free - now)
+
 
 class Network:
     """The interconnect joining a cluster's nodes."""
 
-    def __init__(self, engine: Engine, spec: NetworkSpec):
+    def __init__(self, engine: Engine, spec: NetworkSpec, metrics=None):
         self.engine = engine
         self.spec = spec
         self.messages = 0
         self.bytes_moved = 0
+        #: When set, every transfer writes ``net.send``/``net.deliver``
+        #: records to the endpoint nodes' timeline (the trace exporter
+        #: turns these into flow arrows).  Off by default — large MPI
+        #: runs move 10^5+ messages.
+        self.trace = False
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_messages = metrics.counter("net.messages")
+            self._m_bytes = metrics.counter("net.bytes")
+            self._m_queue = metrics.histogram(
+                "net.queue_delay_ns", "NIC tx serialization queue wait")
+        else:
+            self._m_messages = None
+            self._m_bytes = None
+            self._m_queue = None
 
     def attach(self, node: "Node") -> None:
         """Give a node its NIC."""
@@ -125,11 +145,34 @@ class Network:
         now = self.engine.now
         if src is dst:
             t_done = now + 2_000 + self.spec.memcpy_ns(nbytes)
+            queue_ns = 0
         else:
             if src.nic is None or dst.nic is None:
                 raise RuntimeError("node has no NIC; was it attached to the network?")
+            queue_ns = src.nic.tx_queue_delay(now)
             t_tx = src.nic.occupy_tx(now, nbytes)
             t_arrive = t_tx + self.spec.latency_ns
             t_done = dst.nic.occupy_rx(t_arrive, nbytes)
-        self.engine.schedule_at(t_done, lambda: dst.deliver(on_deliver))
+        if self._m_messages is not None:
+            self._m_messages.value += 1
+            self._m_bytes.value += nbytes
+            self._m_queue.observe(queue_ns)
+        if self.trace:
+            msg_id = self.messages
+            src.timeline.record(
+                now, "net.send", src.name,
+                id=msg_id, nbytes=nbytes, dst_node=dst.name,
+            )
+
+            def deliver_traced(sent_ns=now, src_name=src.name) -> None:
+                dst.timeline.record(
+                    self.engine.now, "net.deliver", dst.name,
+                    id=msg_id, nbytes=nbytes, src_node=src_name,
+                    sent_ns=sent_ns,
+                )
+                dst.deliver(on_deliver)
+
+            self.engine.schedule_at(t_done, deliver_traced)
+        else:
+            self.engine.schedule_at(t_done, lambda: dst.deliver(on_deliver))
         return t_done

@@ -1,0 +1,36 @@
+"""repro.obs — the observability layer.
+
+The simulator's :class:`~repro.simx.timeline.Timeline` holds the
+omniscient ground truth that the paper's real hardware could not expose.
+This package turns that (and the engine/OS/network internals) into
+artifacts you can actually watch and archive:
+
+* :mod:`repro.obs.metrics` — a stdlib-only metrics registry (counters,
+  gauges, fixed-bucket histograms) with instrumentation points in the
+  event engine, the SMM/SMI machinery, the scheduler, and the
+  interconnect.  Collection is opt-in: when no registry is attached the
+  instrumented hot paths pay a single attribute check.
+* :mod:`repro.obs.trace` — exporters from the Timeline to Chrome Trace
+  Format / Perfetto JSON (SMM windows as duration events, messages as
+  flow arrows, one track group per node) and to a compact JSONL stream.
+* :mod:`repro.obs.manifest` — run provenance: every harness entry point
+  can emit a JSON manifest capturing the seed, the cell matrix, the
+  calibration constants, and per-cell timings, so any table or figure is
+  reproducible from its artifact alone.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import chrome_trace_events, write_chrome_trace, write_jsonl
+from repro.obs.manifest import RunManifest, calibration_constants
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "RunManifest",
+    "calibration_constants",
+]

@@ -1,0 +1,202 @@
+"""A stdlib-only metrics registry: counters, gauges, histograms.
+
+Design constraints (in order):
+
+1. **Near-zero cost when disabled.**  No component holds a registry by
+   default; every instrumentation site caches its instrument (or ``None``)
+   in an attribute at construction time, so the disabled hot path is one
+   attribute load plus an ``is not None`` test — no dict lookup, no call.
+2. **Cheap when enabled.**  Instruments are plain objects with ``__slots__``;
+   ``Counter.inc`` is one float add, ``Histogram.observe`` one linear scan
+   over a handful of bucket bounds (the bucket lists here have ≤ 16 edges,
+   where a linear scan beats ``bisect`` call overhead).
+3. **No dependencies.**  The rendering is Prometheus-flavoured text, but
+   nothing here imports outside the stdlib.
+
+Naming convention: dotted, ``<subsystem>.<noun>[.<verb>]`` — e.g.
+``engine.events.fired``, ``smm.residency_ns``, ``net.queue_delay_ns``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += n
+
+    def snapshot(self) -> Dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """An instantaneous level; also tracks its high-water mark."""
+
+    __slots__ = ("name", "help", "value", "high")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+        self.high: Number = 0
+
+    def set(self, v: Number) -> None:
+        self.value = v
+        if v > self.high:
+            self.high = v
+
+    def inc(self, n: Number = 1) -> None:
+        self.set(self.value + n)
+
+    def dec(self, n: Number = 1) -> None:
+        self.value -= n
+
+    def snapshot(self) -> Dict:
+        return {"type": "gauge", "value": self.value, "high": self.high}
+
+
+#: Default histogram bucket upper bounds, in nanoseconds: spans the
+#: interesting range from microsecond queueing delays to the paper's
+#: 100–110 ms SMM residencies.
+DEFAULT_NS_BUCKETS: Tuple[int, ...] = (
+    1_000, 10_000, 100_000, 1_000_000, 3_000_000, 10_000_000,
+    30_000_000, 100_000_000, 300_000_000, 1_000_000_000,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style buckets, like Prometheus).
+
+    ``buckets`` are upper bounds; an implicit +Inf bucket catches the
+    rest.  ``counts[i]`` is the number of observations ≤ ``buckets[i]``
+    exclusive of earlier buckets (i.e. *per-bucket*, not cumulative — the
+    snapshot exposes both).
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[Number] = DEFAULT_NS_BUCKETS):
+        bs = tuple(buckets)
+        if not bs or any(b >= c for b, c in zip(bs, bs[1:])):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.buckets = bs
+        self.counts: List[int] = [0] * (len(bs) + 1)  # + overflow
+        self.sum: Number = 0
+        self.count = 0
+
+    def observe(self, v: Number) -> None:
+        self.sum += v
+        self.count += 1
+        for i, b in enumerate(self.buckets):
+            if v <= b:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict:
+        return {
+            "type": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-create semantics.
+
+    One registry is typically shared by a whole cluster run; components
+    cache the instruments they need at construction time so per-event
+    costs never involve the registry.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls, *args, **kwargs):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name, *args, **kwargs)
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[Number] = DEFAULT_NS_BUCKETS) -> Histogram:
+        return self._get_or_create(name, Histogram, help, buckets)
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def get(self, name: str) -> Optional[object]:
+        return self._instruments.get(name)
+
+    def names(self) -> Iterable[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """All instruments as plain JSON-able dicts."""
+        return {n: self._instruments[n].snapshot() for n in sorted(self._instruments)}
+
+    def render(self) -> str:
+        """Human-readable dump (one instrument per line; histograms show
+        count/mean and the occupied buckets)."""
+        lines: List[str] = []
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                lines.append(f"{name:<36} {inst.value:>14g}")
+            elif isinstance(inst, Gauge):
+                lines.append(f"{name:<36} {inst.value:>14g}  (high {inst.high:g})")
+            else:
+                h: Histogram = inst  # type: ignore[assignment]
+                occupied = [
+                    f"≤{b:g}:{c}"
+                    for b, c in zip(h.buckets, h.counts)
+                    if c
+                ]
+                if h.counts[-1]:
+                    occupied.append(f">{h.buckets[-1]:g}:{h.counts[-1]}")
+                lines.append(
+                    f"{name:<36} n={h.count} mean={h.mean:g} "
+                    + " ".join(occupied)
+                )
+        return "\n".join(lines)

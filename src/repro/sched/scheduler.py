@@ -74,6 +74,25 @@ class Scheduler:
         self.misplacements = 0
         self.rebalances = 0
         self._rebalance_pending = False
+        #: When set, each compute-segment placement/completion is written
+        #: to the node timeline (task.place / task.done) so the trace
+        #: exporter can build per-CPU tracks.  Off by default: table runs
+        #: would otherwise accumulate one record per segment.
+        self.trace_placements = False
+        m = node.metrics
+        if m is not None:
+            self._m_placed = m.counter(
+                "sched.segments_placed", "compute segments placed on a CPU")
+            self._m_rebalances = m.counter("sched.rebalances")
+            self._m_misplacements = m.counter(
+                "sched.misplacements", "post-SMM waker-affinity mistakes")
+            self._m_runnable = m.gauge(
+                "sched.runnable", "segments resident across CPUs")
+        else:
+            self._m_placed = None
+            self._m_rebalances = None
+            self._m_misplacements = None
+            self._m_runnable = None
         node.scheduler = self
         node.add_unfreeze_listener(self._on_smm_exit)
         for cpu in node.cpus:
@@ -139,6 +158,14 @@ class Scheduler:
         task.cpu = cpu
         task.state = TaskState.RUNNING
         self.node.apply_rates()
+        if self._m_placed is not None:
+            self._m_placed.value += 1
+            self._m_runnable.inc()
+        if self.trace_placements:
+            self.node.timeline.record(
+                self.engine.now, "task.place", self.node.name,
+                task=task.name, cpu=cpu.index,
+            )
 
     def _eligible_cpus(self, task: Task) -> List["LogicalCpu"]:
         return [
@@ -166,6 +193,12 @@ class Scheduler:
 
     def _segment_complete(self, item: WorkItem) -> None:
         task: Task = item.meta
+        if self._m_runnable is not None:
+            self._m_runnable.dec()
+        if self.trace_placements:
+            self.node.timeline.record(
+                self.engine.now, "task.done", self.node.name, task=task.name,
+            )
         task.cpu = None
         task.state = TaskState.BLOCKED
         # Survivors on this CPU (and HTT siblings) now deserve a larger
@@ -217,6 +250,8 @@ class Scheduler:
     def rebalance(self) -> None:
         """Re-derive the greedy placement for all resident segments."""
         self.rebalances += 1
+        if self._m_rebalances is not None:
+            self._m_rebalances.value += 1
         items: List[WorkItem] = []
         for cpu in self.node.cpus:
             items.extend(cpu.executor.items)
@@ -278,6 +313,8 @@ class Scheduler:
         task.cpu = target
         self.node.apply_rates()
         self.misplacements += 1
+        if self._m_misplacements is not None:
+            self._m_misplacements.value += 1
         self.node.timeline.record(
             self.engine.now, "sched.misplace", self.node.name,
             task=task.name, cpu=target.index,

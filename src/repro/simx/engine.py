@@ -463,13 +463,28 @@ class Engine:
         assert p.result == 42
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics=None) -> None:
         self._heap: list[Handle] = []
         self._now = 0
         self._seq = 0
         self._live_processes = 0
         self._foreground = 0  # pending non-daemon callbacks
         self._orphan_failures: list[tuple[str, BaseException]] = []
+        # Observability: instruments are cached here (or None) so the
+        # disabled-mode cost on the scheduling/dispatch hot paths is a
+        # single attribute check (see repro.obs.metrics).
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_scheduled = metrics.counter(
+                "engine.events.scheduled", "event-heap pushes")
+            self._m_fired = metrics.counter(
+                "engine.events.fired", "callbacks dispatched")
+            self._m_heap = metrics.gauge(
+                "engine.heap.depth", "event-heap size after each push")
+        else:
+            self._m_scheduled = None
+            self._m_fired = None
+            self._m_heap = None
 
     # -- clock --------------------------------------------------------------
     @property
@@ -499,6 +514,9 @@ class Engine:
         if not daemon:
             self._foreground += 1
         heapq.heappush(self._heap, h)
+        if self._m_scheduled is not None:
+            self._m_scheduled.value += 1
+            self._m_heap.set(len(self._heap))
         return h
 
     def event(self, name: str = "") -> Event:
@@ -542,6 +560,8 @@ class Engine:
             if not h.daemon:
                 self._foreground -= 1
             self._now = h.time
+            if self._m_fired is not None:
+                self._m_fired.value += 1
             h.fn()
             if self._orphan_failures:
                 name, exc = self._orphan_failures[0]
@@ -571,6 +591,8 @@ class Engine:
             if not h.daemon:
                 self._foreground -= 1
             self._now = h.time
+            if self._m_fired is not None:
+                self._m_fired.value += 1
             h.fn()
             if self._orphan_failures:
                 name, exc = self._orphan_failures[0]

@@ -40,9 +40,11 @@ def make_node(
     seed: int = 0,
     enable_balancer: bool = True,
     boot_offset_ns: int = 0,
+    metrics=None,
 ) -> Node:
     """Build one node with its scheduler attached."""
-    node = Node(engine, spec, name=name, timeline=timeline, boot_offset_ns=boot_offset_ns)
+    node = Node(engine, spec, name=name, timeline=timeline,
+                boot_offset_ns=boot_offset_ns, metrics=metrics)
     Scheduler(node, seed=seed, enable_balancer=enable_balancer)
     return node
 
@@ -52,11 +54,14 @@ def make_machine(
     seed: int = 0,
     enable_balancer: bool = True,
     timeline: Optional[Timeline] = None,
+    metrics=None,
 ) -> SimulatedMachine:
     """Fresh engine + one node: the standalone-machine setup used by the
-    multithreaded experiments (§IV)."""
-    engine = Engine()
+    multithreaded experiments (§IV).  Pass a
+    :class:`repro.obs.metrics.MetricsRegistry` as ``metrics`` to collect
+    engine/SMM/scheduler counters for the run."""
+    engine = Engine(metrics=metrics)
     tl = timeline if timeline is not None else Timeline()
     node = make_node(engine, spec, name="node0", timeline=tl, seed=seed,
-                     enable_balancer=enable_balancer)
+                     enable_balancer=enable_balancer, metrics=metrics)
     return SimulatedMachine(engine, node, node.scheduler, Sysfs(node), tl)

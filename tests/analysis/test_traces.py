@@ -44,6 +44,18 @@ def test_union_coverage_empty():
     assert union_coverage([r]) == 0.0
 
 
+def test_union_coverage_rejects_mismatched_windows():
+    """Regression: silently dividing by the first residency's window gave
+    a wrong fraction when callers mixed observation windows."""
+    a = SmmResidency("node0", 1000, ((0, 100),))
+    b = SmmResidency("node1", 2000, ((0, 100),))
+    with pytest.raises(ValueError, match="window"):
+        union_coverage([a, b])
+    # equal windows still fine
+    c = SmmResidency("node1", 1000, ((200, 300),))
+    assert union_coverage([a, c]) == pytest.approx(0.2)
+
+
 def test_live_cluster_residency_matches_smm_stats():
     """End-to-end: timeline residency equals the controller's totals."""
     from repro.core.smi import SmiProfile

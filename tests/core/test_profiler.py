@@ -77,3 +77,28 @@ def test_bad_period_rejected():
     m = make_machine(WYEAST_SPEC)
     with pytest.raises(ValueError):
         SamplingProfiler(m.node, period_ns=0)
+
+
+def test_restart_clears_previous_window():
+    """Regression: start() must reset samples/ticks — a reused profiler
+    previously double-counted the first window into the second."""
+    m = make_machine(WYEAST_SPEC, seed=5)
+    prof = SamplingProfiler(m.node, period_ns=1_000_000)
+    prof.start(int(1e9))
+
+    def body(task):
+        yield from task.compute(WYEAST_SPEC.base_hz * 0.5)
+
+    t = m.scheduler.spawn(body, "first", REG)
+    m.engine.run_until(t.proc.done_event)
+    first_ticks = prof.ticks
+    assert first_ticks > 0 and prof.samples
+
+    prof.start(int(1e9))
+    assert prof.ticks == 0
+    assert prof.samples == {}
+    t2 = m.scheduler.spawn(body, "second", REG)
+    m.engine.run_until(t2.proc.done_event)
+    view = prof.view()
+    assert "first" not in view.seconds_by_task
+    assert view.seconds_by_task["second"] == pytest.approx(0.5, rel=0.05)

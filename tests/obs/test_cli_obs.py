@@ -1,0 +1,74 @@
+"""The observability CLI surface: trace subcommand, --metrics/--manifest."""
+
+import json
+import logging
+
+from repro.cli import main
+
+
+def test_cli_trace_quick_writes_valid_chrome_trace(tmp_path, capsys):
+    out = tmp_path / "t.trace.json"
+    jsonl = tmp_path / "t.jsonl"
+    assert main(["trace", "--quick", "-o", str(out),
+                 "--jsonl", str(jsonl), "--metrics"]) == 0
+    printed = capsys.readouterr().out
+    assert "perfetto" in printed and "smm.entries" in printed
+
+    doc = json.loads(out.read_text())
+    assert {"traceEvents", "displayTimeUnit", "otherData"} == set(doc)
+    assert doc["otherData"]["bench"] == "EP"
+    assert doc["otherData"]["smm"] == 2
+    assert any(
+        e.get("ph") == "X" and e.get("name") == "SMM"
+        for e in doc["traceEvents"]
+    )
+    lines = jsonl.read_text().splitlines()
+    assert lines and all(json.loads(l)["kind"] for l in lines)
+
+
+def test_cli_trace_smm0_has_no_smm_events(tmp_path):
+    out = tmp_path / "clean.trace.json"
+    assert main(["trace", "--quick", "--smm", "0", "-o", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert not any(e.get("name") == "SMM" for e in doc["traceEvents"])
+
+
+def test_cli_table_manifest_and_metrics(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["table2", "--quick", "--metrics", "--manifest"]) == 0
+    printed = capsys.readouterr().out
+    assert "engine.events.fired" in printed
+    man = json.loads((tmp_path / "table2.manifest.json").read_text())
+    assert man["command"] == "table2"
+    assert man["matrix"] and man["cells"]
+    assert "calibration" in man
+
+
+def test_cli_manifest_explicit_path(tmp_path):
+    path = tmp_path / "custom.json"
+    assert main(["figure2", "--quick", "--manifest", str(path)]) == 0
+    man = json.loads(path.read_text())
+    assert man["command"] == "figure2"
+    assert any("baseline" in c["label"] for c in man["cells"])
+
+
+def test_verbose_flag_enables_harness_logging(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    # reset handlers so basicConfig in _setup_logging takes effect even
+    # if an earlier test configured logging
+    root = logging.getLogger()
+    old = root.handlers[:]
+    root.handlers[:] = []
+    try:
+        assert main(["-v", "figure2", "--quick"]) == 0
+        err = capsys.readouterr().err
+        assert "repro.harness.figure2" in err
+    finally:
+        root.handlers[:] = old
+
+
+def test_package_root_has_null_handler():
+    import repro  # noqa: F401
+
+    handlers = logging.getLogger("repro").handlers
+    assert any(isinstance(h, logging.NullHandler) for h in handlers)
