@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""CI chaos smoke: the resilient runner survives injected faults and kills.
+
+Three drills against the quick EP table sweep, all using real worker
+subprocesses:
+
+1. transient faults: a chaos plan kills one cell's first attempt and
+   flakes another; with --retries 2 the sweep must still exit 0 with
+   every cell ok and the retries recorded (retried cells re-run on
+   derived per-attempt seeds, so their values may legitimately differ
+   from the clean run).
+2. kill -9 mid-sweep, then --resume: the journal must survive, the
+   resumed run must exit 0, and the final table must be byte-identical.
+3. unrecoverable fault: with no retries a killed cell degrades to "-"
+   and the CLI exits 1 with a failure summary, not a traceback.
+
+Usage: chaos_smoke.py [WORKDIR]
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def _env(**extra):
+    env = dict(os.environ)
+    here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = os.path.join(here, "src")
+    if os.path.isdir(os.path.join(src, "repro")):
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_CHAOS_PLAN", None)
+    env.update(extra)
+    return env
+
+
+def _cli(args, **kw):
+    return subprocess.run([sys.executable, "-m", "repro.cli"] + args,
+                          capture_output=True, text=True, **kw)
+
+
+def main(argv):
+    work = argv[1] if len(argv) > 1 else tempfile.mkdtemp(prefix="chaos-")
+    os.makedirs(work, exist_ok=True)
+    base = ["table2", "--quick"]
+
+    print("== clean baseline ==")
+    clean = _cli(base, env=_env(), cwd=work)
+    assert clean.returncode == 0, clean.stderr
+    assert "Table 2" in clean.stdout
+
+    print("== drill 1: kill+flake faults recovered by retries ==")
+    plan = os.path.join(work, "plan.json")
+    with open(plan, "w") as fp:
+        json.dump([
+            {"match": "EP.A n=2 rpn=1 smm=0", "fault": "kill",
+             "attempts": [0]},
+            {"match": "EP.A n=8 rpn=4 smm=*", "fault": "flake",
+             "attempts": [0]},
+        ], fp)
+    man1 = os.path.join(work, "chaos.json")
+    r = _cli(base + ["--jobs", "2", "--retries", "2", "--manifest", man1],
+             env=_env(REPRO_CHAOS_PLAN=plan), cwd=work)
+    assert r.returncode == 0, (r.stdout, r.stderr)
+    assert "Table 2" in r.stdout
+    doc = json.load(open(man1))
+    retried = [c for c in doc["cells"] if c.get("attempts", 1) > 1]
+    assert len(retried) == 4, f"expected 4 retried cells, got {len(retried)}"
+    assert all(c["status"] == "ok" for c in doc["cells"])
+
+    print("== drill 2: SIGKILL mid-sweep, then --resume ==")
+    man2 = os.path.join(work, "killed.json")
+    part = man2 + ".part.jsonl"
+    sweep = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli"] + base +
+        ["--jobs", "2", "--manifest", man2],
+        env=_env(), cwd=work,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    deadline = time.monotonic() + 300
+    while time.monotonic() < deadline:
+        if os.path.exists(part) and sum(1 for _ in open(part)) >= 5:
+            break
+        assert sweep.poll() is None, "sweep finished before the kill"
+        time.sleep(0.05)
+    sweep.send_signal(signal.SIGKILL)
+    sweep.wait()
+    assert os.path.exists(part), "journal did not survive the kill"
+    resumed = _cli(base + ["--resume", man2], env=_env(), cwd=work)
+    assert resumed.returncode == 0, resumed.stderr
+    assert "cells already complete" in resumed.stderr
+    assert resumed.stdout == clean.stdout, "resumed output drifted"
+    assert not os.path.exists(part), "journal not finalized after resume"
+
+    print("== drill 3: unrecoverable fault degrades to '-' and exit 1 ==")
+    plan3 = os.path.join(work, "plan3.json")
+    with open(plan3, "w") as fp:
+        json.dump([{"match": "EP.A n=2 rpn=1*", "fault": "kill"}], fp)
+    man3 = os.path.join(work, "degraded.json")
+    r = _cli(base + ["--jobs", "2", "--manifest", man3],
+             env=_env(REPRO_CHAOS_PLAN=plan3), cwd=work)
+    assert r.returncode == 1, (r.returncode, r.stderr)
+    assert "Table 2" in r.stdout, "degraded table must still render"
+    assert "failed" in r.stderr and "--resume" in r.stderr
+    doc = json.load(open(man3))
+    failed = [c for c in doc["cells"] if c["status"] == "failed"]
+    assert len(failed) == 3, f"expected 3 failed cells, got {len(failed)}"
+
+    print("ok: retries recovered 4 faulted cells, resume was byte-identical,"
+          " degradation exited 1 with the table rendered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

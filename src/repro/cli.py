@@ -20,6 +20,19 @@ Observability flags:
 * ``--manifest [PATH]`` — write a JSON run manifest (seed, matrix,
   calibration constants, per-cell timings); defaults to
   ``<subcommand>.manifest.json``.
+
+Resilient-sweep flags (any of them routes the table/figure subcommands
+through `repro.runx`: crash-isolated worker subprocesses, a fsync'd
+checkpoint journal, and graceful degradation — failed cells render as
+"-" and the command exits 1 with a failure summary, never a traceback):
+
+* ``--jobs N`` — run up to N cells concurrently (bit-identical output
+  to ``--jobs 1``; cell seeds are position-derived).
+* ``--timeout S`` — per-cell wall-clock watchdog.
+* ``--retries K`` — re-run failed cells up to K times (deterministic
+  exponential backoff, per-attempt derived seeds).
+* ``--resume MANIFEST`` — skip the cells a previous (possibly killed)
+  run already completed, using its recorded parameters and seeds.
 """
 
 from __future__ import annotations
@@ -50,6 +63,19 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--manifest", nargs="?", const="auto", default=None,
                    metavar="PATH", help="write a JSON run manifest "
                    "(default <subcommand>.manifest.json)")
+    resilient = p.add_argument_group(
+        "resilient sweep (repro.runx)",
+        "any of these runs the sweep crash-isolated and checkpointed",
+    )
+    resilient.add_argument("--jobs", type=_positive_int, default=None,
+                           metavar="N", help="cells to run in parallel")
+    resilient.add_argument("--timeout", type=float, default=None, metavar="S",
+                           help="per-cell wall-clock watchdog (seconds)")
+    resilient.add_argument("--retries", type=int, default=None, metavar="K",
+                           help="retry failed cells up to K times")
+    resilient.add_argument("--resume", default=None, metavar="MANIFEST",
+                           help="resume an interrupted sweep from its "
+                           "manifest/journal")
 
 
 def _setup_logging(verbosity: int) -> None:
@@ -86,9 +112,127 @@ def _finish_obs(args: argparse.Namespace, manifest, registry) -> None:
         print(f"manifest written to {path}", file=sys.stderr)
 
 
+def _resilient_requested(args: argparse.Namespace) -> bool:
+    return any(
+        getattr(args, flag, None) is not None
+        for flag in ("jobs", "timeout", "retries", "resume")
+    )
+
+
+def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
+                   extra_params: Optional[dict] = None) -> int:
+    """Shared driver for all table/figure subcommands in runx mode.
+
+    ``specs_fn(quick, reps, seed)`` builds the cell specs;
+    ``render_fn(quick, results)`` reduces ``{id: CellResult}`` to the
+    printable artifact.  Every completed cell is checkpointed to
+    ``<manifest>.part.jsonl``; on full success the v2 manifest is
+    finalized atomically and the journal removed, otherwise the journal
+    stays behind for ``--resume`` and the exit code is 1.
+    """
+    import os
+
+    from repro.obs import MetricsRegistry, RunManifest
+    from repro.runx import Journal, SweepRunner, load_resume, part_path
+
+    quick, seed = args.quick, args.seed
+    reps = args.reps if args.reps is not None else (1 if args.quick else 3)
+    completed = {}
+    if args.resume:
+        try:
+            header, completed = load_resume(args.resume)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if header:
+            if header.get("command") and header["command"] != args.cmd:
+                print(
+                    f"error: {args.resume} records a "
+                    f"{header['command']!r} run, not {args.cmd!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            # The recorded run parameters win: resume must re-create the
+            # original matrix and seeds, not whatever the new command
+            # line happens to say.
+            recorded = {k: header[k] for k in ("quick", "reps", "seed")
+                        if k in header and header[k] is not None}
+            if recorded:
+                current = {"quick": quick, "reps": reps, "seed": seed}
+                drift = {k: (current[k], v) for k, v in recorded.items()
+                         if current[k] != v}
+                if drift:
+                    print(f"resume: using recorded parameters {recorded} "
+                          f"(command line differs: {sorted(drift)})",
+                          file=sys.stderr)
+                quick = recorded.get("quick", quick)
+                reps = recorded.get("reps", reps)
+                seed = recorded.get("seed", seed)
+        print(f"resume: {len(completed)} cells already complete",
+              file=sys.stderr)
+
+    jobs = args.jobs or 1
+    retries = args.retries or 0
+    manifest_path = args.resume or args.manifest
+    if manifest_path in (None, "auto"):
+        manifest_path = f"{args.cmd}.manifest.json"
+    params = {"quick": quick, "reps": reps, "seed": seed, "jobs": jobs,
+              "timeout_s": args.timeout, "retries": retries,
+              **(extra_params or {})}
+    specs = specs_fn(quick, reps, seed)
+    manifest = RunManifest(command=args.cmd, params=params, mode="journal")
+    for spec in specs:
+        manifest.plan_cell(id=spec.id, fn=spec.fn,
+                           base_seed=spec.base_seed, **spec.params)
+    journal = Journal(manifest_path)
+    if not os.path.exists(part_path(manifest_path)):
+        journal.write_header(
+            {"command": args.cmd, "quick": quick, "reps": reps, "seed": seed})
+        for prior in completed.values():
+            journal.append(prior)
+
+    registry = MetricsRegistry() if args.metrics else None
+    progress = (
+        (lambda msg: print(msg, file=sys.stderr)) if args.verbose else None)
+    runner = SweepRunner(
+        jobs=jobs, timeout_s=args.timeout, retries=retries,
+        metrics=registry, manifest=manifest, journal=journal,
+        progress=progress,
+    )
+    results = runner.run(specs, completed=completed)
+    print(render_fn(quick, results))
+    if registry is not None:
+        print("\n-- metrics " + "-" * 49)
+        print(registry.render())
+    manifest.write(manifest_path)
+    failed = sorted(r.id for r in results.values() if not r.ok)
+    if failed:
+        shown = ", ".join(failed[:8]) + (" …" if len(failed) > 8 else "")
+        print(
+            f"{len(failed)}/{len(results)} cells failed: {shown}\n"
+            f"(failed cells render as '-'; retry them with: "
+            f"repro-smm {args.cmd} --resume {manifest_path})",
+            file=sys.stderr,
+        )
+        return 1
+    journal.finalize()
+    print(f"manifest written to {manifest_path}", file=sys.stderr)
+    return 0
+
+
 def _mpi_table(bench: str, args: argparse.Namespace) -> int:
     from repro.harness.mpi_tables import build_table, render
 
+    if _resilient_requested(args):
+        from repro.harness.mpi_tables import assemble_table, table_cell_specs
+
+        return _resilient_run(
+            args,
+            lambda quick, reps, seed: table_cell_specs(bench, quick, reps, seed),
+            lambda quick, results: render(
+                bench, assemble_table(bench, quick, results), csv=args.csv),
+            extra_params={"bench": bench},
+        )
     reps = args.reps if args.reps is not None else (1 if args.quick else 3)
     manifest, registry = _obs_kwargs(
         args, {"bench": bench, "quick": args.quick, "reps": reps,
@@ -103,6 +247,16 @@ def _mpi_table(bench: str, args: argparse.Namespace) -> int:
 def _htt_table(bench: str, args: argparse.Namespace) -> int:
     from repro.harness.htt_tables import build_htt_table, render_htt
 
+    if _resilient_requested(args):
+        from repro.harness.htt_tables import assemble_htt_table, htt_cell_specs
+
+        return _resilient_run(
+            args,
+            lambda quick, reps, seed: htt_cell_specs(bench, quick, reps, seed),
+            lambda quick, results: render_htt(
+                bench, assemble_htt_table(bench, quick, results)),
+            extra_params={"bench": bench, "ranks_per_node": 4},
+        )
     reps = args.reps if args.reps is not None else (1 if args.quick else 3)
     manifest, registry = _obs_kwargs(
         args, {"bench": bench, "quick": args.quick, "reps": reps,
@@ -117,6 +271,15 @@ def _htt_table(bench: str, args: argparse.Namespace) -> int:
 def _figure1(args: argparse.Namespace) -> int:
     from repro.harness.figure1 import build_figure1, render_figure1
 
+    if _resilient_requested(args):
+        from repro.harness.figure1 import assemble_figure1, figure1_cell_specs
+
+        return _resilient_run(
+            args,
+            lambda quick, reps, seed: figure1_cell_specs(quick, seed),
+            lambda quick, results: render_figure1(
+                assemble_figure1(quick, results), csv=args.csv),
+        )
     manifest, registry = _obs_kwargs(
         args, {"quick": args.quick, "seed": args.seed})
     data = build_figure1(quick=args.quick, seed=args.seed,
@@ -129,6 +292,15 @@ def _figure1(args: argparse.Namespace) -> int:
 def _figure2(args: argparse.Namespace) -> int:
     from repro.harness.figure2 import build_figure2, render_figure2
 
+    if _resilient_requested(args):
+        from repro.harness.figure2 import assemble_figure2, figure2_cell_specs
+
+        return _resilient_run(
+            args,
+            lambda quick, reps, seed: figure2_cell_specs(quick, seed),
+            lambda quick, results: render_figure2(
+                assemble_figure2(quick, results), csv=args.csv),
+        )
     manifest, registry = _obs_kwargs(
         args, {"quick": args.quick, "seed": args.seed})
     data = build_figure2(quick=args.quick, seed=args.seed,

@@ -27,6 +27,9 @@ __all__ = [
     "run_repeated",
     "run_matrix",
     "default_reps",
+    "reps_from_env",
+    "rep_seed",
+    "smm_cell_seed",
 ]
 
 log = logging.getLogger(__name__)
@@ -35,16 +38,52 @@ log = logging.getLogger(__name__)
 #: seeded jitter, so harnesses default lower and honour REPRO_BENCH_REPS.
 PAPER_REPS = 6
 
+#: Per-repetition and per-SMI-class seed strides.  These are *positional*
+#: derivations — a cell's seeds depend only on where it sits in the
+#: matrix, never on execution order — which is what lets `repro.runx`
+#: run cells in parallel or resume a sweep and still produce results
+#: bit-identical to an uninterrupted serial run.
+REP_SEED_STRIDE = 7919
+SMM_SEED_STRIDE = 31
+HTT_SEED_OFFSET = 977
+
+
+def rep_seed(base_seed: int, rep: int) -> int:
+    """Seed of repetition ``rep`` (0-based) of a cell."""
+    return base_seed + REP_SEED_STRIDE * rep
+
+
+def smm_cell_seed(seed: int, smm: int, htt: bool = False) -> int:
+    """Base seed of the (smm, htt) cell of a table row."""
+    return seed + SMM_SEED_STRIDE * smm + (HTT_SEED_OFFSET if htt else 0)
+
+
+def reps_from_env(var: str = "REPRO_BENCH_REPS") -> Optional[int]:
+    """Validated repetition override from the environment, or None.
+
+    The single source of truth for ``$REPRO_BENCH_REPS`` parsing (both
+    the harness knobs and :func:`default_reps` use it): non-numeric or
+    non-positive values raise a ``ValueError`` that names the variable
+    and the offending text instead of a bare ``int()`` traceback.
+    """
+    v = os.environ.get(var)
+    if not v:
+        return None
+    try:
+        n = int(v)
+    except ValueError:
+        raise ValueError(
+            f"{var} must be a positive integer, got {v!r}"
+        ) from None
+    if n < 1:
+        raise ValueError(f"{var} must be >= 1, got {n}")
+    return n
+
 
 def default_reps(fallback: int = 3) -> int:
     """Repetitions to use: $REPRO_BENCH_REPS, or ``fallback``."""
-    v = os.environ.get("REPRO_BENCH_REPS")
-    if v:
-        n = int(v)
-        if n < 1:
-            raise ValueError("REPRO_BENCH_REPS must be >= 1")
-        return n
-    return fallback
+    n = reps_from_env()
+    return n if n is not None else fallback
 
 
 @dataclass(frozen=True)
@@ -121,7 +160,7 @@ def run_repeated(
     """
     values: List[float] = []
     for r in range(reps):
-        seed = base_seed + 7919 * r
+        seed = rep_seed(base_seed, r)
         v = runner(seed)
         if v is None:
             log.debug("rep %d/%d seed=%d: infeasible", r + 1, reps, seed)

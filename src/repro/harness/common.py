@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import os
 
+from repro.core.experiment import reps_from_env
+
 __all__ = ["bench_full", "bench_reps"]
 
 
@@ -14,10 +16,7 @@ def bench_full() -> bool:
 
 def bench_reps(quick_default: int = 1, full_default: int = 3) -> int:
     """Repetitions per cell, honouring REPRO_BENCH_REPS."""
-    v = os.environ.get("REPRO_BENCH_REPS")
-    if v:
-        n = int(v)
-        if n < 1:
-            raise ValueError("REPRO_BENCH_REPS must be >= 1")
+    n = reps_from_env()
+    if n is not None:
         return n
     return full_default if bench_full() else quick_default

@@ -19,7 +19,13 @@ from repro.apps.convolve import CACHE_FRIENDLY, CACHE_UNFRIENDLY, ConvolveConfig
 from repro.core.smi import SmiProfile
 from repro.harness.common import bench_full
 
-__all__ = ["Figure1Data", "build_figure1", "render_figure1"]
+__all__ = [
+    "Figure1Data",
+    "build_figure1",
+    "render_figure1",
+    "figure1_cell_specs",
+    "assemble_figure1",
+]
 
 log = logging.getLogger(__name__)
 
@@ -95,6 +101,73 @@ def build_figure1(quick: bool = True, seed: int = 1, reps_right: int = 3,
                         f"{config.name} run{rep + 1} {k}cpu @50ms",
                         mean_s=r.elapsed_s)
             runs.append(s)
+        data.right[config.name] = runs
+    return data
+
+
+def figure1_cell_specs(quick: bool, seed: int, reps_right: int = 3) -> List:
+    """Figure 1 as `repro.runx` cell specs: one cell per left-panel line
+    (baseline + full interval sweep of one CPU config) and one per
+    right-panel repetition — coarse enough to amortize worker startup,
+    fine enough that a crash loses one line, not a panel."""
+    from repro.runx.spec import CellSpec
+
+    cpus = _CPU_CONFIGS_QUICK if quick else _CPU_CONFIGS_FULL
+    intervals = _intervals(quick)
+    specs: List[CellSpec] = []
+    for config in (CACHE_UNFRIENDLY, CACHE_FRIENDLY):
+        for k in cpus:
+            specs.append(CellSpec(
+                id=f"figure1 {config.name} {k}cpu left",
+                fn="convolve_line",
+                params={"config": config.name, "cpus": k,
+                        "intervals_ms": list(intervals)},
+                base_seed=seed,
+            ))
+        for rep in range(reps_right):
+            specs.append(CellSpec(
+                id=f"figure1 {config.name} run{rep + 1} right",
+                fn="convolve_run",
+                params={"config": config.name, "cpus": list(cpus),
+                        "interval_ms": 50},
+                base_seed=seed + 101 * (rep + 1),
+            ))
+    return specs
+
+
+def assemble_figure1(quick: bool, results: Dict,
+                     reps_right: int = 3) -> Figure1Data:
+    """Reduce `repro.runx` results into :class:`Figure1Data`.
+
+    Failed cells are simply absent from their panel (the chart renders
+    the surviving lines; the CLI's failure summary names the holes).
+    """
+    cpus = _CPU_CONFIGS_QUICK if quick else _CPU_CONFIGS_FULL
+    data = Figure1Data()
+    for config in (CACHE_UNFRIENDLY, CACHE_FRIENDLY):
+        lines: List[Series] = []
+        data.baselines[config.name] = {}
+        for k in cpus:
+            res = results.get(f"figure1 {config.name} {k}cpu left")
+            if res is None or not res.ok or not res.value:
+                continue
+            data.baselines[config.name][k] = res.value["baseline"]
+            lines.append(Series(
+                label=f"{k}cpu",
+                points=[(float(iv), float(y))
+                        for iv, y in res.value["points"]],
+            ))
+        data.left[config.name] = lines
+        runs: List[Series] = []
+        for rep in range(reps_right):
+            res = results.get(f"figure1 {config.name} run{rep + 1} right")
+            if res is None or not res.ok or not res.value:
+                continue
+            runs.append(Series(
+                label=f"run{rep + 1}",
+                points=[(float(k), float(y))
+                        for k, y in res.value["points"]],
+            ))
         data.right[config.name] = runs
     return data
 

@@ -16,7 +16,13 @@ from repro.analysis.figures import Series, ascii_chart, series_csv
 from repro.apps.unixbench import run_unixbench
 from repro.core.smi import SmiProfile
 
-__all__ = ["Figure2Data", "build_figure2", "render_figure2"]
+__all__ = [
+    "Figure2Data",
+    "build_figure2",
+    "render_figure2",
+    "figure2_cell_specs",
+    "assemble_figure2",
+]
 
 log = logging.getLogger(__name__)
 
@@ -59,6 +65,41 @@ def build_figure2(quick: bool = True, seed: int = 1,
             if manifest is not None:
                 manifest.add_cell(f"{k}cpu long@{iv}ms", index=r.total_index)
         data.long_series.append(s)
+    return data
+
+
+def figure2_cell_specs(quick: bool, seed: int) -> List:
+    """Figure 2 as `repro.runx` cell specs: one cell per CPU config
+    (baseline + short-SMI check + the long-SMI interval sweep)."""
+    from repro.runx.spec import CellSpec
+
+    cpus = _CPU_CONFIGS_QUICK if quick else _CPU_CONFIGS_FULL
+    return [
+        CellSpec(
+            id=f"figure2 {k}cpu",
+            fn="unixbench",
+            params={"cpus": k, "intervals_ms": list(_INTERVALS)},
+            base_seed=seed,
+        )
+        for k in cpus
+    ]
+
+
+def assemble_figure2(quick: bool, results: Dict) -> Figure2Data:
+    """Reduce `repro.runx` results into :class:`Figure2Data`; failed CPU
+    configs are left out of the chart and baselines."""
+    cpus = _CPU_CONFIGS_QUICK if quick else _CPU_CONFIGS_FULL
+    data = Figure2Data()
+    for k in cpus:
+        res = results.get(f"figure2 {k}cpu")
+        if res is None or not res.ok or not res.value:
+            continue
+        data.baselines[k] = res.value["baseline"]
+        data.short_at_100ms[k] = res.value["short_at_100ms"]
+        data.long_series.append(Series(
+            label=f"{k}cpu",
+            points=[(float(iv), float(y)) for iv, y in res.value["points"]],
+        ))
     return data
 
 

@@ -1,17 +1,29 @@
-"""Builders for Tables 4–5 (HTT × SMI at 4 ranks per node)."""
+"""Builders for Tables 4–5 (HTT × SMI at 4 ranks per node).
+
+Like :mod:`repro.harness.mpi_tables`, the matrix exists in two forms
+with identical seeds: the legacy in-process :func:`build_htt_table`, and
+:func:`htt_cell_specs` + :func:`assemble_htt_table` for the resilient
+`repro.runx` path.
+"""
 
 from __future__ import annotations
 
 import logging
-from typing import Dict, List
+from statistics import mean
+from typing import Dict, List, Optional
 
 from repro.analysis.tables import HttRow, render_htt_table
 from repro.apps.nas.params import NasClass
 from repro.apps.nas.study import NasConfig, run_nas_config
-from repro.core.experiment import run_repeated
+from repro.core.experiment import run_repeated, smm_cell_seed
 from repro.paperdata import TABLE4_EP_HTT, TABLE5_FT_HTT
 
-__all__ = ["build_htt_table", "render_htt"]
+__all__ = [
+    "build_htt_table",
+    "render_htt",
+    "htt_cell_specs",
+    "assemble_htt_table",
+]
 
 log = logging.getLogger(__name__)
 
@@ -45,14 +57,14 @@ def build_htt_table(
                         manifest.plan_cell(
                             bench=bench, cls=cls.value, nodes=row,
                             ranks_per_node=4, htt=htt, smm=smm, reps=reps,
-                            base_seed=seed + 31 * smm + (977 if htt else 0),
+                            base_seed=smm_cell_seed(seed, smm, htt),
                         )
                     cfg = NasConfig(bench, cls, nodes=row, ranks_per_node=4, htt=htt)
                     m = run_repeated(
                         lambda s, cfg=cfg, smm=smm: run_nas_config(
                             cfg, smm=smm, seed=s, metrics=metrics),
                         reps=reps,
-                        base_seed=seed + 31 * smm + (977 if htt else 0),
+                        base_seed=smm_cell_seed(seed, smm, htt),
                     )
                     pair.append(m.mean if m is not None else None)
                     if manifest is not None:
@@ -70,6 +82,51 @@ def build_htt_table(
                     paper=_PAPER[bench].get((cls, row)),
                 )
             )
+    return rows
+
+
+def htt_cell_specs(bench: str, quick: bool, reps: int, seed: int) -> List:
+    """Tables 4–5 as serializable `repro.runx` cell specs."""
+    from repro.runx.spec import CellSpec
+
+    classes = [NasClass.A] if quick else [NasClass.A, NasClass.B, NasClass.C]
+    specs: List[CellSpec] = []
+    for cls in classes:
+        for row in _ROWS:
+            for smm in (0, 1, 2):
+                for htt in (False, True):
+                    specs.append(CellSpec(
+                        id=(f"{bench}.{cls.value} n={row} smm={smm} "
+                            f"ht={int(htt)}"),
+                        fn="nas",
+                        params={"bench": bench, "cls": cls.value,
+                                "nodes": row, "rpn": 4, "htt": htt,
+                                "smm": smm, "reps": reps},
+                        base_seed=smm_cell_seed(seed, smm, htt),
+                    ))
+    return specs
+
+
+def assemble_htt_table(bench: str, quick: bool, results: Dict) -> List[HttRow]:
+    """Reduce `repro.runx` results into HTT rows (failures become "-")."""
+    classes = [NasClass.A] if quick else [NasClass.A, NasClass.B, NasClass.C]
+    rows: List[HttRow] = []
+    for cls in classes:
+        for row in _ROWS:
+            cells: Dict[int, tuple] = {}
+            for smm in (0, 1, 2):
+                pair: List[Optional[float]] = []
+                for htt in (False, True):
+                    cid = f"{bench}.{cls.value} n={row} smm={smm} ht={int(htt)}"
+                    res = results.get(cid)
+                    values = res.value.get("values") if (
+                        res is not None and res.ok and res.value) else None
+                    pair.append(mean(values) if values else None)
+                cells[smm] = tuple(pair)
+            rows.append(HttRow(
+                cls=cls.value, row=row, cells=cells,
+                paper=_PAPER[bench].get((cls, row)),
+            ))
     return rows
 
 

@@ -1,0 +1,56 @@
+"""Crash-safe artifact writes: temp file + fsync + atomic rename.
+
+Every artifact this package emits (manifests, traces, JSONL dumps) may be
+the *input* of a later ``--resume``, so a half-written file is worse than
+no file: it makes the interrupted run look finished.  The helpers here
+guarantee that a path either holds the complete previous content or the
+complete new content — never a truncation — by writing to a temporary
+file in the *same directory* (``os.replace`` is only atomic within a
+filesystem), fsyncing it, and renaming it over the destination.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Callable, IO
+
+__all__ = ["atomic_write_text", "fsync_append"]
+
+
+def atomic_write_text(path: str, write: Callable[[IO[str]], None]) -> None:
+    """Atomically replace ``path`` with whatever ``write(fp)`` produces.
+
+    ``write`` receives a text-mode file object.  On any exception the
+    temporary file is removed and ``path`` is left untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fp:
+            write(fp)
+            fp.flush()
+            os.fsync(fp.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def fsync_append(path: str, line: str) -> None:
+    """Append one line to ``path`` and force it to stable storage.
+
+    The journal's durability primitive: after this returns, a SIGKILL (or
+    power loss, modulo disk caches) cannot lose the line.  A crash *during*
+    the call can at worst leave one partial final line, which journal
+    readers skip.
+    """
+    with open(path, "a", encoding="utf-8") as fp:
+        fp.write(line + "\n")
+        fp.flush()
+        os.fsync(fp.fileno())

@@ -14,6 +14,22 @@ needed to re-run the exact cell matrix of a harness invocation —
 
 Manifests are plain JSON; ``repro-smm table2 --manifest out.json`` writes
 one next to the table output.
+
+Schema v2 (the `repro.runx` resilient runner):
+
+* cells may carry ``id``/``status``/``attempts``/``duration_s``/``seed``
+  — everything ``--resume`` needs to skip finished work and re-run the
+  rest with the recorded seeds;
+* ``mode`` records how the manifest was produced: ``"direct"`` (legacy
+  in-process build) or ``"journal"`` (checkpointed sweep — while the run
+  is live the same cells exist as ``<path>.part.jsonl`` lines);
+* ``elapsed_monotonic_s`` reports honest run duration from a monotonic
+  clock (``wall_s`` is kept for v1 compatibility), and resumed runs add
+  only their own elapsed time instead of inheriting the killed run's
+  wall-clock span;
+* files are written atomically (temp + fsync + rename), so an
+  interrupted run never leaves a truncated manifest for a later
+  ``--resume`` to choke on.
 """
 
 from __future__ import annotations
@@ -28,7 +44,7 @@ from typing import Dict, IO, List, Optional, Union
 __all__ = ["RunManifest", "calibration_constants", "MANIFEST_SCHEMA"]
 
 #: Bumped whenever the manifest layout changes incompatibly.
-MANIFEST_SCHEMA = 1
+MANIFEST_SCHEMA = 2
 
 
 def calibration_constants() -> Dict:
@@ -94,6 +110,9 @@ class RunManifest:
     created_unix: float = 0.0
     wall_s: Optional[float] = None
     schema: int = MANIFEST_SCHEMA
+    #: "direct" = legacy in-process build; "journal" = checkpointed
+    #: `repro.runx` sweep (cells mirror the journal's records).
+    mode: str = "direct"
 
     def __post_init__(self) -> None:
         if not self.version:
@@ -116,7 +135,9 @@ class RunManifest:
     def add_cell(self, label: str, **result) -> None:
         """Record one measured cell: its label, result values, and the
         wall-clock second mark (relative to manifest creation) at which
-        it completed."""
+        it completed.  v2 cells additionally pass ``status``/``attempts``/
+        ``duration_s``/``seed`` (the resilient runner does this for every
+        cell, making the manifest a resume source)."""
         self.cells.append({
             "label": label,
             "at_wall_s": round(time.perf_counter() - self._t0, 6),
@@ -124,9 +145,15 @@ class RunManifest:
         })
 
     # -- output ---------------------------------------------------------------
+    def elapsed_monotonic_s(self) -> float:
+        """Seconds of honest (monotonic-clock) run time so far."""
+        return round(time.perf_counter() - self._t0, 6)
+
     def to_dict(self) -> Dict:
+        elapsed = self.elapsed_monotonic_s()
         return {
             "schema": self.schema,
+            "mode": self.mode,
             "command": self.command,
             "params": self.params,
             "version": self.version,
@@ -136,19 +163,19 @@ class RunManifest:
             "calibration": calibration_constants(),
             "matrix": self.matrix,
             "cells": self.cells,
-            "wall_s": (
-                self.wall_s
-                if self.wall_s is not None
-                else round(time.perf_counter() - self._t0, 6)
-            ),
+            "wall_s": self.wall_s if self.wall_s is not None else elapsed,
+            "elapsed_monotonic_s": elapsed,
         }
 
     def to_json(self, indent: int = 1) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 
     def write(self, dest: Union[str, IO[str]]) -> None:
+        """Serialize; for path destinations the write is atomic (an
+        interrupted run never leaves a truncated manifest)."""
         if isinstance(dest, str):
-            with open(dest, "w", encoding="utf-8") as fp:
-                fp.write(self.to_json() + "\n")
+            from repro.obs.atomic import atomic_write_text
+
+            atomic_write_text(dest, lambda fp: fp.write(self.to_json() + "\n"))
         else:
             dest.write(self.to_json() + "\n")

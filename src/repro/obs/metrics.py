@@ -15,6 +15,15 @@ Design constraints (in order):
 
 Naming convention: dotted, ``<subsystem>.<noun>[.<verb>]`` — e.g.
 ``engine.events.fired``, ``smm.residency_ns``, ``net.queue_delay_ns``.
+The resilient runner (:mod:`repro.runx`) contributes the ``runx.cells.*``
+family: ``started`` / ``ok`` / ``failed`` / ``retried`` / ``resumed`` /
+``timeouts``.
+
+Because that runner isolates cells in worker *subprocesses*, registries
+must be able to cross process boundaries: a worker snapshots its
+registry into the result JSON and the parent folds it in with
+:meth:`MetricsRegistry.merge_snapshot`, so ``--metrics`` output is
+complete whether cells ran in-process or crash-isolated.
 """
 
 from __future__ import annotations
@@ -175,6 +184,38 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, Dict]:
         """All instruments as plain JSON-able dicts."""
         return {n: self._instruments[n].snapshot() for n in sorted(self._instruments)}
+
+    def merge_snapshot(self, snap: Dict[str, Dict]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histogram sums/counts add; gauges keep the maximum
+        of the high-water marks and the latest value.  Used to aggregate
+        metrics shipped back from `repro.runx` worker subprocesses.
+        """
+        for name, rec in snap.items():
+            kind = rec.get("type")
+            if kind == "counter":
+                self.counter(name).inc(rec.get("value", 0))
+            elif kind == "gauge":
+                g = self.gauge(name)
+                g.set(rec.get("value", 0))
+                high = rec.get("high", 0)
+                if high > g.high:
+                    g.high = high
+            elif kind == "histogram":
+                buckets = rec.get("buckets") or list(DEFAULT_NS_BUCKETS)
+                h = self.histogram(name, buckets=tuple(buckets))
+                if list(h.buckets) != list(buckets):
+                    raise ValueError(
+                        f"histogram {name!r}: bucket layout mismatch in merge")
+                counts = rec.get("counts", [])
+                for i, c in enumerate(counts[: len(h.counts)]):
+                    h.counts[i] += c
+                h.sum += rec.get("sum", 0)
+                h.count += rec.get("count", 0)
+            else:
+                raise ValueError(
+                    f"cannot merge snapshot entry {name!r} of type {kind!r}")
 
     def render(self) -> str:
         """Human-readable dump (one instrument per line; histograms show

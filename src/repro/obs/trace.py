@@ -264,8 +264,9 @@ def write_chrome_trace(
         "otherData": dict(extra) if extra else {},
     }
     if isinstance(dest, str):
-        with open(dest, "w", encoding="utf-8") as fp:
-            json.dump(doc, fp, indent=1)
+        from repro.obs.atomic import atomic_write_text
+
+        atomic_write_text(dest, lambda fp: json.dump(doc, fp, indent=1))
     else:
         json.dump(doc, dest, indent=1)
     return len(events)
@@ -295,10 +296,17 @@ def write_jsonl(
 
     n = 0
     if isinstance(dest, str):
-        with open(dest, "w", encoding="utf-8") as fp:
+        from repro.obs.atomic import atomic_write_text
+
+        counted: List[int] = [0]
+
+        def write(fp) -> None:
             for line in lines():
                 fp.write(line + "\n")
-                n += 1
+                counted[0] += 1
+
+        atomic_write_text(dest, write)
+        n = counted[0]
     else:
         for line in lines():
             dest.write(line + "\n")

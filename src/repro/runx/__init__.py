@@ -1,0 +1,35 @@
+"""repro.runx — resilient sweep execution.
+
+The paper's protocol is a large cell matrix (five tables × three SMI
+classes × repetitions; two figures sweeping 30+ intervals per CPU
+configuration).  This package runs such a matrix as isolated,
+serializable units of work so that one crashing, hanging, or diverging
+cell costs one cell — not the sweep:
+
+* :mod:`repro.runx.spec` — JSON-able :class:`CellSpec`/:class:`CellResult`
+  with position-derived seeds (parallel == serial, bit for bit);
+* :mod:`repro.runx.cells` — the executor registry worker subprocesses use;
+* :mod:`repro.runx.runner` — :class:`SweepRunner`: subprocess crash
+  isolation, watchdog timeouts, bounded deterministic retries, ``jobs``-way
+  parallelism;
+* :mod:`repro.runx.journal` — fsync'd per-cell checkpoints and the atomic
+  finalize/resume protocol behind ``repro-smm <cmd> --resume``;
+* :mod:`repro.runx.chaos` — the fault-injection harness (kill / hang /
+  corrupt / flake plans) CI uses to prove all of the above.
+"""
+
+from repro.runx.journal import Journal, load_resume, part_path
+from repro.runx.runner import SweepRunner
+from repro.runx.spec import FAILED, OK, CellResult, CellSpec, attempt_seed
+
+__all__ = [
+    "CellSpec",
+    "CellResult",
+    "SweepRunner",
+    "Journal",
+    "load_resume",
+    "part_path",
+    "attempt_seed",
+    "OK",
+    "FAILED",
+]

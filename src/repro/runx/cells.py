@@ -1,0 +1,154 @@
+"""Cell executors: the functions a :class:`~repro.runx.spec.CellSpec` names.
+
+Each executor takes ``(params, seed, metrics=None)`` and returns a
+JSON-able payload dict.  Executors are looked up by short registry name
+or by ``"module:function"`` dotted path (the escape hatch tests and
+extensions use), so a worker subprocess can reconstruct the call from
+nothing but the spec JSON.
+
+The executors here wrap the same application runners the legacy serial
+builders call, with the same seed derivations — which is what makes runx
+output bit-identical to the in-process path.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.experiment import rep_seed, run_repeated
+
+__all__ = ["resolve", "run_cell", "REGISTRY"]
+
+CellFn = Callable[..., Dict[str, Any]]
+
+
+# -- executors ----------------------------------------------------------------
+
+def nas_cell(params: Dict, seed: int, metrics=None) -> Dict:
+    """One (config, smm) cell of Tables 1–5: ``reps`` repetitions, averaged
+    downstream.  ``{"values": null}`` marks an infeasible configuration
+    (the tables' "-"), which is a legitimate result, not a failure."""
+    from repro.apps.nas.params import NasClass
+    from repro.apps.nas.study import NasConfig, run_nas_config
+
+    cfg = NasConfig(
+        params["bench"], NasClass(params["cls"]), nodes=params["nodes"],
+        ranks_per_node=params["rpn"], htt=params.get("htt", False),
+    )
+    m = run_repeated(
+        lambda s: run_nas_config(cfg, smm=params["smm"], seed=s,
+                                 metrics=metrics),
+        reps=params["reps"],
+        base_seed=seed,
+    )
+    return {"values": m.values if m is not None else None}
+
+
+def convolve_line_cell(params: Dict, seed: int, metrics=None) -> Dict:
+    """One Figure-1 left-panel line: the no-SMI baseline plus the long-SMI
+    interval sweep for one (config, cpu-count)."""
+    from repro.apps.convolve import run_convolve
+    from repro.core.smi import SmiProfile
+
+    config = _convolve_config(params["config"])
+    k = params["cpus"]
+    baseline = run_convolve(config, k, seed=seed, metrics=metrics).elapsed_s
+    points = []
+    for iv in params["intervals_ms"]:
+        r = run_convolve(
+            config, k, smi_durations=SmiProfile.LONG,
+            smi_interval_jiffies=iv, seed=seed, metrics=metrics,
+        )
+        points.append([iv, r.elapsed_s])
+    return {"baseline": baseline, "points": points}
+
+
+def convolve_run_cell(params: Dict, seed: int, metrics=None) -> Dict:
+    """One Figure-1 right-panel repetition: time vs CPUs at 50 ms."""
+    from repro.apps.convolve import run_convolve
+    from repro.core.smi import SmiProfile
+
+    config = _convolve_config(params["config"])
+    points = []
+    for k in params["cpus"]:
+        r = run_convolve(
+            config, k, smi_durations=SmiProfile.LONG,
+            smi_interval_jiffies=params.get("interval_ms", 50),
+            seed=seed, metrics=metrics,
+        )
+        points.append([k, r.elapsed_s])
+    return {"points": points}
+
+
+def unixbench_cell(params: Dict, seed: int, metrics=None) -> Dict:
+    """One Figure-2 CPU configuration: baseline index, the short-SMI
+    sanity point, and the long-SMI interval sweep."""
+    from repro.apps.unixbench import run_unixbench
+    from repro.core.smi import SmiProfile
+
+    k = params["cpus"]
+    baseline = run_unixbench(k, seed=seed, metrics=metrics).total_index
+    short = run_unixbench(
+        k, SmiProfile.SHORT, 100, seed=seed, metrics=metrics).total_index
+    points = []
+    for iv in params["intervals_ms"]:
+        r = run_unixbench(k, SmiProfile.LONG, iv, seed=seed, metrics=metrics)
+        points.append([iv, r.total_index])
+    return {"baseline": baseline, "short_at_100ms": short, "points": points}
+
+
+def synthetic_cell(params: Dict, seed: int, metrics=None) -> Dict:
+    """A deterministic no-simulation cell for tests, chaos drills, and CI
+    smoke sweeps: value depends only on (params, seed).  ``sleep_s``
+    exercises timeouts; ``raise`` exercises in-cell failures."""
+    if params.get("sleep_s"):
+        time.sleep(float(params["sleep_s"]))
+    if params.get("raise"):
+        raise RuntimeError(str(params["raise"]))
+    reps = int(params.get("reps", 1))
+    base = float(params.get("value", 1.0))
+    values = [base + 1e-9 * rep_seed(seed, r) for r in range(reps)]
+    return {"values": values}
+
+
+def _convolve_config(name: str):
+    from repro.apps.convolve import CACHE_FRIENDLY, CACHE_UNFRIENDLY
+
+    configs = {c.name: c for c in (CACHE_UNFRIENDLY, CACHE_FRIENDLY)}
+    try:
+        return configs[name]
+    except KeyError:
+        raise ValueError(f"unknown Convolve config {name!r}") from None
+
+
+#: Short names a spec's ``fn`` may use.
+REGISTRY: Dict[str, CellFn] = {
+    "nas": nas_cell,
+    "convolve_line": convolve_line_cell,
+    "convolve_run": convolve_run_cell,
+    "unixbench": unixbench_cell,
+    "synthetic": synthetic_cell,
+}
+
+
+def resolve(fn: str) -> CellFn:
+    """Registry name or ``"package.module:function"`` → callable."""
+    if fn in REGISTRY:
+        return REGISTRY[fn]
+    if ":" in fn:
+        mod_name, _, attr = fn.partition(":")
+        mod = importlib.import_module(mod_name)
+        target = getattr(mod, attr, None)
+        if callable(target):
+            return target
+    raise ValueError(
+        f"unknown cell executor {fn!r} (registry: {sorted(REGISTRY)})"
+    )
+
+
+def run_cell(fn: str, params: Dict, seed: int,
+             metrics: Optional[object] = None) -> Dict[str, Any]:
+    """Execute one cell attempt in the current process."""
+    return resolve(fn)(params, seed, metrics=metrics)

@@ -1,0 +1,117 @@
+"""The checkpoint journal: durable per-cell progress, atomic finalize.
+
+While a sweep runs, every completed cell is appended to
+``<manifest>.part.jsonl`` — one fsync'd JSON line per cell, preceded by a
+header line recording the run's identity (command, seed, reps, matrix
+shape).  A SIGKILL at any instant therefore loses at most the cell in
+flight; ``--resume <manifest>`` reads the journal back and re-runs only
+what is missing or failed, with the header's recorded parameters (not
+the resuming command line) defining the matrix and seeds.
+
+On success the complete v2 manifest is written via
+:func:`repro.obs.atomic.atomic_write_text` (temp file + fsync + rename)
+and the ``.part.jsonl`` is removed: the pair of names is a two-state
+commit protocol — a ``.part.jsonl`` on disk means "interrupted,
+resumable", a bare manifest means "finished, trustworthy".
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.obs.atomic import fsync_append
+from repro.runx.spec import CellResult
+
+__all__ = ["Journal", "part_path", "load_resume"]
+
+log = logging.getLogger(__name__)
+
+
+def part_path(manifest_path: str) -> str:
+    return manifest_path + ".part.jsonl"
+
+
+class Journal:
+    """Append-only crash log for one sweep (thread-safe)."""
+
+    def __init__(self, manifest_path: str):
+        self.manifest_path = manifest_path
+        self.path = part_path(manifest_path)
+        self._lock = threading.Lock()
+
+    def write_header(self, meta: Dict) -> None:
+        """Start a fresh journal (truncating any stale one)."""
+        rec = {"kind": "header", **meta}
+        with self._lock:
+            if os.path.exists(self.path):
+                os.unlink(self.path)
+            fsync_append(self.path, json.dumps(rec, separators=(",", ":")))
+
+    def append(self, result: CellResult) -> None:
+        with self._lock:
+            fsync_append(
+                self.path,
+                json.dumps(result.to_record(), separators=(",", ":")),
+            )
+
+    def finalize(self) -> None:
+        """Drop the journal once the finished manifest is safely on disk."""
+        with self._lock:
+            try:
+                os.unlink(self.path)
+            except FileNotFoundError:
+                pass
+
+
+def _read_jsonl(path: str) -> Tuple[Optional[Dict], Dict[str, CellResult]]:
+    header: Optional[Dict] = None
+    cells: Dict[str, CellResult] = {}
+    with open(path, encoding="utf-8") as fp:
+        for lineno, line in enumerate(fp, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                # A crash mid-append can leave one torn final line; any
+                # other corruption also only costs the affected cells.
+                log.warning("journal %s: skipping unparsable line %d",
+                            path, lineno)
+                continue
+            if rec.get("kind") == "header":
+                header = rec
+            elif rec.get("kind") == "cell":
+                cells[rec["id"]] = CellResult.from_record(rec)
+    return header, cells
+
+
+def load_resume(
+    manifest_path: str,
+) -> Tuple[Optional[Dict], Dict[str, CellResult]]:
+    """Previously completed work for ``--resume <manifest_path>``.
+
+    Prefers the in-progress journal; falls back to a finalized v2
+    manifest (resuming a *finished* run is legal — it simply re-runs any
+    cells that had FAILED).  Returns ``(header_meta, {id: CellResult})``.
+    """
+    part = part_path(manifest_path)
+    if os.path.exists(part):
+        return _read_jsonl(part)
+    if os.path.exists(manifest_path):
+        with open(manifest_path, encoding="utf-8") as fp:
+            doc = json.load(fp)
+        header = {"kind": "header", "command": doc.get("command"),
+                  **doc.get("params", {})}
+        cells: Dict[str, CellResult] = {}
+        for rec in doc.get("cells", []):
+            if "id" in rec and "status" in rec:
+                cells[rec["id"]] = CellResult.from_record(rec)
+        return header, cells
+    raise FileNotFoundError(
+        f"nothing to resume: neither {part} nor {manifest_path} exists"
+    )

@@ -1,0 +1,274 @@
+"""The resilient sweep engine: crash-isolated, parallel, resumable.
+
+``SweepRunner.run(specs)`` executes every :class:`CellSpec` as an
+isolated unit of work and returns ``{cell_id: CellResult}`` — *always*,
+no matter what individual cells do.  The failure model:
+
+* **Crash isolation** — with ``isolation="process"`` (the default) each
+  attempt runs in a fresh ``repro.runx.worker`` subprocess; a segfault,
+  OOM kill, or corrupted reply becomes ``CellResult(status=FAILED)``.
+* **Watchdog timeouts** — ``timeout_s`` bounds each attempt's wall
+  clock; the subprocess machinery kills overrunning workers.
+* **Bounded retries** — a failed attempt is retried up to ``retries``
+  times after a deterministic exponential backoff
+  (``backoff_s * 2**(attempt-1)``), each attempt re-seeded with
+  :func:`~repro.runx.spec.attempt_seed` so a genuinely diverging seed is
+  not replayed verbatim.  Attempt 0 always uses the spec's own seed, so
+  clean sweeps stay bit-identical to the legacy serial path.
+* **Checkpointing** — every terminal result is appended to the
+  :class:`~repro.runx.journal.Journal` (fsync per line) and mirrored to
+  the v2 manifest; ``completed=`` feeds previously journaled results
+  back in, and the runner skips them (counted as resumed).
+* **Parallelism** — ``jobs`` worker subprocesses run concurrently; cell
+  seeds are position-derived, so results are independent of scheduling
+  order and ``--jobs N`` output is bit-identical to ``--jobs 1``.
+
+``isolation="inline"`` executes cells in-process (no subprocess, no
+timeout enforcement, no chaos) — the fast path for unit tests and for
+callers that already trust their cells.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import subprocess
+import sys
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runx.spec import FAILED, OK, CellResult, CellSpec, attempt_seed
+from repro.runx.worker import RESULT_SENTINEL
+
+__all__ = ["SweepRunner"]
+
+log = logging.getLogger(__name__)
+
+_STDERR_TAIL = 400  # chars of worker stderr preserved in error messages
+
+
+def _worker_env() -> Dict[str, str]:
+    """Child environment with the repro package importable."""
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_dir not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_dir + (os.pathsep + existing if existing else ""))
+    return env
+
+
+class SweepRunner:
+    """Execute cell specs with crash isolation, retries, and checkpoints."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        timeout_s: Optional[float] = None,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        isolation: str = "process",
+        metrics=None,
+        manifest=None,
+        journal=None,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if isolation not in ("process", "inline"):
+            raise ValueError(f"unknown isolation {isolation!r}")
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.isolation = isolation
+        self.metrics = metrics
+        self.manifest = manifest
+        self.journal = journal
+        self.progress = progress
+        self._lock = threading.Lock()
+        self._done = 0
+        self._total = 0
+        if metrics is not None:
+            self._c_started = metrics.counter(
+                "runx.cells.started", "cells whose first attempt launched")
+            self._c_ok = metrics.counter("runx.cells.ok", "cells that succeeded")
+            self._c_failed = metrics.counter(
+                "runx.cells.failed", "cells that exhausted all attempts")
+            self._c_retried = metrics.counter(
+                "runx.cells.retried", "retry attempts launched")
+            self._c_resumed = metrics.counter(
+                "runx.cells.resumed", "cells satisfied from a prior journal")
+            self._c_timeout = metrics.counter(
+                "runx.cells.timeouts", "attempts killed by the watchdog")
+        else:
+            self._c_started = self._c_ok = self._c_failed = None
+            self._c_retried = self._c_resumed = self._c_timeout = None
+
+    # -- public entry ---------------------------------------------------------
+    def run(
+        self,
+        specs: Sequence[CellSpec],
+        completed: Optional[Dict[str, CellResult]] = None,
+    ) -> Dict[str, CellResult]:
+        ids = [s.id for s in specs]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(f"duplicate cell ids in sweep: {dupes[:5]}")
+        results: Dict[str, CellResult] = {}
+        todo: List[CellSpec] = []
+        self._total = len(specs)
+        self._done = 0
+        for spec in specs:
+            prior = completed.get(spec.id) if completed else None
+            if prior is not None and prior.ok:
+                prior.resumed = True
+                results[spec.id] = prior
+                if self._c_resumed is not None:
+                    self._c_resumed.inc()
+                self._record(prior, journal=False)
+            else:
+                todo.append(spec)
+        if self.jobs == 1 or len(todo) <= 1:
+            for spec in todo:
+                results[spec.id] = self._run_cell(spec)
+        else:
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                for spec, res in zip(todo, pool.map(self._run_cell, todo)):
+                    results[spec.id] = res
+        return results
+
+    # -- one cell, all attempts -----------------------------------------------
+    def _run_cell(self, spec: CellSpec) -> CellResult:
+        if self._c_started is not None:
+            with self._lock:
+                self._c_started.inc()
+        t0 = time.monotonic()
+        errors: List[str] = []
+        value = None
+        seed = spec.base_seed
+        attempt = 0
+        while True:
+            seed = attempt_seed(spec.base_seed, attempt)
+            if attempt > 0:
+                delay = self.backoff_s * (2 ** (attempt - 1))
+                if delay > 0:
+                    time.sleep(delay)
+                if self._c_retried is not None:
+                    with self._lock:
+                        self._c_retried.inc()
+            value, err = self._attempt(spec, attempt, seed)
+            if err is None:
+                break
+            errors.append(f"attempt {attempt} (seed {seed}): {err}")
+            log.warning("cell %s %s", spec.id, errors[-1])
+            if attempt >= self.retries:
+                break
+            attempt += 1
+        duration = time.monotonic() - t0
+        if value is not None:
+            result = CellResult(
+                id=spec.id, status=OK, value=value, attempts=attempt + 1,
+                duration_s=round(duration, 6), seed=seed,
+                attempt_errors=errors,
+            )
+        else:
+            result = CellResult(
+                id=spec.id, status=FAILED, attempts=attempt + 1,
+                duration_s=round(duration, 6), seed=seed,
+                error=errors[-1] if errors else "unknown failure",
+                attempt_errors=errors,
+            )
+        with self._lock:
+            if result.ok:
+                if self._c_ok is not None:
+                    self._c_ok.inc()
+            elif self._c_failed is not None:
+                self._c_failed.inc()
+        self._record(result, journal=True)
+        return result
+
+    # -- one attempt ----------------------------------------------------------
+    def _attempt(
+        self, spec: CellSpec, attempt: int, seed: int,
+    ) -> Tuple[Optional[Dict], Optional[str]]:
+        """Returns (value, None) on success, (None, error) on failure."""
+        if self.isolation == "inline":
+            from repro.runx.cells import run_cell
+
+            try:
+                return run_cell(spec.fn, spec.params, seed,
+                                metrics=self.metrics), None
+            except Exception:
+                return None, "cell raised:\n" + traceback.format_exc(limit=8)
+        return self._attempt_process(spec, attempt, seed)
+
+    def _attempt_process(
+        self, spec: CellSpec, attempt: int, seed: int,
+    ) -> Tuple[Optional[Dict], Optional[str]]:
+        request = json.dumps({
+            "spec": spec.to_record(),
+            "attempt": attempt,
+            "seed": seed,
+            "metrics": self.metrics is not None,
+        })
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.runx.worker"],
+                input=request, capture_output=True, text=True,
+                timeout=self.timeout_s, env=_worker_env(),
+            )
+        except subprocess.TimeoutExpired:
+            if self._c_timeout is not None:
+                with self._lock:
+                    self._c_timeout.inc()
+            return None, f"watchdog timeout after {self.timeout_s:g}s"
+        except OSError as exc:  # pragma: no cover — spawn failure
+            return None, f"could not spawn worker: {exc}"
+        reply = None
+        for line in reversed(proc.stdout.splitlines()):
+            if line.startswith(RESULT_SENTINEL):
+                try:
+                    reply = json.loads(line[len(RESULT_SENTINEL):])
+                except ValueError:
+                    return None, "corrupt result record from worker"
+                break
+        if reply is None:
+            tail = proc.stderr[-_STDERR_TAIL:].strip()
+            if proc.returncode < 0:
+                err = f"worker killed by signal {-proc.returncode}"
+            elif proc.returncode != 0:
+                err = f"worker exited with status {proc.returncode}"
+            else:
+                err = "worker produced no result record"
+            return None, err + (f"; stderr: {tail}" if tail else "")
+        if not reply.get("ok"):
+            return None, "cell raised:\n" + str(reply.get("error", "?"))
+        if self.metrics is not None and reply.get("metrics"):
+            with self._lock:
+                self.metrics.merge_snapshot(reply["metrics"])
+        return reply.get("value"), None
+
+    # -- bookkeeping ----------------------------------------------------------
+    def _record(self, result: CellResult, journal: bool) -> None:
+        with self._lock:
+            self._done += 1
+            if journal and self.journal is not None:
+                self.journal.append(result)
+            if self.manifest is not None:
+                rec = result.to_record()
+                rec.pop("kind", None)  # "id" stays: it is the resume key
+                self.manifest.add_cell(result.id, **rec)
+            if self.progress is not None:
+                flag = "" if result.ok else " FAILED"
+                src = " (resumed)" if result.resumed else ""
+                self.progress(
+                    f"[{self._done}/{self._total}] {result.id}{flag}{src}")

@@ -1,0 +1,113 @@
+"""Serializable units of work: cell specs and cell results.
+
+A sweep is a list of :class:`CellSpec` — each one small, JSON-able, and
+self-contained, so it can cross a process boundary (the crash-isolation
+worker), land in a journal line (checkpoint/resume), or be re-run years
+later from a manifest.  A :class:`CellResult` is the matching record of
+what happened: status, payload, attempts, duration, and the seed that
+actually produced the payload.
+
+Seeds are **position-derived, never order-derived**: a spec carries its
+``base_seed`` computed from where the cell sits in the matrix (see
+:func:`repro.core.experiment.smm_cell_seed`), and retries derive
+per-attempt seeds from it with :func:`attempt_seed`.  Running cells in
+any order — serially, under ``--jobs 8``, or resumed after a crash —
+therefore yields bit-identical payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "OK",
+    "FAILED",
+    "CellSpec",
+    "CellResult",
+    "attempt_seed",
+]
+
+#: Terminal cell statuses.  Timeouts, crashes, corrupt output, and cell
+#: exceptions all end as FAILED (with ``error`` saying which); a FAILED
+#: cell renders as the tables' "-" and makes the CLI exit nonzero, but
+#: never kills the sweep.
+OK = "ok"
+FAILED = "failed"
+
+#: Stride between retry attempts of the same cell (a large prime far from
+#: the rep/smm strides, so attempt seeds never collide with neighbouring
+#: cells' seeds).  Attempt 0 uses ``base_seed`` unchanged — a sweep where
+#: every cell succeeds first try is seed-for-seed identical to the legacy
+#: serial path.
+ATTEMPT_SEED_STRIDE = 15485863
+
+
+def attempt_seed(base_seed: int, attempt: int) -> int:
+    """Deterministic seed for retry ``attempt`` (0-based) of a cell."""
+    return base_seed + ATTEMPT_SEED_STRIDE * attempt
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One isolated unit of a sweep.
+
+    ``fn`` names an executor in the :mod:`repro.runx.cells` registry;
+    ``params`` is its entire JSON-able configuration; ``base_seed`` is
+    the attempt-0 seed.  ``id`` must be unique within the sweep and
+    stable across runs — it is the checkpoint/resume key.
+    """
+
+    id: str
+    fn: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    base_seed: int = 1
+
+    def to_record(self) -> Dict[str, Any]:
+        return {"id": self.id, "fn": self.fn, "params": dict(self.params),
+                "base_seed": self.base_seed}
+
+    @classmethod
+    def from_record(cls, rec: Dict[str, Any]) -> "CellSpec":
+        return cls(id=rec["id"], fn=rec["fn"],
+                   params=dict(rec.get("params", {})),
+                   base_seed=rec.get("base_seed", 1))
+
+
+@dataclass
+class CellResult:
+    """What happened to one cell, across all its attempts."""
+
+    id: str
+    status: str
+    value: Optional[Dict[str, Any]] = None
+    attempts: int = 1
+    duration_s: float = 0.0
+    seed: Optional[int] = None
+    error: Optional[str] = None
+    resumed: bool = False
+    #: per-attempt failure notes (empty on a clean first-try success).
+    attempt_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    def to_record(self) -> Dict[str, Any]:
+        rec = asdict(self)
+        rec["kind"] = "cell"
+        return rec
+
+    @classmethod
+    def from_record(cls, rec: Dict[str, Any]) -> "CellResult":
+        return cls(
+            id=rec["id"],
+            status=rec.get("status", FAILED),
+            value=rec.get("value"),
+            attempts=rec.get("attempts", 1),
+            duration_s=rec.get("duration_s", 0.0),
+            seed=rec.get("seed"),
+            error=rec.get("error"),
+            resumed=rec.get("resumed", False),
+            attempt_errors=list(rec.get("attempt_errors", [])),
+        )

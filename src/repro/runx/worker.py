@@ -1,0 +1,69 @@
+"""The crash-isolation boundary: ``python -m repro.runx.worker``.
+
+The runner starts one worker subprocess per cell *attempt*.  The worker
+reads a single JSON request from stdin::
+
+    {"spec": {...CellSpec...}, "attempt": 0, "seed": 42, "metrics": false}
+
+executes the cell in-process, and replies on stdout with one line::
+
+    RUNX-RESULT {"ok": true, "value": {...}, "metrics": {...}?}
+
+The ``RUNX-RESULT`` sentinel lets the parent find the reply even if the
+cell (or a logging handler) wrote to stdout first; anything after it is
+ignored.  A missing or unparsable sentinel line — worker segfaulted, was
+OOM-killed, timed out, or chaos corrupted its output — is a failed
+attempt, never a crashed sweep.
+
+Exit codes: 0 ok (including infeasible cells and cell exceptions, which
+are reported in-band), 12 bad request, chaos faults use their own.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import traceback
+
+RESULT_SENTINEL = "RUNX-RESULT "
+
+
+def main() -> int:
+    try:
+        req = json.load(sys.stdin)
+        spec = req["spec"]
+        attempt = int(req.get("attempt", 0))
+        seed = int(req["seed"])
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"runx worker: bad request: {exc}", file=sys.stderr)
+        return 12
+
+    from repro.runx.chaos import FaultPlan, apply_fault
+
+    plan = FaultPlan.from_env()
+    if plan is not None:
+        rule = plan.fault_for(spec.get("id", ""), attempt)
+        if rule is not None:
+            apply_fault(rule)  # kill never returns; others raise SystemExit
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.runx.cells import run_cell
+
+    registry = MetricsRegistry() if req.get("metrics") else None
+    reply: dict
+    try:
+        value = run_cell(spec["fn"], spec.get("params", {}), seed,
+                         metrics=registry)
+        reply = {"ok": True, "value": value}
+        if registry is not None:
+            reply["metrics"] = registry.snapshot()
+    except Exception:
+        reply = {"ok": False, "error": traceback.format_exc(limit=8)}
+    sys.stdout.write(
+        RESULT_SENTINEL + json.dumps(reply, separators=(",", ":")) + "\n")
+    sys.stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via subprocess
+    sys.exit(main())

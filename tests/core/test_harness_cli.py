@@ -20,6 +20,27 @@ def test_bench_knobs_env(monkeypatch):
     assert bench_reps() == 6
 
 
+def test_bench_reps_env_validation(monkeypatch):
+    """Both REPRO_BENCH_REPS consumers share one validated parser: bad
+    input names the variable and the text instead of a bare int() error."""
+    from repro.core.experiment import default_reps, reps_from_env
+
+    monkeypatch.setenv("REPRO_BENCH_REPS", "six")
+    with pytest.raises(ValueError, match=r"REPRO_BENCH_REPS.*'six'"):
+        bench_reps()
+    with pytest.raises(ValueError, match=r"REPRO_BENCH_REPS.*'six'"):
+        default_reps()
+    monkeypatch.setenv("REPRO_BENCH_REPS", "0")
+    with pytest.raises(ValueError, match="must be >= 1"):
+        reps_from_env()
+    monkeypatch.setenv("REPRO_BENCH_REPS", "4")
+    assert reps_from_env() == 4
+    assert default_reps(fallback=2) == 4
+    monkeypatch.delenv("REPRO_BENCH_REPS")
+    assert reps_from_env() is None
+    assert default_reps(fallback=2) == 2
+
+
 def test_table_rows_spec_quick_vs_full():
     quick = table_rows_spec("EP", quick=True)
     full = table_rows_spec("EP", quick=False)

@@ -36,10 +36,43 @@ def test_manifest_records_environment_and_cells(tmp_path):
     path = tmp_path / "m.json"
     m.write(str(path))
     written = json.loads(path.read_text())
-    # wall_s is sampled at serialization time; everything else round-trips
+    # wall_s / elapsed_monotonic_s are sampled at serialization time;
+    # everything else round-trips
     live = json.loads(m.to_json())
     assert written.pop("wall_s") <= live.pop("wall_s")
+    assert written.pop("elapsed_monotonic_s") <= live.pop("elapsed_monotonic_s")
     assert written == live
+
+
+def test_manifest_v2_mode_durations_and_atomicity(tmp_path):
+    m = RunManifest(command="table2", params={}, mode="journal")
+    m.add_cell("EP.A n=2 rpn=1 smm=0", id="EP.A n=2 rpn=1 smm=0",
+               status="ok", attempts=2, duration_s=0.25, seed=32)
+    d = m.to_dict()
+    assert d["schema"] == 2
+    assert d["mode"] == "journal"
+    cell = d["cells"][0]
+    assert cell["status"] == "ok" and cell["attempts"] == 2
+    assert cell["duration_s"] == 0.25
+    assert d["elapsed_monotonic_s"] >= 0
+
+    # write is atomic: a failure mid-serialization must not clobber the
+    # previous manifest (a later --resume reads this file)
+    path = tmp_path / "m.json"
+    m.write(str(path))
+    before = path.read_text()
+    import repro.obs.manifest as mod
+
+    original = mod.calibration_constants
+    mod.calibration_constants = lambda: (_ for _ in ()).throw(RuntimeError())
+    try:
+        try:
+            m.write(str(path))
+        except RuntimeError:
+            pass
+        assert path.read_text() == before
+    finally:
+        mod.calibration_constants = original
 
 
 def test_manifest_matrix_is_sufficient_to_rerun_a_cell():

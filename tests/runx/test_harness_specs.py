@@ -1,0 +1,87 @@
+"""Harness spec builders and assemblers (no simulation: synthetic results)."""
+
+from repro.core.experiment import smm_cell_seed
+from repro.harness.figure1 import assemble_figure1, figure1_cell_specs
+from repro.harness.figure2 import assemble_figure2, figure2_cell_specs
+from repro.harness.htt_tables import assemble_htt_table, htt_cell_specs
+from repro.harness.mpi_tables import assemble_table, table_cell_specs
+from repro.runx.spec import FAILED, OK, CellResult
+
+
+def _ok(spec, values):
+    return CellResult(id=spec.id, status=OK, value={"values": values})
+
+
+def test_table_specs_cover_matrix_with_position_derived_seeds():
+    specs = table_cell_specs("EP", quick=True, reps=2, seed=5)
+    # 2 rpn halves × 5 rows × 3 smm classes
+    assert len(specs) == 30
+    assert len({s.id for s in specs}) == 30
+    for s in specs:
+        assert s.fn == "nas"
+        assert s.params["reps"] == 2
+        assert s.base_seed == smm_cell_seed(5, s.params["smm"])
+
+
+def test_assemble_table_marks_failed_and_missing_cells_as_dash():
+    specs = table_cell_specs("EP", quick=True, reps=1, seed=1)
+    results = {s.id: _ok(s, [10.0, 12.0]) for s in specs}
+    # one failed, one missing entirely
+    failed_id = specs[0].id
+    missing_id = specs[1].id
+    results[failed_id] = CellResult(id=failed_id, status=FAILED, error="x")
+    del results[missing_id]
+    halves = assemble_table("EP", quick=True, results=results)
+    flat = [m for rows in halves.values() for r in rows
+            for m in r.smm.values()]
+    assert flat.count(None) == 2
+    assert all(v == 11.0 for v in flat if v is not None)
+
+
+def test_htt_specs_and_assembly_round_trip():
+    specs = htt_cell_specs("FT", quick=True, reps=1, seed=3)
+    # 5 rows × 3 smm × 2 htt
+    assert len(specs) == 30
+    for s in specs:
+        assert s.base_seed == smm_cell_seed(
+            3, s.params["smm"], s.params["htt"])
+    rows = assemble_htt_table(
+        "FT", quick=True, results={s.id: _ok(s, [7.0]) for s in specs})
+    assert len(rows) == 5
+    assert all(cell == (7.0, 7.0) for r in rows for cell in r.cells.values())
+
+
+def test_figure1_specs_and_assembly():
+    specs = figure1_cell_specs(quick=True, seed=1)
+    # 2 configs × (4 cpu lines + 3 right-panel runs)
+    assert len(specs) == 14
+    results = {}
+    for s in specs:
+        if s.fn == "convolve_line":
+            value = {"baseline": 1.0,
+                     "points": [[iv, 2.0] for iv in s.params["intervals_ms"]]}
+        else:
+            value = {"points": [[k, 3.0] for k in s.params["cpus"]]}
+        results[s.id] = CellResult(id=s.id, status=OK, value=value)
+    data = assemble_figure1(quick=True, results=results)
+    assert set(data.left) == {"CacheUnfriendly", "CacheFriendly"}
+    assert len(data.left["CacheFriendly"]) == 4
+    assert len(data.right["CacheFriendly"]) == 3
+    assert data.baselines["CacheFriendly"][1] == 1.0
+
+
+def test_figure2_failed_config_is_omitted_not_fatal():
+    specs = figure2_cell_specs(quick=True, seed=1)
+    assert [s.params["cpus"] for s in specs] == [1, 2, 4, 8]
+    results = {
+        s.id: CellResult(
+            id=s.id, status=OK,
+            value={"baseline": 100.0, "short_at_100ms": 99.0,
+                   "points": [[iv, 50.0] for iv in s.params["intervals_ms"]]})
+        for s in specs
+    }
+    results[specs[2].id] = CellResult(id=specs[2].id, status=FAILED,
+                                      error="boom")
+    data = assemble_figure2(quick=True, results=results)
+    assert sorted(data.baselines) == [1, 2, 8]  # 4cpu dropped
+    assert len(data.long_series) == 3

@@ -1,0 +1,100 @@
+"""The checkpoint journal: durability, torn lines, resume sources."""
+
+import json
+
+import pytest
+
+from repro.obs.atomic import atomic_write_text, fsync_append
+from repro.runx.journal import Journal, load_resume, part_path
+from repro.runx.spec import OK, CellResult
+
+
+def _res(cid, value=1.0):
+    return CellResult(id=cid, status=OK, value={"values": [value]})
+
+
+def test_journal_append_and_load(tmp_path):
+    man = str(tmp_path / "run.json")
+    j = Journal(man)
+    j.write_header({"command": "table2", "seed": 1, "reps": 1, "quick": True})
+    j.append(_res("a"))
+    j.append(_res("b", 2.0))
+    header, cells = load_resume(man)
+    assert header["command"] == "table2" and header["seed"] == 1
+    assert set(cells) == {"a", "b"}
+    assert cells["b"].value == {"values": [2.0]}
+
+
+def test_journal_skips_torn_final_line(tmp_path):
+    man = str(tmp_path / "run.json")
+    j = Journal(man)
+    j.write_header({"command": "t"})
+    j.append(_res("a"))
+    with open(j.path, "a") as fp:
+        fp.write('{"kind":"cell","id":"b","status":"ok","va')  # SIGKILL here
+    header, cells = load_resume(man)
+    assert header is not None
+    assert set(cells) == {"a"}
+
+
+def test_later_records_win(tmp_path):
+    """A resumed sweep may re-append a cell; the newest record counts."""
+    man = str(tmp_path / "run.json")
+    j = Journal(man)
+    j.write_header({})
+    j.append(CellResult(id="a", status="failed", error="boom"))
+    j.append(_res("a", 3.0))
+    _, cells = load_resume(man)
+    assert cells["a"].ok and cells["a"].value == {"values": [3.0]}
+
+
+def test_finalize_removes_part_and_resume_falls_back_to_manifest(tmp_path):
+    man = str(tmp_path / "run.json")
+    j = Journal(man)
+    j.write_header({"command": "table2"})
+    j.append(_res("a"))
+    # finalize: manifest on disk, journal gone
+    doc = {"schema": 2, "command": "table2", "params": {"seed": 5},
+           "cells": [dict(_res("a").to_record(), label="a")]}
+    atomic_write_text(man, lambda fp: json.dump(doc, fp))
+    j.finalize()
+    assert not (tmp_path / part_path("run.json")).exists()
+    header, cells = load_resume(man)
+    assert header["seed"] == 5
+    assert cells["a"].ok
+
+
+def test_resume_with_nothing_on_disk_raises(tmp_path):
+    with pytest.raises(FileNotFoundError, match="nothing to resume"):
+        load_resume(str(tmp_path / "absent.json"))
+
+
+def test_write_header_truncates_stale_journal(tmp_path):
+    man = str(tmp_path / "run.json")
+    j = Journal(man)
+    j.write_header({"run": 1})
+    j.append(_res("old"))
+    j.write_header({"run": 2})
+    header, cells = load_resume(man)
+    assert header["run"] == 2 and not cells
+
+
+def test_atomic_write_failure_leaves_target_untouched(tmp_path):
+    target = tmp_path / "out.json"
+    target.write_text("original")
+
+    def boom(fp):
+        fp.write("partial")
+        raise RuntimeError("disk on fire")
+
+    with pytest.raises(RuntimeError):
+        atomic_write_text(str(target), boom)
+    assert target.read_text() == "original"
+    assert list(tmp_path.iterdir()) == [target]  # no temp litter
+
+
+def test_fsync_append_appends(tmp_path):
+    p = str(tmp_path / "j.jsonl")
+    fsync_append(p, "one")
+    fsync_append(p, "two")
+    assert open(p).read() == "one\ntwo\n"

@@ -1,0 +1,134 @@
+"""The sweep engine: isolation, retries, watchdog, resume, parallelism.
+
+Process-isolation tests spawn real worker subprocesses on synthetic
+cells (no simulation), so each costs one interpreter start, not a sweep.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.runx import Journal, SweepRunner, load_resume
+from repro.runx.spec import CellResult, CellSpec, attempt_seed
+
+SYN = [
+    CellSpec(id=f"syn {i}", fn="synthetic",
+             params={"value": float(i), "reps": 2}, base_seed=100 + i)
+    for i in range(6)
+]
+
+
+def test_inline_sweep_runs_every_cell():
+    reg = MetricsRegistry()
+    results = SweepRunner(isolation="inline", metrics=reg).run(SYN)
+    assert set(results) == {s.id for s in SYN}
+    assert all(r.ok and r.attempts == 1 for r in results.values())
+    assert reg.get("runx.cells.ok").value == len(SYN)
+    assert reg.get("runx.cells.failed").value == 0
+
+
+def test_inline_cell_exception_is_a_failed_result_not_a_dead_sweep():
+    specs = [
+        CellSpec(id="good", fn="synthetic", params={"value": 1.0}),
+        CellSpec(id="bad", fn="synthetic", params={"raise": "boom"}),
+    ]
+    results = SweepRunner(isolation="inline").run(specs)
+    assert results["good"].ok
+    assert not results["bad"].ok
+    assert "boom" in results["bad"].error
+
+
+def test_duplicate_ids_rejected():
+    with pytest.raises(ValueError, match="duplicate cell ids"):
+        SweepRunner(isolation="inline").run([SYN[0], SYN[0]])
+
+
+def test_retry_uses_derived_seeds_and_backoff_is_bounded():
+    """An always-failing cell stops after `retries` extra attempts."""
+    reg = MetricsRegistry()
+    spec = CellSpec(id="f", fn="synthetic", params={"raise": "flaky"},
+                    base_seed=7)
+    res = SweepRunner(isolation="inline", retries=2, backoff_s=0.0,
+                      metrics=reg).run([spec])["f"]
+    assert not res.ok
+    assert res.attempts == 3
+    assert res.seed == attempt_seed(7, 2)
+    assert len(res.attempt_errors) == 3
+    assert reg.get("runx.cells.retried").value == 2
+
+
+def test_resume_skips_completed_cells():
+    reg = MetricsRegistry()
+    prior = {SYN[0].id: CellResult(id=SYN[0].id, status="ok",
+                                   value={"values": [9.0]})}
+    results = SweepRunner(isolation="inline", metrics=reg).run(
+        SYN, completed=prior)
+    assert results[SYN[0].id].resumed
+    assert results[SYN[0].id].value == {"values": [9.0]}  # not re-run
+    assert reg.get("runx.cells.resumed").value == 1
+    assert reg.get("runx.cells.started").value == len(SYN) - 1
+
+
+def test_failed_prior_cells_are_rerun_on_resume():
+    prior = {SYN[1].id: CellResult(id=SYN[1].id, status="failed",
+                                   error="earlier crash")}
+    results = SweepRunner(isolation="inline").run(SYN, completed=prior)
+    assert results[SYN[1].id].ok and not results[SYN[1].id].resumed
+
+
+def test_parallel_inline_results_identical_to_serial():
+    serial = SweepRunner(isolation="inline").run(SYN)
+    parallel = SweepRunner(isolation="inline", jobs=4).run(SYN)
+    assert {k: v.value for k, v in serial.items()} == \
+        {k: v.value for k, v in parallel.items()}
+
+
+def test_journal_records_cells_as_they_complete(tmp_path):
+    man = str(tmp_path / "sweep.json")
+    journal = Journal(man)
+    journal.write_header({"command": "syn"})
+    SweepRunner(isolation="inline", journal=journal).run(SYN)
+    _, cells = load_resume(man)
+    assert set(cells) == {s.id for s in SYN}
+    assert all(c.ok for c in cells.values())
+
+
+# -- process isolation (real worker subprocesses) ----------------------------
+
+def test_process_isolation_runs_and_matches_inline():
+    inline = SweepRunner(isolation="inline").run(SYN[:2])
+    proc = SweepRunner(isolation="process").run(SYN[:2])
+    assert {k: v.value for k, v in inline.items()} == \
+        {k: v.value for k, v in proc.items()}
+
+
+def test_process_crash_is_isolated():
+    """A cell that raises inside the worker reports FAILED in-band."""
+    specs = [
+        CellSpec(id="ok", fn="synthetic", params={"value": 3.0}),
+        CellSpec(id="crash", fn="synthetic", params={"raise": "segv-ish"}),
+    ]
+    results = SweepRunner(isolation="process").run(specs)
+    assert results["ok"].ok
+    assert not results["crash"].ok
+    assert "segv-ish" in results["crash"].error
+
+
+def test_watchdog_timeout_kills_hung_cell():
+    reg = MetricsRegistry()
+    specs = [CellSpec(id="hang", fn="synthetic",
+                      params={"sleep_s": 60.0})]
+    res = SweepRunner(isolation="process", timeout_s=3.0,
+                      metrics=reg).run(specs)["hang"]
+    assert not res.ok
+    assert "watchdog timeout" in res.error
+    assert reg.get("runx.cells.timeouts").value == 1
+
+
+def test_worker_metrics_are_merged_into_parent_registry():
+    reg = MetricsRegistry()
+    spec = CellSpec(id="nas tiny", fn="nas",
+                    params={"bench": "EP", "cls": "A", "nodes": 1, "rpn": 1,
+                            "smm": 0, "reps": 1}, base_seed=1)
+    res = SweepRunner(isolation="process", metrics=reg).run([spec])["nas tiny"]
+    assert res.ok
+    assert reg.get("engine.events.fired").value > 0
