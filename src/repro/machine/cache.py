@@ -76,6 +76,11 @@ class CacheHierarchy:
         self.levels = tuple(levels)
         if not any(lv.domain == "socket" for lv in levels):
             raise ValueError("hierarchy needs a socket-level (last) cache")
+        # Efficiency is a pure function of (profile, Σcore ws, Σsocket ws)
+        # and the level geometry; sweeps revisit the same handful of keys
+        # millions of times, so memoize (returns the exact float computed
+        # on first sight — bit-identical to the uncached path).
+        self._eff_cache: dict = {}
 
     def contention(
         self,
@@ -89,6 +94,11 @@ class CacheHierarchy:
         """
         core_ws = sum(p.working_set_bytes for p in core_coresidents)
         socket_ws = sum(p.working_set_bytes for p in socket_coresidents)
+        return self._contention_ws(profile, core_ws, socket_ws)
+
+    def _contention_ws(
+        self, profile: WorkloadProfile, core_ws: float, socket_ws: float
+    ) -> Tuple[float, float]:
         own_ws = profile.working_set_bytes
         base = profile.base_miss_rate
         extra_dram = 0.0
@@ -116,10 +126,15 @@ class CacheHierarchy:
         behaviour and the contention extras.  A pure-register profile
         running alone gets 1.0; a 70 %-miss streaming profile gets its
         solo memory-bound efficiency even with no co-residents."""
-        extra_dram, extra_mid = self.contention(
-            profile, core_coresidents, socket_coresidents
-        )
-        return 1.0 / profile.cost_per_op(extra_dram, extra_mid)
+        core_ws = sum(p.working_set_bytes for p in core_coresidents)
+        socket_ws = sum(p.working_set_bytes for p in socket_coresidents)
+        key = (profile, core_ws, socket_ws)
+        eff = self._eff_cache.get(key)
+        if eff is None:
+            extra_dram, extra_mid = self._contention_ws(profile, core_ws, socket_ws)
+            eff = 1.0 / profile.cost_per_op(extra_dram, extra_mid)
+            self._eff_cache[key] = eff
+        return eff
 
 
 def nehalem_hierarchy(l1_kb: int = 32, l2_kb: int = 256, l3_mb: int = 8) -> CacheHierarchy:

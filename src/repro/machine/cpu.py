@@ -109,24 +109,75 @@ class LogicalCpu:
         combined_yield = sum(p.htt_yield for p in mix) / len(mix)
         return base * combined_yield / 2.0
 
-    def compute_rates(self) -> Dict[WorkItem, float]:
-        """New rate (work units per *nanosecond*) for every resident segment."""
+    def compute_rates(self, ctx=None) -> Dict[WorkItem, float]:
+        """New rate (work units per *nanosecond*) for every resident segment.
+
+        ``ctx`` is an optional ``(per_cpu_profiles, per_socket_profiles)``
+        pair precomputed by :meth:`repro.machine.node.Node.apply_rates`;
+        without it the per-CPU scans below rebuild the same lists (same
+        element order, so the arithmetic is identical either way).
+        """
         items = list(self.executor.items)
         if not items:
             return {}
-        gross = self.gross_hz()
-        if gross <= 0.0:
-            return {item: 0.0 for item in items}
+        if ctx is None:
+            gross = self.gross_hz()
+            if gross <= 0.0:
+                return {item: 0.0 for item in items}
+            # Cache context: co-residents at core level (this cpu + sibling)
+            # and socket level (all cpus of the socket).
+            core_profiles = self._core_profiles()
+            socket_profiles = self._socket_profiles()
+        else:
+            # ctx maps busy-cpu index -> profile list; idle CPUs are absent
+            # (their contribution to every list below is empty anyway).
+            profs, socket_profs = ctx
+            if self.node._frozen or not self.state.online:
+                return {item: 0.0 for item in items}
+            sib_state = self.state.sibling
+            sib_profiles = (
+                profs.get(sib_state.index)
+                if sib_state is not None and sib_state.online
+                else None
+            )
+            base = self.node.spec.base_hz
+            if sib_profiles:
+                # Both siblings busy: aggregate yield from the combined mix
+                # (same mix list as _core_profiles in this configuration).
+                core_profiles = profs[self.index] + sib_profiles
+                combined_yield = (
+                    sum(p.htt_yield for p in core_profiles) / len(core_profiles)
+                )
+                gross = base * combined_yield / 2.0
+            else:
+                core_profiles = list(profs[self.index])
+                gross = base
+            if gross <= 0.0:
+                return {item: 0.0 for item in items}
+            socket_profiles = socket_profs.get(self.state.core.socket, [])
         share_hz = gross / len(items)
-        # Cache context: co-residents at core level (this cpu + sibling)
-        # and socket level (all cpus of the socket).
-        core_profiles = self._core_profiles()
-        socket_profiles = self._socket_profiles()
         hier = self.node.cache_hierarchy
         rates: Dict[WorkItem, float] = {}
         for item in items:
             prof: WorkloadProfile = item.meta.profile
             eff = hier.efficiency(prof, core_profiles, socket_profiles)
+            rates[item] = share_hz * eff / 1e9
+        return rates
+
+    def compute_rates_solo(self) -> Dict[WorkItem, float]:
+        """Rates when this is the only busy CPU on its node: the sibling
+        is necessarily idle (gross = base) and this CPU's residents are
+        the entire core *and* socket profile context.  Must only be called
+        with a non-empty executor."""
+        items = list(self.executor._rates)
+        if self.node._frozen or not self.state.online:
+            return {item: 0.0 for item in items}
+        profiles = [item.meta.profile for item in items]
+        share_hz = self.node.spec.base_hz / len(items)
+        hier = self.node.cache_hierarchy
+        rates: Dict[WorkItem, float] = {}
+        for item in items:
+            eff = hier.efficiency(item.meta.profile, profiles, profiles)
             rates[item] = share_hz * eff / 1e9
         return rates
 

@@ -126,14 +126,16 @@ class InterruptController:
             self._masked_pending.append(pending)
             return
         rec.delivered_at = self.engine.now
-        self.node.timeline.record(
-            rec.delivered_at,
-            "irq.deliver",
-            self.node.name,
-            irq_class=rec.irq_class.name,
-            vector=rec.vector,
-            latency_ns=rec.latency_ns,
-        )
+        tl = self.node.timeline
+        if tl.enabled:
+            tl.record(
+                rec.delivered_at,
+                "irq.deliver",
+                self.node.name,
+                irq_class=rec.irq_class.name,
+                vector=rec.vector,
+                latency_ns=rec.latency_ns,
+            )
         handler = self._handlers.get(rec.vector)
         if handler is not None:
             handler(rec, pending.payload)

@@ -20,7 +20,8 @@ software is delayed.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional
 
 from repro.simx.engine import Engine
 from repro.simx.timeline import Timeline
@@ -77,6 +78,7 @@ class Node:
         self._frozen = False
         self._deferred: List[Callable[[], None]] = []
         self._unfreeze_listeners: List[Callable[[], None]] = []
+        self._batch_depth = 0
         self.topology.add_listener(self._on_hotplug)
 
     # -- basic accessors -------------------------------------------------------
@@ -100,39 +102,124 @@ class Node:
         if self.scheduler is not None:
             self.scheduler.accounting.advance()
         for cpu in self.cpus:
-            cpu.executor.sync()
+            # An empty executor has nothing to integrate, and add() syncs
+            # before admitting — its clock cannot go stale.
+            if cpu.executor._rates:
+                cpu.executor.sync()
+
+    def begin_rate_batch(self) -> None:
+        """Open a rate-coalescing batch (pair with :meth:`end_rate_batch`
+        in a ``finally``; re-entrant — nested batches are absorbed into
+        the outermost one).
+
+        Inside the batch every executor defers its next-completion-timer
+        rescheduling; the outermost exit flushes dirty executors in CPU
+        index order.  Work integration (sync) stays eager, so completions
+        and their follow-up events are unaffected; the flush order equals
+        the order the legacy code issued its *final* (surviving) timer
+        pushes, so the event sequence is byte-identical.  Plain calls
+        rather than a contextmanager: the generator protocol is measurable
+        on this path (one batch per placement/completion/freeze).
+        """
+        depth = self._batch_depth
+        self._batch_depth = depth + 1
+        if depth == 0:
+            for cpu in self.cpus:
+                cpu.executor._defer = True
+
+    def end_rate_batch(self) -> None:
+        depth = self._batch_depth - 1
+        self._batch_depth = depth
+        if depth == 0:
+            for cpu in self.cpus:
+                ex = cpu.executor
+                ex._defer = False
+                if ex._dirty:
+                    ex._dirty = False
+                    ex._reschedule()
+
+    @contextmanager
+    def rate_batch(self):
+        """Contextmanager sugar over begin/end_rate_batch (cold paths)."""
+        self.begin_rate_batch()
+        try:
+            yield
+        finally:
+            self.end_rate_batch()
 
     def apply_rates(self) -> None:
-        """Recompute and install the rate assignment for every CPU."""
-        for cpu in self.cpus:
-            rates = cpu.compute_rates()
-            if rates or len(cpu.executor):
-                cpu.executor.set_rates(rates)
+        """Recompute and install the rate assignment for every CPU.
+
+        The per-CPU profile lists and per-socket concatenations are built
+        once per pass (list order follows CPU index order, matching the
+        per-CPU scans they replace, so float summation order — and hence
+        every computed rate — is bit-identical).
+        """
+        busy = [cpu for cpu in self.cpus if cpu.executor._rates]
+        if not busy:
+            return
+        if len(busy) == 1:
+            # Only one CPU busy (the common state for one-rank-per-node
+            # sweeps): its sibling is idle and it alone populates its
+            # socket's profile list — skip the context build entirely.
+            cpu = busy[0]
+            cpu.executor.set_rates(cpu.compute_rates_solo())
+            return
+        profs: Dict[int, List] = {}
+        for cpu in busy:
+            profs[cpu.index] = [item.meta.profile for item in cpu.executor._rates]
+        # Idle CPUs contribute nothing to a socket's profile list, so
+        # accumulating over busy CPUs (still in index order) matches the
+        # all-online-CPUs scan this replaces element for element.
+        socket_profs: Dict[object, List] = {}
+        for cpu in busy:
+            if cpu.state.online:
+                sock = cpu.state.core.socket
+                acc = socket_profs.get(sock)
+                if acc is None:
+                    socket_profs[sock] = acc = []
+                acc += profs[cpu.index]
+        ctx = (profs, socket_profs)
+        for cpu in busy:
+            cpu.executor.set_rates(cpu.compute_rates(ctx))
 
     def recompute(self) -> None:
         """sync + apply_rates — the one call sites use after any change."""
-        self.sync()
-        self.apply_rates()
+        self.begin_rate_batch()
+        try:
+            self.sync()
+            self.apply_rates()
+        finally:
+            self.end_rate_batch()
 
     # -- SMM freeze protocol ----------------------------------------------------
     def freeze(self) -> None:
         """Called by the SMM controller at SMI entry."""
-        self.sync()
-        self._frozen = True
-        self.apply_rates()
+        self.begin_rate_batch()
+        try:
+            self.sync()
+            self._frozen = True
+            self.apply_rates()
+        finally:
+            self.end_rate_batch()
 
     def unfreeze(self) -> None:
         """Called by the SMM controller at SMM exit: resume execution,
         flush deferred wake-ups (FIFO), notify listeners (scheduler
         re-balance, detectors)."""
-        self.sync()
-        self._frozen = False
-        self.apply_rates()
+        self.begin_rate_batch()
+        try:
+            self.sync()
+            self._frozen = False
+            self.apply_rates()
+        finally:
+            self.end_rate_batch()
         deferred, self._deferred = self._deferred, []
         if self._m_flush is not None:
             self._m_flush.observe(len(deferred))
+        engine = self.engine
         for fn in deferred:
-            self.engine.schedule(0, fn)
+            engine._post(0, fn, (), False)
         for fn in self._unfreeze_listeners:
             fn()
 
@@ -148,7 +235,7 @@ class Node:
             if self._m_deferred is not None:
                 self._m_deferred.value += 1
         else:
-            self.engine.schedule(0, fn)
+            self.engine._post(0, fn, (), False)
 
     # -- hotplug ----------------------------------------------------------
     def _on_hotplug(self, cpu_state) -> None:

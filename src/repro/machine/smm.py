@@ -120,10 +120,12 @@ class SmmController:
         self._enter_tsc = self.node.clock.rdtsc()
         residency = ENTRY_LATENCY_NS + duration_ns
         self.node.freeze()
-        self.node.timeline.record(
-            self.engine.now, "smm.enter", self.node.name,
-            duration_ns=duration_ns, source=source,
-        )
+        tl = self.node.timeline
+        if tl.enabled:
+            tl.record(
+                self.engine.now, "smm.enter", self.node.name,
+                duration_ns=duration_ns, source=source,
+            )
         self.engine.schedule(residency, self._exit)
 
     def _exit(self) -> None:
@@ -139,7 +141,9 @@ class SmmController:
             self._m_residency.observe(measured)
         self.in_smm = False
         self.node.unfreeze()
-        self.node.timeline.record(now, "smm.exit", self.node.name, measured_ns=measured)
+        tl = self.node.timeline
+        if tl.enabled:
+            tl.record(now, "smm.exit", self.node.name, measured_ns=measured)
         waiters, self._exit_waiters = self._exit_waiters, []
         for ev in waiters:
             ev.succeed()

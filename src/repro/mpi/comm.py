@@ -54,6 +54,11 @@ class Message:
     seq: int = 0
 
 
+def _envelope_key(m: "Message"):
+    """Mailbox index key: matching is by (source, tag) envelope."""
+    return (m.src, m.tag)
+
+
 class Request:
     """Handle for a non-blocking operation."""
 
@@ -83,7 +88,11 @@ class Communicator:
         self.tasks = list(tasks)
         self.cid = next(Communicator._ids)
         self._mailboxes: List[Store] = [
-            Store(self.engine, name=f"comm{self.cid}.rank{r}.mbox")
+            Store(
+                self.engine,
+                name=f"comm{self.cid}.rank{r}.mbox",
+                key_fn=_envelope_key,
+            )
             for r in range(len(tasks))
         ]
         self._send_seq = 0
@@ -110,7 +119,12 @@ class Communicator:
                 tag == ANY_TAG or m.tag == tag
             )
 
-        return self._mailboxes[dst].get_async(pred)
+        # Fully-specified envelope (no wildcards): the predicate accepts
+        # exactly the messages with this (src, tag), so the mailbox can
+        # use its per-envelope index instead of scanning unexpected
+        # messages posted by unrelated ranks/tags.
+        key = (src, tag) if src != ANY_SOURCE and tag != ANY_TAG else None
+        return self._mailboxes[dst].get_async(pred, key)
 
 
 class Rank:

@@ -17,6 +17,8 @@ therefore yields bit-identical payloads.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -67,6 +69,18 @@ class CellSpec:
         return {"id": self.id, "fn": self.fn, "params": dict(self.params),
                 "base_seed": self.base_seed}
 
+    def digest(self) -> str:
+        """Content digest of the *work* (executor, params, seed) — the
+        ``id`` is deliberately excluded.  Two specs with equal digests
+        produce identical payloads (cells are seed-deterministic), so a
+        journaled result can satisfy a renamed or re-labelled cell
+        without spawning a worker."""
+        blob = json.dumps(
+            [self.fn, self.params, self.base_seed],
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
     @classmethod
     def from_record(cls, rec: Dict[str, Any]) -> "CellSpec":
         return cls(id=rec["id"], fn=rec["fn"],
@@ -88,6 +102,9 @@ class CellResult:
     resumed: bool = False
     #: per-attempt failure notes (empty on a clean first-try success).
     attempt_errors: List[str] = field(default_factory=list)
+    #: content digest of the producing spec (see :meth:`CellSpec.digest`);
+    #: None on records written before the field existed.
+    digest: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -110,4 +127,5 @@ class CellResult:
             error=rec.get("error"),
             resumed=rec.get("resumed", False),
             attempt_errors=list(rec.get("attempt_errors", [])),
+            digest=rec.get("digest"),
         )

@@ -153,11 +153,16 @@ class Scheduler:
             raise RuntimeError(
                 f"no online CPU satisfies affinity {task.affinity} on {self.node.name}"
             )
-        self.node.sync()
-        cpu.add_segment(item)
-        task.cpu = cpu
-        task.state = TaskState.RUNNING
-        self.node.apply_rates()
+        node = self.node
+        node.begin_rate_batch()
+        try:
+            node.sync()
+            cpu.add_segment(item)
+            task.cpu = cpu
+            task.state = TaskState.RUNNING
+            node.apply_rates()
+        finally:
+            node.end_rate_batch()
         if self._m_placed is not None:
             self._m_placed.value += 1
             self._m_runnable.inc()
@@ -177,16 +182,23 @@ class Scheduler:
     def _pick_cpu(self, task: Task) -> Optional["LogicalCpu"]:
         best = None
         best_key = None
-        for c in self._eligible_cpus(task):
-            sibling = c.state.sibling
+        affinity = task.affinity
+        cpus = self.node.cpus
+        for c in cpus:
+            state = c.state
+            if not state.online:
+                continue
+            if affinity is not None and state.index not in affinity:
+                continue
+            sibling = state.sibling
             sib_busy = (
                 sibling is not None
                 and sibling.online
-                and self.node.cpu(sibling.index).busy
+                and cpus[sibling.index].executor._rates
             )
             # (my load, sibling busy, index) — spread across physical
             # cores first, deterministic tie-break by cpu index.
-            key = (c.n_tasks, 1 if sib_busy else 0, c.index)
+            key = (len(c.executor._rates), 1 if sib_busy else 0, state.index)
             if best_key is None or key < best_key:
                 best, best_key = c, key
         return best
@@ -205,7 +217,7 @@ class Scheduler:
         # share — recompute rates.  Deferred to +0 ns because completion
         # fires from inside an executor sync; recomputing re-entrantly
         # would corrupt the integration in progress.
-        self.engine.schedule(0, self.node.recompute)
+        self.engine._post(0, self.node.recompute, (), False)
         # The departure may also have left an imbalance (this CPU idle
         # while a neighbour is stacked) — idle balance.
         self._maybe_idle_balance()
@@ -232,10 +244,19 @@ class Scheduler:
             self.rebalance()
 
     def _maybe_idle_balance(self) -> None:
-        stacked = any(c.n_tasks >= 2 for c in self.node.cpus if c.state.online)
-        idle = any(
-            c.n_tasks == 0 for c in self.node.cpus if c.state.online
-        )
+        stacked = idle = False
+        for c in self.node.cpus:
+            if not c.state.online:
+                continue
+            n = len(c.executor._rates)
+            if n >= 2:
+                stacked = True
+                if idle:
+                    break
+            elif n == 0:
+                idle = True
+                if stacked:
+                    break
         if stacked and idle and not self._rebalance_pending:
             self._rebalance_pending = True
             self.engine.schedule(IDLE_BALANCE_NS, self._deferred_rebalance)
@@ -259,16 +280,21 @@ class Scheduler:
             return
         # Deterministic order: by task id.
         items.sort(key=lambda it: it.meta.tid)
-        self.node.sync()
-        for item in items:
-            item.meta.cpu.remove_segment(item)
-            item.meta.cpu = None
-        for item in items:
-            task = item.meta
-            cpu = self._pick_cpu(task)
-            cpu.add_segment(item)
-            task.cpu = cpu
-        self.node.apply_rates()
+        node = self.node
+        node.begin_rate_batch()
+        try:
+            node.sync()
+            for item in items:
+                item.meta.cpu.remove_segment(item)
+                item.meta.cpu = None
+            for item in items:
+                task = item.meta
+                cpu = self._pick_cpu(task)
+                cpu.add_segment(item)
+                task.cpu = cpu
+            node.apply_rates()
+        finally:
+            node.end_rate_batch()
 
     # -- post-SMM wake-up perturbation ---------------------------------------
     def _on_smm_exit(self) -> None:
@@ -307,11 +333,16 @@ class Scheduler:
         item = task.current_item
         if item is None:
             return
-        self.node.sync()
-        task.cpu.remove_segment(item)
-        target.add_segment(item)
-        task.cpu = target
-        self.node.apply_rates()
+        node = self.node
+        node.begin_rate_batch()
+        try:
+            node.sync()
+            task.cpu.remove_segment(item)
+            target.add_segment(item)
+            task.cpu = target
+            node.apply_rates()
+        finally:
+            node.end_rate_batch()
         self.misplacements += 1
         if self._m_misplacements is not None:
             self._m_misplacements.value += 1
@@ -330,19 +361,24 @@ class Scheduler:
         items = list(cpu.executor.items)
         if not items:
             return
-        self.node.sync()
-        for item in items:
-            cpu.remove_segment(item)
-        for item in items:
-            task = item.meta
-            target = None
-            for c in self._eligible_cpus(task):
-                if c.index == cpu_index:
-                    continue
-                if target is None or c.n_tasks < target.n_tasks:
-                    target = c
-            if target is None:
-                raise RuntimeError("nowhere to evacuate task " + task.name)
-            target.add_segment(item)
-            task.cpu = target
-        self.node.apply_rates()
+        node = self.node
+        node.begin_rate_batch()
+        try:
+            node.sync()
+            for item in items:
+                cpu.remove_segment(item)
+            for item in items:
+                task = item.meta
+                target = None
+                for c in self._eligible_cpus(task):
+                    if c.index == cpu_index:
+                        continue
+                    if target is None or c.n_tasks < target.n_tasks:
+                        target = c
+                if target is None:
+                    raise RuntimeError("nowhere to evacuate task " + task.name)
+                target.add_segment(item)
+                task.cpu = target
+            node.apply_rates()
+        finally:
+            node.end_rate_batch()

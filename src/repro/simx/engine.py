@@ -36,17 +36,35 @@ of delivering them (see :class:`repro.machine.node.Node`).  Hardware-level
 processes (the SMM controller itself, the SMI source, NIC transfers) are
 created without a gate and are therefore unaffected by the freeze — just
 like real hardware below the host software stack.
+
+Hot-path representation (DESIGN.md §3 "Performance")
+----------------------------------------------------
+Heap entries are plain lists ``[time, seq, fn, args, daemon, cancelled]``
+rather than objects: ``heapq`` then compares them with C-level list
+comparison (``seq`` is unique, so comparison never reaches ``fn``), and
+no closure is allocated per scheduled callback.  Cancellation is *lazy*:
+``cancel`` flips the tombstone flag in place and the run loop discards
+the entry when it surfaces, so cancelling never touches the heap.  The
+public :class:`Handle` is a thin view over the entry; internal callers
+(processes, rate executors) use :meth:`Engine._post` and skip even that
+allocation.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.simx.errors import DeadlockError, ProcessKilled, SimulationError
 
 __all__ = ["Engine", "Delay", "Event", "AllOf", "AnyOf", "Interrupt", "Process", "Handle"]
+
+# Heap-entry field indices (see module docstring).
+_TIME, _SEQ, _FN, _ARGS, _DAEMON, _CANCELLED = range(6)
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 @dataclass(frozen=True)
@@ -119,7 +137,18 @@ class Event:
             raise SimulationError(f"event {self.name!r} already triggered")
         self._ok = True
         self._value = value
-        self._dispatch()
+        callbacks = self._callbacks
+        if callbacks:
+            if len(callbacks) == 1:
+                # Single-waiter fast path: the overwhelmingly common case
+                # (a process joining a delay/segment/message completion).
+                cb = callbacks[0]
+                callbacks.clear()
+                cb(self)
+            else:
+                self._callbacks = []
+                for cb in callbacks:
+                    cb(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -182,26 +211,38 @@ class Handle:
     returns once only daemon events remain.
     """
 
-    __slots__ = ("engine", "time", "seq", "fn", "cancelled", "daemon")
+    __slots__ = ("engine", "_entry")
 
-    def __init__(self, engine: "Engine", time: int, seq: int,
-                 fn: Callable[[], None], daemon: bool):
+    def __init__(self, engine: "Engine", entry: list):
         self.engine = engine
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.cancelled = False
-        self.daemon = daemon
+        self._entry = entry
+
+    @property
+    def time(self) -> int:
+        return self._entry[_TIME]
+
+    @property
+    def seq(self) -> int:
+        return self._entry[_SEQ]
+
+    @property
+    def fn(self) -> Callable[..., None]:
+        return self._entry[_FN]
+
+    @property
+    def daemon(self) -> bool:
+        return self._entry[_DAEMON]
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[_CANCELLED]
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
-        if not self.cancelled:
-            self.cancelled = True
-            if not self.daemon:
-                self.engine._foreground -= 1
+        self.engine._cancel_entry(self._entry)
 
     def __lt__(self, other: "Handle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return self._entry < other._entry
 
 
 class Process:
@@ -240,11 +281,14 @@ class Process:
         self.daemon = daemon
         self.done_event = Event(engine, name=f"{name}.done")
         self._alive = True
-        self._pending_handle: Optional[Handle] = None
+        #: One of: a raw heap entry (delay wait), a ``_Waiter`` (event
+        #: wait), or None.  Identity doubles as the staleness token for
+        #: event callbacks.
+        self._pending_handle: Any = None
         self._waiting_on: Any = None
         engine._live_processes += 1
         # First step happens at the current instant, in scheduling order.
-        engine.schedule(0, self._step, None, None, daemon=daemon)
+        engine._post(0, self._step, (None, None), daemon)
 
     # -- public -----------------------------------------------------------
     @property
@@ -265,19 +309,21 @@ class Process:
         if not self._alive:
             return
         self._cancel_pending()
-        self.engine.schedule(0, self._step, None, Interrupt(cause))
+        self.engine._post(0, self._step, (None, Interrupt(cause)), False)
 
     def kill(self) -> None:
         """Terminate the process by throwing :class:`ProcessKilled` into it."""
         if not self._alive:
             return
         self._cancel_pending()
-        self.engine.schedule(0, self._step, None, ProcessKilled(self.name))
+        self.engine._post(0, self._step, (None, ProcessKilled(self.name)), False)
 
     # -- engine internals ---------------------------------------------------
     def _cancel_pending(self) -> None:
-        if self._pending_handle is not None:
-            self._pending_handle.cancel()
+        h = self._pending_handle
+        if h is not None:
+            if type(h) is list:  # raw heap entry (delay wait)
+                self.engine._cancel_entry(h)
             self._pending_handle = None
         self._waiting_on = None
 
@@ -293,7 +339,7 @@ class Process:
         self._pending_handle = None
         self._waiting_on = None
         if self.gate is None:
-            self.engine.schedule(0, self._step, value, exc, daemon=self.daemon)
+            self.engine._post(0, self._step, (value, exc), self.daemon)
         else:
             self.gate.deliver(lambda: self._step(value, exc))
 
@@ -337,22 +383,37 @@ class Process:
             self.done_event.fail(exc)
 
     def _wait_on(self, cmd: Any) -> None:
-        eng = self.engine
-        if isinstance(cmd, int):
-            cmd = Delay(cmd)
-        if isinstance(cmd, Delay):
-            self._pending_handle = eng.schedule(
-                cmd.ns, self._resume, None, None, daemon=self.daemon
+        cls = cmd.__class__
+        if cls is Delay:
+            self._pending_handle = self.engine._post(
+                cmd.ns, self._resume, (None, None), self.daemon
             )
             self._waiting_on = cmd
-        elif isinstance(cmd, Process):
-            self._wait_event(cmd.done_event)
+        elif cls is int:
+            if cmd < 0:
+                raise ValueError(f"negative delay: {cmd}")
+            self._pending_handle = self.engine._post(
+                cmd, self._resume, (None, None), self.daemon
+            )
+            self._waiting_on = cmd
         elif isinstance(cmd, Event):
             self._wait_event(cmd)
+        elif isinstance(cmd, Process):
+            self._wait_event(cmd.done_event)
         elif isinstance(cmd, AllOf):
             self._wait_all(cmd)
         elif isinstance(cmd, AnyOf):
             self._wait_any(cmd)
+        elif isinstance(cmd, int):  # bool or int subclass
+            self._pending_handle = self.engine._post(
+                int(cmd), self._resume, (None, None), self.daemon
+            )
+            self._waiting_on = cmd
+        elif isinstance(cmd, Delay):
+            self._pending_handle = self.engine._post(
+                cmd.ns, self._resume, (None, None), self.daemon
+            )
+            self._waiting_on = cmd
         else:
             self._resume(
                 None,
@@ -361,84 +422,110 @@ class Process:
 
     def _wait_event(self, ev: Event) -> None:
         self._waiting_on = ev
-        token = object()
-        self._pending_handle = _EventHandle(self, token)
-
-        def on_trigger(event: Event, token=token) -> None:
-            handle = self._pending_handle
-            if not isinstance(handle, _EventHandle) or handle.token is not token:
-                return  # stale registration (process was interrupted/killed)
-            if event.ok:
-                self._resume(event._value, None)
-            else:
-                self._resume(None, event._exc)
-
-        ev.add_callback(on_trigger)
+        waiter = _EventWaiter(self)
+        self._pending_handle = waiter
+        ev.add_callback(waiter)
 
     def _wait_all(self, allof: AllOf) -> None:
         events = [_as_event(w) for w in allof.waitables]
         if not events:
-            self._pending_handle = self.engine.schedule(0, self._resume, [], None)
+            self._pending_handle = self.engine._post(
+                0, self._resume, ([], None), False)
             return
         self._waiting_on = allof
-        token = object()
-        self._pending_handle = _EventHandle(self, token)
-        remaining = {"n": len(events)}
-
-        def on_one(event: Event, token=token) -> None:
-            handle = self._pending_handle
-            if not isinstance(handle, _EventHandle) or handle.token is not token:
-                return
-            if not event.ok:
-                self._resume(None, event._exc)
-                return
-            remaining["n"] -= 1
-            if remaining["n"] == 0:
-                self._resume([e._value for e in events], None)
-
+        waiter = _AllWaiter(self, events)
+        self._pending_handle = waiter
         for e in events:
-            e.add_callback(on_one)
+            e.add_callback(waiter)
 
     def _wait_any(self, anyof: AnyOf) -> None:
         events = [_as_event(w) for w in anyof.waitables]
         self._waiting_on = anyof
-        token = object()
-        self._pending_handle = _EventHandle(self, token)
-
-        def make_cb(i: int):
-            def on_one(event: Event, token=token) -> None:
-                handle = self._pending_handle
-                if not isinstance(handle, _EventHandle) or handle.token is not token:
-                    return
-                if event.ok:
-                    self._resume((i, event._value), None)
-                else:
-                    self._resume(None, event._exc)
-
-            return on_one
-
-        for i, e in enumerate(events):
-            e.add_callback(make_cb(i))
+        waiter = _AnyWaiter(self, events)
+        self._pending_handle = waiter
+        for e in events:
+            e.add_callback(waiter)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self._alive else "done"
         return f"<Process {self.name!r} {state} waiting_on={self._waiting_on!r}>"
 
 
-class _EventHandle:
-    """Pseudo-handle marking 'waiting on an event'; cancel() invalidates the
-    registration token so stale callbacks are ignored."""
+class _EventWaiter:
+    """Registered as an event callback for a single-event wait.
 
-    __slots__ = ("proc", "token", "cancelled")
+    Staleness is checked by identity: a new wait installs a new waiter
+    object in ``proc._pending_handle``, so callbacks from a superseded
+    wait (the process was interrupted or killed meanwhile) fall through.
+    One object serves as both the pending handle and the callback, so a
+    wait costs one allocation instead of a handle + token + closure.
+    """
 
-    def __init__(self, proc: Process, token: object):
+    __slots__ = ("proc",)
+
+    def __init__(self, proc: Process):
         self.proc = proc
-        self.token = token
-        self.cancelled = False
 
-    def cancel(self) -> None:
-        self.cancelled = True
-        self.token = None
+    def cancel(self) -> None:  # pragma: no cover - identity check suffices
+        pass
+
+    def __call__(self, event: Event) -> None:
+        proc = self.proc
+        if proc._pending_handle is not self:
+            return  # stale registration (process was interrupted/killed)
+        if event._ok:
+            proc._resume(event._value, None)
+        else:
+            proc._resume(None, event._exc)
+
+
+class _AllWaiter:
+    """Shared callback for an :class:`AllOf` wait."""
+
+    __slots__ = ("proc", "events", "remaining")
+
+    def __init__(self, proc: Process, events: List[Event]):
+        self.proc = proc
+        self.events = events
+        self.remaining = len(events)
+
+    def cancel(self) -> None:  # pragma: no cover - identity check suffices
+        pass
+
+    def __call__(self, event: Event) -> None:
+        proc = self.proc
+        if proc._pending_handle is not self:
+            return
+        if not event._ok:
+            proc._resume(None, event._exc)
+            return
+        self.remaining -= 1
+        if self.remaining == 0:
+            proc._resume([e._value for e in self.events], None)
+
+
+class _AnyWaiter:
+    """Shared callback for an :class:`AnyOf` wait."""
+
+    __slots__ = ("proc", "events")
+
+    def __init__(self, proc: Process, events: List[Event]):
+        self.proc = proc
+        self.events = events
+
+    def cancel(self) -> None:  # pragma: no cover - identity check suffices
+        pass
+
+    def __call__(self, event: Event) -> None:
+        proc = self.proc
+        if proc._pending_handle is not self:
+            return
+        if event._ok:
+            # Event identity (no __eq__ override) → index of first
+            # registration, matching the legacy per-index closures.
+            proc._resume((self.events.index(event), event._value), None)
+        else:
+            proc._resume(None, event._exc)
 
 
 def _as_event(w: Any) -> Event:
@@ -464,7 +551,7 @@ class Engine:
     """
 
     def __init__(self, metrics=None) -> None:
-        self._heap: list[Handle] = []
+        self._heap: list[list] = []
         self._now = 0
         self._seq = 0
         self._live_processes = 0
@@ -493,10 +580,38 @@ class Engine:
         return self._now
 
     # -- scheduling -----------------------------------------------------------
+    def _post(self, delay_ns: int, fn: Callable[..., None], args: tuple,
+              daemon: bool) -> list:
+        """Internal fast-path schedule: returns the raw heap entry (no
+        :class:`Handle` allocation).  Cancel with :meth:`_cancel_entry`."""
+        t_ns = self._now + delay_ns
+        self._seq = seq = self._seq + 1
+        entry = [t_ns, seq, fn, args, daemon, False]
+        if not daemon:
+            self._foreground += 1
+        _heappush(self._heap, entry)
+        if self._m_scheduled is not None:
+            self._m_scheduled.value += 1
+            self._m_heap.set(len(self._heap))
+        return entry
+
+    def _cancel_entry(self, entry: list) -> None:
+        """Tombstone a heap entry (lazy cancellation).  Idempotent."""
+        if not entry[_CANCELLED]:
+            entry[_CANCELLED] = True
+            if not entry[_DAEMON]:
+                self._foreground -= 1
+
     def schedule(self, delay_ns: int, fn: Callable[..., None], *args: Any,
                  daemon: bool = False) -> Handle:
         """Schedule ``fn(*args)`` after ``delay_ns`` nanoseconds."""
-        return self.schedule_at(self._now + int(delay_ns), fn, *args, daemon=daemon)
+        delay_ns = int(delay_ns)
+        if delay_ns < 0:
+            raise SimulationError(
+                f"cannot schedule into the past: {self._now + delay_ns} "
+                f"< now={self._now}"
+            )
+        return Handle(self, self._post(delay_ns, fn, args, daemon))
 
     def schedule_at(self, t_ns: int, fn: Callable[..., None], *args: Any,
                     daemon: bool = False) -> Handle:
@@ -504,20 +619,12 @@ class Engine:
 
         ``daemon=True`` events do not keep :meth:`run` alive on their own.
         """
+        t_ns = int(t_ns)
         if t_ns < self._now:
             raise SimulationError(
                 f"cannot schedule into the past: {t_ns} < now={self._now}"
             )
-        self._seq += 1
-        h = Handle(self, int(t_ns), self._seq,
-                   (lambda: fn(*args)) if args else fn, daemon)
-        if not daemon:
-            self._foreground += 1
-        heapq.heappush(self._heap, h)
-        if self._m_scheduled is not None:
-            self._m_scheduled.value += 1
-            self._m_heap.set(len(self._heap))
-        return h
+        return Handle(self, self._post(t_ns - self._now, fn, args, daemon))
 
     def event(self, name: str = "") -> Event:
         """Create a fresh untriggered :class:`Event`."""
@@ -525,8 +632,14 @@ class Engine:
 
     def timeout(self, delay_ns: int, value: Any = None) -> Event:
         """An event that succeeds after ``delay_ns``, carrying ``value``."""
+        delay_ns = int(delay_ns)
+        if delay_ns < 0:
+            raise SimulationError(
+                f"cannot schedule into the past: {self._now + delay_ns} "
+                f"< now={self._now}"
+            )
         ev = Event(self, name=f"timeout+{delay_ns}")
-        self.schedule(delay_ns, ev.succeed, value)
+        self._post(delay_ns, ev.succeed, (value,), False)
         return ev
 
     def process(
@@ -549,22 +662,26 @@ class Engine:
         no joiner are re-raised here so they cannot be lost.
         """
         heap = self._heap
+        pop = _heappop
+        m_fired = self._m_fired
+        orphans = self._orphan_failures
         while heap and self._foreground > 0:
-            h = heap[0]
-            if until_ns is not None and h.time > until_ns:
+            entry = heap[0]
+            t = entry[0]
+            if until_ns is not None and t > until_ns:
                 self._now = until_ns
-                return self._now
-            heapq.heappop(heap)
-            if h.cancelled:
+                return until_ns
+            pop(heap)
+            if entry[5]:  # tombstoned by a lazy cancel
                 continue
-            if not h.daemon:
+            if not entry[4]:
                 self._foreground -= 1
-            self._now = h.time
-            if self._m_fired is not None:
-                self._m_fired.value += 1
-            h.fn()
-            if self._orphan_failures:
-                name, exc = self._orphan_failures[0]
+            self._now = t
+            if m_fired is not None:
+                m_fired.value += 1
+            entry[2](*entry[3])
+            if orphans:
+                name, exc = orphans[0]
                 raise SimulationError(
                     f"process {name!r} failed with no joiner"
                 ) from exc
@@ -580,22 +697,26 @@ class Engine:
         SMI source would keep scheduling forever.
         """
         heap = self._heap
-        while heap and not event.triggered:
-            h = heap[0]
-            if limit_ns is not None and h.time > limit_ns:
+        pop = _heappop
+        m_fired = self._m_fired
+        orphans = self._orphan_failures
+        while heap and event._ok is None:
+            entry = heap[0]
+            t = entry[0]
+            if limit_ns is not None and t > limit_ns:
                 self._now = limit_ns
-                return self._now
-            heapq.heappop(heap)
-            if h.cancelled:
+                return limit_ns
+            pop(heap)
+            if entry[5]:
                 continue
-            if not h.daemon:
+            if not entry[4]:
                 self._foreground -= 1
-            self._now = h.time
-            if self._m_fired is not None:
-                self._m_fired.value += 1
-            h.fn()
-            if self._orphan_failures:
-                name, exc = self._orphan_failures[0]
+            self._now = t
+            if m_fired is not None:
+                m_fired.value += 1
+            entry[2](*entry[3])
+            if orphans:
+                name, exc = orphans[0]
                 raise SimulationError(
                     f"process {name!r} failed with no joiner"
                 ) from exc

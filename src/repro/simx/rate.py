@@ -22,13 +22,34 @@ Invariants (property-tested in ``tests/simx/test_rate.py``):
 * *Monotonicity*: an item's remaining demand never increases.
 * *Exact completion*: an item completes exactly when its integrated rate
   reaches its demand (to within one nanosecond of timer quantization).
+
+Rate-update coalescing (DESIGN.md §3 "Performance")
+---------------------------------------------------
+A freeze/unfreeze or placement change used to trigger one full
+ETA-rescheduling pass per mutation: a 24-segment rebalance did ~48
+cancel+push cycles whose timers were all dead on arrival.  Two
+mechanisms remove that churn while keeping event order **identical**:
+
+* *Deferred rescheduling* — inside :meth:`defer_reschedule` (used by
+  :meth:`repro.machine.node.Node.rate_batch`), membership and rate
+  mutations mark the executor dirty instead of rescheduling; one
+  rescheduling pass runs at batch exit.  Work integration (``sync``)
+  still happens eagerly, so completions and their follow-up events fire
+  at exactly the same points in the instant as before; only the
+  intermediate timers — all of which the legacy code cancelled before
+  they could fire — are never created.
+* *ETA keep* — rescheduling keeps the live timer when the new fire time
+  equals the old one **and** nothing else was scheduled since the timer
+  was pushed (``timer seq == engine seq``).  Re-pushing would then yield
+  the adjacent sequence number with no intervening events, so keeping
+  the entry is observationally identical.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.simx.engine import Engine, Event, Handle
+from repro.simx.engine import Engine, Event
 from repro.simx.errors import SimulationError
 
 __all__ = ["WorkItem", "RateExecutor"]
@@ -86,12 +107,28 @@ class RateExecutor:
     (deterministic).
     """
 
+    __slots__ = (
+        "engine",
+        "on_complete",
+        "_rates",
+        "_last_sync",
+        "_timer",
+        "_timer_time",
+        "_defer",
+        "_dirty",
+        "total_work_served",
+        "pre_sync",
+    )
+
     def __init__(self, engine: Engine, on_complete: Callable[[WorkItem], None]):
         self.engine = engine
         self.on_complete = on_complete
         self._rates: Dict[WorkItem, float] = {}  # units per ns
         self._last_sync = engine.now
-        self._timer: Optional[Handle] = None
+        self._timer: Optional[list] = None  # raw engine heap entry
+        self._timer_time = 0  # absolute fire time of the live timer
+        self._defer = False   # inside a coalescing batch
+        self._dirty = False   # a reschedule is owed at batch exit
         self.total_work_served = 0.0  # lifetime integral, for conservation tests
         #: Optional hook ``pre_sync(dt_ns)`` called at the top of every
         #: non-empty sync window, *before* items are advanced or evicted.
@@ -129,25 +166,35 @@ class RateExecutor:
     def sync(self) -> None:
         """Advance all items to ``engine.now`` at the current rates, and
         complete any that finish exactly in the elapsed window."""
-        now = self.engine.now
+        now = self.engine._now
         dt = now - self._last_sync
+        if dt <= 0:
+            return
         self._last_sync = now
-        if dt <= 0 or not self._rates:
+        rates = self._rates
+        if not rates:
             return
         if self.pre_sync is not None:
             self.pre_sync(dt)
-        finished = []
-        for item, rate in self._rates.items():
+        finished = None
+        total = self.total_work_served
+        for item, rate in rates.items():
             if rate <= 0.0:
                 continue
             served = rate * dt
-            if served >= item.remaining - _EPS_WORK:
-                served = item.remaining
-                finished.append(item)
-            item.remaining -= served
-            self.total_work_served += served
-        for item in finished:
-            self._complete(item)
+            remaining = item.remaining
+            if served >= remaining - _EPS_WORK:
+                served = remaining
+                if finished is None:
+                    finished = [item]
+                else:
+                    finished.append(item)
+            item.remaining = remaining - served
+            total += served
+        self.total_work_served = total
+        if finished is not None:
+            for item in finished:
+                self._complete(item)
 
     def set_rates(self, rates: Dict[WorkItem, float]) -> None:
         """Assign new rates.  Items not mentioned keep their old rate;
@@ -155,48 +202,83 @@ class RateExecutor:
         :meth:`sync` must already have been called by the code path that
         changed conditions — ``set_rates`` calls it defensively anyway."""
         self.sync()
+        current = self._rates
         for item, rate in rates.items():
-            if item not in self._rates:
+            if item not in current:
                 raise SimulationError("set_rates for unadmitted item")
             if rate < 0:
                 raise ValueError("negative rate")
-            self._rates[item] = float(rate)
+            current[item] = float(rate)
         self._reschedule()
 
     def rate_of(self, item: WorkItem) -> float:
         return self._rates[item]
 
+    # -- coalescing --------------------------------------------------------
+    def defer_reschedule(self) -> None:
+        """Enter a coalescing batch: mutations mark the executor dirty
+        instead of rescheduling.  Must be paired with
+        :meth:`flush_reschedule` before control returns to the engine
+        loop (see :meth:`repro.machine.node.Node.rate_batch`)."""
+        self._defer = True
+
+    def flush_reschedule(self) -> None:
+        """Exit a coalescing batch; run the one owed rescheduling pass."""
+        self._defer = False
+        if self._dirty:
+            self._dirty = False
+            self._reschedule()
+
     # -- internals -------------------------------------------------------------
     def _complete(self, item: WorkItem) -> None:
         del self._rates[item]
         item.remaining = 0.0
-        item.finished_at = self.engine.now
+        item.finished_at = self.engine._now
         self.on_complete(item)
-        if not item.done.triggered:
+        if item.done._ok is None:
             item.done.succeed(item)
 
     def _reschedule(self) -> None:
-        if self._timer is not None:
-            self._timer.cancel()
-            self._timer = None
+        if self._defer:
+            self._dirty = True
+            return
         soonest: Optional[int] = None
         for item, rate in self._rates.items():
             if rate <= 0.0:
                 continue
-            if item.remaining <= _EPS_WORK:
+            remaining = item.remaining
+            if remaining <= _EPS_WORK:
                 # Degenerate zero-demand item: completes now.
                 eta = 0
             else:
-                eta_f = item.remaining / rate + 0.999999
+                eta_f = remaining / rate + 0.999999
                 if eta_f >= _ETA_CAP:
                     # Vanishing rate: no practical progress — treat like a
                     # zero rate (no completion timer until rates change).
                     continue
-                eta = max(1, int(eta_f))
+                eta = int(eta_f)
+                if eta < 1:
+                    eta = 1
             if soonest is None or eta < soonest:
                 soonest = eta
-        if soonest is not None:
-            self._timer = self.engine.schedule(soonest, self._on_timer)
+        engine = self.engine
+        timer = self._timer
+        if soonest is None:
+            if timer is not None:
+                engine._cancel_entry(timer)
+                self._timer = None
+            return
+        t_abs = engine._now + soonest
+        if timer is not None:
+            if (self._timer_time == t_abs and not timer[5]
+                    and timer[1] == engine._seq):
+                # ETA keep: same fire time and no event scheduled since
+                # this timer was pushed — a fresh push would occupy the
+                # adjacent sequence slot, so keeping it is identical.
+                return
+            engine._cancel_entry(timer)
+        self._timer = engine._post(soonest, self._on_timer, (), False)
+        self._timer_time = t_abs
 
     def _on_timer(self) -> None:
         self._timer = None

@@ -196,12 +196,25 @@ class Store:
     satisfying a predicate (source/tag match); messages arriving earlier
     are held in an unexpected-message queue, preserving MPI's
     non-overtaking order between any (source, tag) pair.
+
+    Items live in an insertion-ordered dict (monotonic id → item), so a
+    predicate scan still sees arrival order while removal anywhere in the
+    queue is O(1).  With a ``key_fn`` the store additionally maintains a
+    per-key index (key → deque of ids), which :meth:`get_async` uses to
+    match an *exact* key without scanning unrelated items — the MPI
+    source/tag fast path.  Ids left stale in the index by predicate-path
+    removals are skipped lazily.
     """
 
-    def __init__(self, engine: Engine, name: str = "store"):
+    def __init__(self, engine: Engine, name: str = "store", key_fn=None):
         self.engine = engine
         self.name = name
-        self._items: list[Any] = []
+        self._key_fn = key_fn
+        self._seq = 0
+        self._items: dict[int, Any] = {}  # insertion-ordered: id -> item
+        self._index: Optional[dict[Any, Deque[int]]] = (
+            {} if key_fn is not None else None
+        )
         self._waiters: list[tuple[Any, Event]] = []  # (predicate, event)
 
     def __len__(self) -> int:
@@ -215,29 +228,54 @@ class Store:
                 del self._waiters[i]
                 ev.succeed(item)
                 return
-        self._items.append(item)
+        self._seq += 1
+        self._items[self._seq] = item
+        if self._index is not None:
+            key = self._key_fn(item)
+            q = self._index.get(key)
+            if q is None:
+                self._index[key] = q = deque()
+            q.append(self._seq)
 
-    def get_async(self, predicate) -> Event:
+    def get_async(self, predicate, key: Any = None) -> Event:
         """Non-blocking matching: returns an event that succeeds (with the
         item) as soon as a matching item is available — immediately if one
-        is already queued.  This is the primitive under MPI ``irecv``."""
+        is already queued.  This is the primitive under MPI ``irecv``.
+
+        ``key`` (only meaningful with a ``key_fn``) asserts that
+        ``predicate`` accepts exactly the items whose ``key_fn`` equals
+        ``key``; the oldest such item is then found via the index instead
+        of a queue scan.  Per-key FIFO (non-overtaking) order is identical
+        either way.
+        """
         ev = self.engine.event(name=f"{self.name}.match")
-        for i, item in enumerate(self._items):
+        items = self._items
+        if key is not None and self._index is not None:
+            q = self._index.get(key)
+            if q:
+                while q:
+                    item = items.pop(q.popleft(), None)  # None: stale id
+                    if item is not None:
+                        ev.succeed(item)
+                        return ev
+            self._waiters.append((predicate, ev))
+            return ev
+        for sid, item in items.items():
             if predicate(item):
-                del self._items[i]
+                del items[sid]
                 ev.succeed(item)
                 return ev
         self._waiters.append((predicate, ev))
         return ev
 
-    def get(self, predicate) -> Generator[Any, Any, Any]:
+    def get(self, predicate, key: Any = None) -> Generator[Any, Any, Any]:
         """Generator: retrieve the oldest item matching ``predicate``."""
-        item = yield self.get_async(predicate)
+        item = yield self.get_async(predicate, key)
         return item
 
     def peek(self, predicate) -> Optional[Any]:
         """Return (without removing) the oldest matching item, or None."""
-        for item in self._items:
+        for item in self._items.values():
             if predicate(item):
                 return item
         return None

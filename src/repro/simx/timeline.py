@@ -44,17 +44,25 @@ class Timeline:
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self._records: list[TraceRecord] = []
+        # Bound-method cache: record() is called once per SMM transition /
+        # message / interrupt on big runs.
+        self._append = self._records.append
         self._muted_prefixes: tuple[str, ...] = ()
         self._counters: dict[str, int] = {}
 
     # -- recording ----------------------------------------------------------
     def record(self, time: int, kind: str, where: str, **data: Any) -> None:
-        self._counters[kind] = self._counters.get(kind, 0) + 1
+        """Record one transition.  A disabled timeline does nothing at all
+        (no records *and* no counters) — hot call sites additionally guard
+        with ``if timeline.enabled`` so a disabled run pays one attribute
+        test, not a call."""
         if not self.enabled:
             return
+        counters = self._counters
+        counters[kind] = counters.get(kind, 0) + 1
         if self._muted_prefixes and kind.startswith(self._muted_prefixes):
             return
-        self._records.append(TraceRecord(time, kind, where, data))
+        self._append(TraceRecord(time, kind, where, data))
 
     def mute(self, *prefixes: str) -> None:
         """Stop storing records whose kind starts with any prefix
@@ -93,7 +101,8 @@ class Timeline:
         return out
 
     def count(self, kind: str) -> int:
-        """Total number of records of exactly this kind (ignores muting)."""
+        """Total number of records of exactly this kind while *enabled*
+        (muting does not affect counters; disabling stops them)."""
         return self._counters.get(kind, 0)
 
     def intervals(self, enter_kind: str, exit_kind: str, where: Optional[str] = None

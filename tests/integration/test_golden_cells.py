@@ -1,0 +1,46 @@
+"""Determinism-under-optimization gate: golden cell payloads.
+
+``golden/cells.json`` holds the exact ``run_cell`` payloads of one BT
+cell, one FT cell, and one Convolve line, captured *before* the engine
+hot-path overhaul with fixed seeds.  Every optimization to the engine,
+rate model, scheduler, or MPI layer must keep these byte-identical: the
+fluid model is exact, the event order is pinned by (time, seq), and the
+seeds are position-derived, so any payload drift means an optimization
+changed simulation semantics, not just speed.
+
+Regenerate (only when an *intentional* model change lands, never for a
+perf change)::
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from repro.runx.cells import run_cell
+    path = "tests/integration/golden/cells.json"
+    g = json.load(open(path))
+    for c in g.values():
+        c["payload"] = run_cell(c["fn"], c["params"], c["seed"])
+    json.dump(g, open(path, "w"), indent=2, sort_keys=True)
+    EOF
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.runx.cells import run_cell
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "cells.json")
+
+with open(GOLDEN, encoding="utf-8") as fp:
+    _CELLS = json.load(fp)
+
+
+@pytest.mark.parametrize("name", sorted(_CELLS))
+def test_golden_payload_is_byte_identical(name):
+    cell = _CELLS[name]
+    payload = run_cell(cell["fn"], cell["params"], cell["seed"])
+    # Compare via canonical JSON so a diff shows *where* the payloads
+    # diverge, and so the comparison matches what lands in manifests.
+    got = json.dumps(payload, sort_keys=True)
+    want = json.dumps(cell["payload"], sort_keys=True)
+    assert got == want, f"golden cell {name!r} payload drifted"

@@ -194,3 +194,76 @@ def test_remaining_never_increases(demand, changes):
     eng.run()
     assert all(b <= a + 1e-9 for a, b in zip(observations, observations[1:]))
     assert item.remaining == 0.0
+
+
+def test_float_residue_demand_completes_at_exact_nanosecond():
+    """Demand whose rate*eta product carries float residue still lands on
+    the exact nanosecond (no +-1 drift from the _EPS_WORK slack)."""
+    eng, ex, done = make()
+    # 0.3 * 100 = 30.000000000000004 in binary float: without the
+    # epsilon, remaining would be -4e-15 at t=100 and the completion
+    # timer would re-fire; with it, the item completes exactly at 100.
+    item = WorkItem(eng, demand=30.0)
+    ex.add(item)
+    ex.set_rates({item: 0.3})
+    eng.run()
+    assert done == [item]
+    assert item.finished_at == 100
+    assert item.remaining == 0.0
+
+
+def test_exact_completion_survives_same_instant_rate_churn():
+    """A same-instant freeze/unfreeze pair (rate -> 0 -> restore at one
+    timestamp, as SMM does) must not shift the completion nanosecond."""
+    eng, ex, done = make()
+    item = WorkItem(eng, demand=1000.0)
+    ex.add(item)
+    ex.set_rates({item: 1.0})
+
+    def churn():
+        ex.set_rates({item: 0.0})
+        ex.set_rates({item: 1.0})
+
+    eng.schedule(400, churn)
+    eng.run()
+    assert item.finished_at == 1000
+    assert ex.total_work_served == pytest.approx(1000.0)
+
+
+def test_deferred_reschedule_coalesces_to_one_pass():
+    """Inside a defer/flush batch, mutations mark the executor dirty and
+    the single owed rescheduling pass runs at flush — completion times
+    are identical to the eager path."""
+    eng, ex, done = make()
+    item = WorkItem(eng, demand=1000.0)
+    ex.add(item)
+    ex.set_rates({item: 1.0})
+
+    def batched_churn():
+        ex.defer_reschedule()
+        try:
+            ex.set_rates({item: 0.0})
+            ex.set_rates({item: 2.0})
+            ex.set_rates({item: 1.0})
+            assert ex._dirty  # mutations owed exactly one pass
+        finally:
+            ex.flush_reschedule()
+        assert not ex._dirty
+
+    eng.schedule(250, batched_churn)
+    eng.run()
+    assert done == [item]
+    assert item.finished_at == 1000
+
+
+def test_flush_without_mutation_is_a_no_op():
+    eng, ex, _ = make()
+    item = WorkItem(eng, demand=100.0)
+    ex.add(item)
+    ex.set_rates({item: 1.0})
+    timer = ex._timer
+    ex.defer_reschedule()
+    ex.flush_reschedule()  # nothing dirtied: live timer must survive
+    assert ex._timer is timer
+    eng.run()
+    assert item.finished_at == 100

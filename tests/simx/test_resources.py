@@ -321,3 +321,51 @@ def test_store_get_async_immediate_and_deferred():
     assert not ev2.triggered
     store.put(2)
     assert ev2.triggered and ev2.value == 2
+
+
+def test_store_keyed_index_exact_match():
+    """With a key_fn, an exact-key get skips unrelated items entirely."""
+    eng = Engine()
+    store = Store(eng, key_fn=lambda m: (m["src"], m["tag"]))
+    store.put({"src": 0, "tag": 7, "v": "a"})
+    store.put({"src": 1, "tag": 7, "v": "b"})
+    store.put({"src": 0, "tag": 7, "v": "c"})
+    ev = store.get_async(
+        lambda m: m["src"] == 0 and m["tag"] == 7, key=(0, 7))
+    assert ev.triggered and ev.value["v"] == "a"
+    assert len(store) == 2  # "b" untouched, "c" still queued
+
+
+def test_store_keyed_non_overtaking_mixed_with_wildcard():
+    """Per-key FIFO survives interleaved wildcard (predicate-path) gets:
+    a wildcard removal leaves a stale id in the index that the keyed
+    path must skip, still yielding arrival order for the key."""
+    eng = Engine()
+    store = Store(eng, key_fn=lambda m: (m["src"], m["tag"]))
+    for i in range(4):
+        store.put({"src": 0, "tag": 1, "seq": i})
+    store.put({"src": 9, "tag": 1, "seq": 99})
+    # Wildcard get (no key): removes the oldest overall -> seq 0,
+    # leaving its id stale in the (0, 1) index deque.
+    ev_any = store.get_async(lambda m: True)
+    assert ev_any.value["seq"] == 0
+    got = []
+    for _ in range(3):
+        ev = store.get_async(
+            lambda m: m["src"] == 0 and m["tag"] == 1, key=(0, 1))
+        assert ev.triggered
+        got.append(ev.value["seq"])
+    assert got == [1, 2, 3]  # arrival order, no overtaking, no seq-0 replay
+    assert store.peek(lambda m: True)["seq"] == 99
+
+
+def test_store_keyed_miss_registers_waiter():
+    eng = Engine()
+    store = Store(eng, key_fn=lambda m: m["tag"])
+    ev = store.get_async(lambda m: m["tag"] == 5, key=5)
+    assert not ev.triggered
+    store.put({"tag": 4})
+    assert not ev.triggered
+    store.put({"tag": 5})
+    assert ev.triggered and ev.value["tag"] == 5
+    assert len(store) == 1  # the tag-4 item

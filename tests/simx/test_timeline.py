@@ -44,10 +44,17 @@ def test_count_ignores_muting():
     assert len(tl) == 1  # only the smm record stored
 
 
-def test_disabled_timeline_still_counts():
+def test_disabled_timeline_is_inert():
+    # The zero-cost-when-disabled contract: a disabled timeline records
+    # nothing, not even counters (hot call sites skip the call entirely
+    # behind an ``if tl.enabled`` test).
     tl = Timeline(enabled=False)
     tl.record(0, "smm.enter", "n")
     assert len(tl) == 0
+    assert tl.count("smm.enter") == 0
+    tl.enabled = True
+    tl.record(1, "smm.enter", "n")
+    assert len(tl) == 1
     assert tl.count("smm.enter") == 1
 
 
