@@ -14,7 +14,13 @@ subprocesses:
 3. unrecoverable fault: with no retries a killed cell degrades to "-"
    and the CLI exits 1 with a failure summary, not a traceback.
 
-Usage: chaos_smoke.py [WORKDIR]
+With ``--faults`` it instead runs the *model-level* fault drill (the CI
+``fault-smoke`` job): a node-crash fault plan against the quick BT table
+must kill exactly the matched cell in simulation — exit 1, a
+``failed-in-sim`` manifest row rendered as "-", a resumable journal that
+reproduces the same deterministic failure on --resume.
+
+Usage: chaos_smoke.py [WORKDIR] [--faults]
 """
 
 import json
@@ -33,6 +39,7 @@ def _env(**extra):
     if os.path.isdir(os.path.join(src, "repro")):
         env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     env.pop("REPRO_CHAOS_PLAN", None)
+    env.pop("REPRO_FAULT_PLAN", None)
     env.update(extra)
     return env
 
@@ -42,9 +49,55 @@ def _cli(args, **kw):
                           capture_output=True, text=True, **kw)
 
 
+def main_faults(work):
+    """Drill 4 (the CI ``fault-smoke`` job): in-simulation fault injection
+    degrades gracefully and deterministically."""
+    base = ["table1", "--quick"]
+    target = "BT.A n=4 rpn=1 smm=2"
+
+    print("== drill 4: node-crash fault plan -> failed-in-sim ==")
+    plan = os.path.join(work, "fault-plan.json")
+    with open(plan, "w") as fp:
+        json.dump([{"match": target, "fault": "node_crash",
+                    "node": 1, "at_s": 5.0}], fp)
+    man = os.path.join(work, "faulted.json")
+    r = _cli(base + ["--jobs", "2", "--fault-plan", plan, "--manifest", man],
+             env=_env(), cwd=work)
+    assert r.returncode == 1, (r.returncode, r.stdout, r.stderr)
+    assert "Table 1" in r.stdout, "faulted table must still render"
+    assert "failed in simulation" in r.stderr, r.stderr
+    doc = json.load(open(man))
+    in_sim = [c for c in doc["cells"] if c["status"] == "failed-in-sim"]
+    assert [c["id"] for c in in_sim] == [target], in_sim
+    assert in_sim[0]["fault"]["events"][0]["fault"] == "node_crash"
+    ok = [c for c in doc["cells"] if c["status"] == "ok"]
+    assert len(ok) == len(doc["cells"]) - 1, "other cells must complete"
+    part = man + ".part.jsonl"
+    assert os.path.exists(part), "journal must stay behind for --resume"
+
+    print("== drill 4b: --resume replays the same deterministic failure ==")
+    first_events = in_sim[0]["fault"]["events"]
+    resumed = _cli(base + ["--resume", man], env=_env(), cwd=work)
+    assert resumed.returncode == 1, (resumed.returncode, resumed.stderr)
+    doc = json.load(open(man))
+    in_sim2 = [c for c in doc["cells"] if c["status"] == "failed-in-sim"]
+    assert [c["id"] for c in in_sim2] == [target]
+    assert in_sim2[0]["fault"]["events"] == first_events, \
+        "fault replay must be deterministic"
+
+    print("ok: fault plan killed exactly the matched cell in-sim, the rest "
+          "completed, and --resume reproduced the identical failure")
+    return 0
+
+
 def main(argv):
-    work = argv[1] if len(argv) > 1 else tempfile.mkdtemp(prefix="chaos-")
+    flags = [a for a in argv[1:] if a.startswith("--")]
+    positional = [a for a in argv[1:] if not a.startswith("--")]
+    work = positional[0] if positional else tempfile.mkdtemp(prefix="chaos-")
+    work = os.path.abspath(work)  # drills run the CLI with cwd=work
     os.makedirs(work, exist_ok=True)
+    if "--faults" in flags:
+        return main_faults(work)
     base = ["table2", "--quick"]
 
     print("== clean baseline ==")

@@ -81,6 +81,8 @@ def run_nas_config(
     timeline=None,
     metrics=None,
     trace: bool = False,
+    faults=None,
+    mpi_timeout_s: Optional[float] = None,
 ) -> Optional[float]:
     """Run one benchmark configuration under one SMI class.
 
@@ -96,6 +98,12 @@ def run_nas_config(
     counters, and ``trace=True`` to additionally record network messages
     and per-CPU task placements (heavier; meant for the ``repro-smm
     trace`` exporter, not for table sweeps).
+
+    Fault injection: pass a :class:`repro.faults.FaultInjector` as
+    ``faults`` to arm its plan against the cluster before launch; a
+    fatal fault then raises :class:`repro.mpi.errors.JobAbortedError`
+    (see :func:`repro.mpi.cluster.run_mpi_job`).  ``mpi_timeout_s``
+    overrides the injector's derived blocking-wait bound.
     """
     if not nas_config_feasible(cfg):
         return None
@@ -107,6 +115,8 @@ def run_nas_config(
         htt=cfg.htt,
     )
     cluster = Cluster(spec, seed=seed, timeline=timeline, metrics=metrics)
+    if faults is not None:
+        faults.attach(cluster)
     if trace:
         cluster.network.trace = True
         for node in cluster.nodes:
@@ -124,6 +134,7 @@ def run_nas_config(
         ranks_per_node=cfg.ranks_per_node,
         profile=profile,
         name=cfg.label,
+        mpi_timeout_s=mpi_timeout_s,
     )
     for r in result.rank_results:
         if not r.get("verified", False):

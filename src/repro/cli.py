@@ -33,6 +33,11 @@ checkpoint journal, and graceful degradation — failed cells render as
   exponential backoff, per-attempt derived seeds).
 * ``--resume MANIFEST`` — skip the cells a previous (possibly killed)
   run already completed, using its recorded parameters and seeds.
+* ``--fault-plan FILE`` (or ``REPRO_FAULT_PLAN=FILE``) — inject
+  model-level faults (node crashes/hangs, degraded CPUs, clock skew,
+  lossy links) *into the simulation* of matching cells; a cell killed by
+  its faults is recorded ``failed-in-sim`` (rendered "-", never
+  retried) while the rest of the sweep completes normally.
 """
 
 from __future__ import annotations
@@ -52,6 +57,34 @@ def _positive_int(text: str) -> int:
     return n
 
 
+def _positive_float(text: str) -> float:
+    try:
+        v = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
+    if v <= 0:
+        raise argparse.ArgumentTypeError("must be > 0")
+    return v
+
+
+def _nonneg_int(text: str) -> int:
+    n = int(text)
+    if n < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return n
+
+
+def _nas_class(text: str) -> str:
+    from repro.apps.nas.params import NasClass
+
+    try:
+        return NasClass(text.upper()).value
+    except ValueError:
+        valid = ", ".join(c.value for c in NasClass)
+        raise argparse.ArgumentTypeError(
+            f"unknown NPB class {text!r} (one of {valid})") from None
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--quick", action="store_true", help="reduced matrix, 1 rep")
     p.add_argument("--reps", type=_positive_int, default=None,
@@ -69,13 +102,18 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     )
     resilient.add_argument("--jobs", type=_positive_int, default=None,
                            metavar="N", help="cells to run in parallel")
-    resilient.add_argument("--timeout", type=float, default=None, metavar="S",
-                           help="per-cell wall-clock watchdog (seconds)")
-    resilient.add_argument("--retries", type=int, default=None, metavar="K",
-                           help="retry failed cells up to K times")
+    resilient.add_argument("--timeout", type=_positive_float, default=None,
+                           metavar="S",
+                           help="per-cell wall-clock watchdog (seconds, > 0)")
+    resilient.add_argument("--retries", type=_nonneg_int, default=None,
+                           metavar="K", help="retry failed cells up to K times")
     resilient.add_argument("--resume", default=None, metavar="MANIFEST",
                            help="resume an interrupted sweep from its "
                            "manifest/journal")
+    resilient.add_argument("--fault-plan", default=None, metavar="FILE",
+                           help="inject model-level faults from this JSON "
+                           "plan into matching cells' simulations "
+                           "(env: REPRO_FAULT_PLAN)")
 
 
 def _setup_logging(verbosity: int) -> None:
@@ -113,10 +151,59 @@ def _finish_obs(args: argparse.Namespace, manifest, registry) -> None:
 
 
 def _resilient_requested(args: argparse.Namespace) -> bool:
-    return any(
+    import os
+
+    if any(
         getattr(args, flag, None) is not None
-        for flag in ("jobs", "timeout", "retries", "resume")
-    )
+        for flag in ("jobs", "timeout", "retries", "resume", "fault_plan")
+    ):
+        return True
+    # A fault plan in the environment also opts in: model-level faults
+    # only make sense under the runner that understands failed-in-sim.
+    if hasattr(args, "fault_plan"):
+        from repro.faults import PLAN_ENV
+
+        return bool(os.environ.get(PLAN_ENV))
+    return False
+
+
+def _load_fault_plan(path: Optional[str]):
+    """``(plan, resolved_path, error)`` for a ``--fault-plan``/env path —
+    all ``None`` when no plan is configured, ``error`` set on a bad one."""
+    from repro.faults import PLAN_ENV, FaultPlan
+
+    if path is None:
+        import os
+
+        path = os.environ.get(PLAN_ENV) or None
+    if not path:
+        return None, None, None
+    try:
+        return FaultPlan.load(path), path, None
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        return None, path, f"bad fault plan {path}: {exc}"
+
+
+def _with_faults(specs, plan):
+    """Rewrite every spec a plan rule matches so its params carry the
+    matching rule records — the executor arms them in-simulation.  The
+    rewrite changes those specs' digests, which is correct: a faulted
+    cell's payload is not interchangeable with a clean one."""
+    from repro.runx import CellSpec
+
+    out, hit = [], 0
+    for spec in specs:
+        rules = plan.rules_for(spec.id)
+        if rules:
+            hit += 1
+            out.append(CellSpec(
+                id=spec.id, fn=spec.fn, base_seed=spec.base_seed,
+                params={**spec.params,
+                        "faults": [r.to_record() for r in rules]},
+            ))
+        else:
+            out.append(spec)
+    return out, hit
 
 
 def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
@@ -133,10 +220,21 @@ def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
     import os
 
     from repro.obs import MetricsRegistry, RunManifest
-    from repro.runx import Journal, SweepRunner, load_resume, part_path
+    from repro.runx import (
+        FAILED_IN_SIM,
+        Journal,
+        SweepRunner,
+        load_resume,
+        part_path,
+    )
 
     quick, seed = args.quick, args.seed
     reps = args.reps if args.reps is not None else (1 if args.quick else 3)
+    fault_plan_path = getattr(args, "fault_plan", None)
+    if fault_plan_path is None:
+        from repro.faults import PLAN_ENV
+
+        fault_plan_path = os.environ.get(PLAN_ENV) or None
     completed = {}
     if args.resume:
         try:
@@ -155,10 +253,12 @@ def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
             # The recorded run parameters win: resume must re-create the
             # original matrix and seeds, not whatever the new command
             # line happens to say.
-            recorded = {k: header[k] for k in ("quick", "reps", "seed")
+            recorded = {k: header[k]
+                        for k in ("quick", "reps", "seed", "fault_plan")
                         if k in header and header[k] is not None}
             if recorded:
-                current = {"quick": quick, "reps": reps, "seed": seed}
+                current = {"quick": quick, "reps": reps, "seed": seed,
+                           "fault_plan": fault_plan_path}
                 drift = {k: (current[k], v) for k, v in recorded.items()
                          if current[k] != v}
                 if drift:
@@ -168,8 +268,14 @@ def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
                 quick = recorded.get("quick", quick)
                 reps = recorded.get("reps", reps)
                 seed = recorded.get("seed", seed)
+                fault_plan_path = recorded.get("fault_plan", fault_plan_path)
         print(f"resume: {len(completed)} cells already complete",
               file=sys.stderr)
+
+    plan, fault_plan_path, plan_err = _load_fault_plan(fault_plan_path)
+    if plan_err is not None:
+        print(f"error: {plan_err}", file=sys.stderr)
+        return 2
 
     jobs = args.jobs or 1
     retries = args.retries or 0
@@ -179,15 +285,24 @@ def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
     params = {"quick": quick, "reps": reps, "seed": seed, "jobs": jobs,
               "timeout_s": args.timeout, "retries": retries,
               **(extra_params or {})}
+    if fault_plan_path:
+        params["fault_plan"] = fault_plan_path
     specs = specs_fn(quick, reps, seed)
+    if plan is not None:
+        specs, hit = _with_faults(specs, plan)
+        print(f"fault plan {fault_plan_path}: {len(plan.rules)} rules, "
+              f"{hit}/{len(specs)} cells armed", file=sys.stderr)
     manifest = RunManifest(command=args.cmd, params=params, mode="journal")
     for spec in specs:
         manifest.plan_cell(id=spec.id, fn=spec.fn,
                            base_seed=spec.base_seed, **spec.params)
     journal = Journal(manifest_path)
     if not os.path.exists(part_path(manifest_path)):
-        journal.write_header(
-            {"command": args.cmd, "quick": quick, "reps": reps, "seed": seed})
+        header = {"command": args.cmd, "quick": quick, "reps": reps,
+                  "seed": seed}
+        if fault_plan_path:
+            header["fault_plan"] = fault_plan_path
+        journal.write_header(header)
         for prior in completed.values():
             journal.append(prior)
 
@@ -207,9 +322,15 @@ def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
     manifest.write(manifest_path)
     failed = sorted(r.id for r in results.values() if not r.ok)
     if failed:
+        insim = sorted(r.id for r in results.values()
+                       if r.status == FAILED_IN_SIM)
         shown = ", ".join(failed[:8]) + (" …" if len(failed) > 8 else "")
+        note = ""
+        if insim:
+            note = (f" ({len(insim)} failed in simulation under the fault "
+                    f"plan — deterministic, not retried)")
         print(
-            f"{len(failed)}/{len(results)} cells failed: {shown}\n"
+            f"{len(failed)}/{len(results)} cells failed: {shown}{note}\n"
             f"(failed cells render as '-'; retry them with: "
             f"repro-smm {args.cmd} --resume {manifest_path})",
             file=sys.stderr,
@@ -420,8 +541,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser(
         "trace", help="run one scenario and export a Perfetto/Chrome trace")
     p.add_argument("--bench", default="EP", choices=("EP", "BT", "FT"))
-    p.add_argument("--cls", default="A", choices=("A", "B", "C"),
-                   help="NAS problem class")
+    p.add_argument("--cls", default="A", type=_nas_class, metavar="CLASS",
+                   help="NAS problem class (A, B, or C; case-insensitive)")
     p.add_argument("--nodes", type=int, default=2)
     p.add_argument("--rpn", type=int, default=1, help="MPI ranks per node")
     p.add_argument("--smm", type=int, default=2, choices=(0, 1, 2),

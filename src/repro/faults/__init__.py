@@ -1,0 +1,27 @@
+"""Deterministic in-simulation fault injection.
+
+See :mod:`repro.faults.plan` for the JSON plan vocabulary,
+:mod:`repro.faults.injector` for arming a plan against a cluster or a
+single machine, and DESIGN.md "§ Fault model" for the semantics.
+"""
+
+from repro.faults.errors import FaultedRunError
+from repro.faults.injector import DEFAULT_MPI_TIMEOUT_S, FaultInjector
+from repro.faults.plan import (
+    LINK_FAULTS,
+    NODE_FAULTS,
+    PLAN_ENV,
+    FaultPlan,
+    FaultRule,
+)
+
+__all__ = [
+    "PLAN_ENV",
+    "NODE_FAULTS",
+    "LINK_FAULTS",
+    "DEFAULT_MPI_TIMEOUT_S",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultedRunError",
+]

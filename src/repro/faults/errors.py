@@ -1,0 +1,23 @@
+"""The fault-subsystem boundary exception."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["FaultedRunError"]
+
+
+class FaultedRunError(Exception):
+    """A simulated run was killed by *injected model-level faults*.
+
+    Raised at the cell boundary (``repro.runx.cells`` executors) when a
+    run failed and the fault injector confirms it fired — so the runner
+    can record the cell as ``failed-in-sim`` (a deterministic outcome that
+    retries cannot change) instead of ``failed`` (a crash worth
+    retrying).  ``events`` is the injector's fault log, which lands in
+    the manifest row verbatim.
+    """
+
+    def __init__(self, message: str, events: Optional[List[Dict[str, Any]]] = None):
+        super().__init__(message)
+        self.events = list(events or [])

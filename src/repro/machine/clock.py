@@ -38,16 +38,41 @@ class Clock:
         self.engine = engine
         self.tsc_hz = tsc_hz
         self.boot_offset_ns = int(boot_offset_ns)
+        # Injected clock-skew fault (see repro.faults): the node's clocks
+        # run fast/slow by ``_skew_ppm`` parts-per-million from the instant
+        # the skew was set; ``_skew_accum_ns`` folds in drift accumulated
+        # under previous skew settings.  Both zero (no arithmetic change)
+        # unless a fault plan sets them.
+        self._skew_ppm = 0.0
+        self._skew_base_ns = 0
+        self._skew_accum_ns = 0
+
+    def set_skew(self, ppm: float) -> None:
+        """Start drifting this node's clocks by ``ppm`` parts-per-million
+        relative to true (engine) time.  Drift already accumulated under a
+        previous setting is preserved."""
+        now = self.engine.now
+        if self._skew_ppm:
+            self._skew_accum_ns += int(
+                (now - self._skew_base_ns) * (self._skew_ppm * 1e-6))
+        self._skew_base_ns = now
+        self._skew_ppm = float(ppm)
 
     # -- raw counters -------------------------------------------------------
     def monotonic_ns(self) -> int:
         """CLOCK_MONOTONIC: nanoseconds since node boot.  Ticks in SMM."""
-        return self.engine.now + self.boot_offset_ns
+        ns = self.engine.now + self.boot_offset_ns
+        if self._skew_ppm:
+            ns += self._skew_accum_ns + int(
+                (self.engine.now - self._skew_base_ns) * (self._skew_ppm * 1e-6))
+        elif self._skew_accum_ns:
+            ns += self._skew_accum_ns
+        return ns
 
     def rdtsc(self) -> int:
         """Time-stamp counter value.  Free-running; ticks in SMM.  This is
         what the SMI driver uses to self-measure SMI latency (§III.B)."""
-        return int((self.engine.now + self.boot_offset_ns) * self.tsc_hz / 1e9)
+        return int(self.monotonic_ns() * self.tsc_hz / 1e9)
 
     def tsc_to_ns(self, tsc_delta: int) -> int:
         """Convert a TSC delta to nanoseconds."""

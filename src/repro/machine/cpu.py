@@ -49,6 +49,10 @@ class LogicalCpu:
         self.executor = RateExecutor(self.engine, self._on_item_complete)
         #: callback(work_item) invoked when a segment finishes (set by scheduler)
         self.on_segment_done: Optional[Callable[[WorkItem], None]] = None
+        #: persistent rate multiplier in (0, 1]; < 1 models a straggler
+        #: CPU (thermal throttling, a sick core).  ``x * 1.0 == x``
+        #: exactly in IEEE-754, so the default changes no computed rate.
+        self.degradation: float = 1.0
 
     # -- identity ----------------------------------------------------------
     @property
@@ -91,13 +95,23 @@ class LogicalCpu:
         if self.on_segment_done is not None:
             self.on_segment_done(item)
 
+    # -- fault injection ----------------------------------------------------
+    def degrade(self, factor: float) -> None:
+        """Persistently scale this CPU's deliverable rate by ``factor``
+        (a straggler fault).  Takes effect at the current instant for all
+        resident and future segments."""
+        if not (0.0 < factor <= 1.0):
+            raise ValueError(f"degradation factor must be in (0, 1]: {factor}")
+        self.degradation = float(factor)
+        self.node.recompute()
+
     # -- rate computation ---------------------------------------------------
     def gross_hz(self) -> float:
         """Deliverable throughput of this CPU (work units/second) before
         per-task sharing and cache efficiency."""
         if self.node.frozen or not self.state.online or not self.busy:
             return 0.0
-        base = self.node.spec.base_hz
+        base = self.node.spec.base_hz * self.degradation
         sib_state = self.state.sibling
         if sib_state is None or not sib_state.online:
             return base
@@ -140,7 +154,7 @@ class LogicalCpu:
                 if sib_state is not None and sib_state.online
                 else None
             )
-            base = self.node.spec.base_hz
+            base = self.node.spec.base_hz * self.degradation
             if sib_profiles:
                 # Both siblings busy: aggregate yield from the combined mix
                 # (same mix list as _core_profiles in this configuration).
@@ -173,7 +187,7 @@ class LogicalCpu:
         if self.node._frozen or not self.state.online:
             return {item: 0.0 for item in items}
         profiles = [item.meta.profile for item in items]
-        share_hz = self.node.spec.base_hz / len(items)
+        share_hz = self.node.spec.base_hz * self.degradation / len(items)
         hier = self.node.cache_hierarchy
         rates: Dict[WorkItem, float] = {}
         for item in items:

@@ -76,6 +76,8 @@ class Node:
         self.nic = None  # attached by repro.mpi.cluster when clustered
         self.scheduler = None  # attached by repro.sched (see repro.system)
         self._frozen = False
+        self._failed = False
+        self._hung = False
         self._deferred: List[Callable[[], None]] = []
         self._unfreeze_listeners: List[Callable[[], None]] = []
         self._batch_depth = 0
@@ -89,6 +91,21 @@ class Node:
     def frozen(self) -> bool:
         """True while all cores are in System Management Mode."""
         return self._frozen
+
+    @property
+    def failed(self) -> bool:
+        """True once :meth:`fail` has been called (permanent)."""
+        return self._failed
+
+    @property
+    def hung(self) -> bool:
+        """True once :meth:`hang` has been called (permanent)."""
+        return self._hung
+
+    @property
+    def dead(self) -> bool:
+        """True when the node can never again make host-software progress."""
+        return self._failed or self._hung
 
     @property
     def online_cpus(self) -> List[LogicalCpu]:
@@ -207,6 +224,8 @@ class Node:
         """Called by the SMM controller at SMM exit: resume execution,
         flush deferred wake-ups (FIFO), notify listeners (scheduler
         re-balance, detectors)."""
+        if self._hung or self._failed:
+            return  # a dead node never thaws — not even at SMM exit
         self.begin_rate_batch()
         try:
             self.sync()
@@ -226,11 +245,65 @@ class Node:
     def add_unfreeze_listener(self, fn: Callable[[], None]) -> None:
         self._unfreeze_listeners.append(fn)
 
+    # -- fault transitions ------------------------------------------------------
+    def hang(self, reason: str = "injected hang") -> None:
+        """Permanent SMM-style freeze: the node enters the frozen state and
+        never exits.  Task processes stay alive but make no progress;
+        wake-ups defer forever.  Used to model a firmware hang (an SMI
+        handler that never returns).  Idempotent; a no-op on a failed node.
+        """
+        if self._failed or self._hung:
+            return
+        self._hung = True
+        if not self._frozen:
+            self.freeze()
+
+    def fail(self, reason: str = "injected failure") -> None:
+        """Hard node failure (crash / power loss) at the current instant.
+
+        Work is accounted up to *now*, every resident compute segment is
+        evicted, and every task process hosted here is aborted with
+        :class:`~repro.simx.errors.NodeFailedError` — the error path, so
+        joiners (and the MPI completion callbacks) observe a *failed*
+        rank, not a finished one.  Idempotent.
+        """
+        if self._failed:
+            return
+        from repro.simx.errors import NodeFailedError
+
+        self.begin_rate_batch()
+        try:
+            self.sync()
+            self._failed = True
+            self._frozen = True  # gross_hz == 0 for anything left behind
+            for cpu in self.cpus:
+                for item in list(cpu.executor.items):
+                    cpu.executor.remove(item)
+            self.apply_rates()
+        finally:
+            self.end_rate_batch()
+        self._deferred.clear()
+        if self.timeline.enabled:
+            self.timeline.record(self.engine.now, "node.fail", self.name,
+                                 reason=reason)
+        if self.scheduler is not None:
+            exc_reason = f"node {self.name} failed: {reason}"
+            for task in self.scheduler.tasks:
+                task.cpu = None
+                proc = task.proc
+                if proc is not None and proc.alive:
+                    proc.abort(NodeFailedError(exc_reason))
+
     # -- the wake-up gate (simx Process gate protocol) ------------------------
     def deliver(self, fn: Callable[[], None]) -> None:
         """Deliver a wake-up to host software: immediate (scheduled at +0)
-        when running, deferred to SMM exit when frozen."""
+        when running, deferred to SMM exit when frozen.  A failed node
+        drops wake-ups entirely (dead silicon wakes nothing); a hung node
+        defers them forever (the queue that would flush at an SMM exit
+        that never comes)."""
         if self._frozen:
+            if self._failed:
+                return
             self._deferred.append(fn)
             if self._m_deferred is not None:
                 self._m_deferred.value += 1

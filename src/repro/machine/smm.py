@@ -94,6 +94,11 @@ class SmmController:
         """
         if duration_ns <= 0:
             raise ValueError("SMI duration must be positive")
+        if self.node._failed or self.node._hung:
+            # Dead silicon: a crashed node asserts nothing, and a hung
+            # node is already (permanently) in its handler — further SMIs
+            # are absorbed without latching.
+            return False
         if self.in_smm:
             self.stats.latched += 1
             if self._m_latched is not None:

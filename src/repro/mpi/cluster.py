@@ -56,6 +56,8 @@ class Cluster:
         self.network = Network(self.engine, spec.network, metrics=metrics)
         self.nodes: List[Node] = []
         self.smi_sources: List[SmiSource] = []
+        #: a repro.faults.FaultInjector once attached; None on clean runs.
+        self.faults = None
         for i in range(spec.n_nodes):
             node = make_node(
                 self.engine,
@@ -137,10 +139,19 @@ def run_mpi_job(
     profile: Optional[WorkloadProfile] = None,
     name: str = "job",
     limit_s: float = 50_000.0,
+    mpi_timeout_s: Optional[float] = None,
 ) -> JobResult:
     """Launch ``nranks`` instances of ``app`` and run the engine until all
     complete.  ``app(rank)`` must be a generator function (the rank body);
     whatever it returns lands in :attr:`JobResult.rank_results`.
+
+    When the cluster has a :class:`repro.faults.FaultInjector` attached,
+    blocking MPI waits are bounded by ``mpi_timeout_s`` (default: the
+    injector's derived timeout), rank failures propagate through the
+    communicator's detector, and an abnormal end raises
+    :class:`repro.mpi.errors.JobAbortedError` instead of hanging or
+    silently dropping dead ranks.  Without an injector this function is
+    unchanged from the clean path.
     """
     from repro.machine.profile import COMPUTE_BOUND
 
@@ -161,22 +172,87 @@ def run_mpi_job(
     comm = Communicator(cluster, tasks)
     done = engine.event(name=f"{name}.done")
     remaining = {"n": nranks}
+    faults = cluster.faults
 
-    def on_rank_done(_ev) -> None:
-        remaining["n"] -= 1
-        if remaining["n"] == 0 and not done.triggered:
+    if faults is None:
+        def on_rank_done(_ev) -> None:
+            remaining["n"] -= 1
+            if remaining["n"] == 0 and not done.triggered:
+                done.succeed()
+
+        for r, task in enumerate(tasks):
+            node = cluster.nodes[r // ranks_per_node]
+            node.scheduler.start(task, app(comm.ranks[r]))
+            task.proc.done_event.add_callback(on_rank_done)
+
+        engine.run_until(done, limit_ns=int(limit_s * 1e9))
+        if not done.triggered:
+            raise RuntimeError(
+                f"MPI job {name!r} did not finish within {limit_s} simulated seconds"
+            )
+    else:
+        from repro.mpi.errors import JobAbortedError
+
+        if mpi_timeout_s is None:
+            mpi_timeout_s = faults.mpi_timeout_s
+        if mpi_timeout_s is not None:
+            comm.timeout_ns = int(mpi_timeout_s * 1e9)
+        failed: Dict[int, BaseException] = {}
+
+        def check_done() -> None:
+            # The job is over when every rank either finished or can never
+            # finish: a rank whose node is dead (crashed or permanently
+            # hung) is stuck forever, and waiting on it would run the
+            # engine to its simulated-time limit for nothing.
+            if done.triggered or remaining["n"] == 0:
+                if not done.triggered:
+                    done.succeed()
+                return
+            for r, t in enumerate(tasks):
+                p = t.proc
+                if p is not None and p.alive and not t.node.dead:
+                    return
             done.succeed()
 
-    for r, task in enumerate(tasks):
-        node = cluster.nodes[r // ranks_per_node]
-        node.scheduler.start(task, app(comm.ranks[r]))
-        task.proc.done_event.add_callback(on_rank_done)
+        def make_cb(r: int):
+            def cb(ev) -> None:
+                remaining["n"] -= 1
+                if not ev.ok:
+                    failed[r] = ev.exception
+                    comm.mark_rank_failed(r, ev.exception)
+                check_done()
+            return cb
 
-    engine.run_until(done, limit_ns=int(limit_s * 1e9))
-    if not done.triggered:
-        raise RuntimeError(
-            f"MPI job {name!r} did not finish within {limit_s} simulated seconds"
-        )
+        for r, task in enumerate(tasks):
+            node = cluster.nodes[r // ranks_per_node]
+            node.scheduler.start(task, app(comm.ranks[r]))
+            task.proc.done_event.add_callback(make_cb(r))
+
+        # Daemon watchdog: catches the corner where *no* completion
+        # callback can ever fire (every unfinished rank sits on a dead
+        # node) without running the engine to its simulated-time limit.
+        watchdog_ns = comm.timeout_ns or int(60e9)
+
+        def watchdog() -> None:
+            if done.triggered:
+                return
+            check_done()
+            if not done.triggered:
+                engine.schedule(watchdog_ns, watchdog, daemon=True)
+
+        engine.schedule(watchdog_ns, watchdog, daemon=True)
+        engine.run_until(done, limit_ns=int(limit_s * 1e9))
+        stuck = [
+            r for r, t in enumerate(tasks)
+            if t.proc is not None and t.proc.alive
+        ]
+        if failed or stuck or not done.triggered:
+            raise JobAbortedError(
+                name,
+                failed={r: f"{type(e).__name__}: {e}" for r, e in failed.items()},
+                hung=stuck,
+                fault_events=list(faults.events),
+            )
     results = [t.proc.result for t in tasks]
     elapsed = None
     if results and all(isinstance(v, (int, float)) for v in results):

@@ -24,10 +24,16 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Generator, List, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.simx.engine import Event
 from repro.simx.resources import Store
+from repro.mpi.errors import (
+    CorruptedPayload,
+    MpiCorruptionError,
+    MpiTimeoutError,
+    RankFailedError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.cluster import Cluster
@@ -96,6 +102,18 @@ class Communicator:
             for r in range(len(tasks))
         ]
         self._send_seq = 0
+        # Fault awareness: populated only when the owning cluster has a
+        # FaultInjector attached (see repro.faults).  On the clean path
+        # ``faults`` is None, ``_failed`` stays empty, ``timeout_ns`` stays
+        # None, and no branch below changes behaviour.
+        self.faults = getattr(cluster, "faults", None)
+        #: default bound for blocking waits (per-call override wins); None
+        #: disables timeouts entirely (no timer events are ever posted).
+        self.timeout_ns: Optional[int] = None
+        self._failed: Dict[int, BaseException] = {}
+        #: untriggered receive events, tracked (only under faults) so a
+        #: detected rank failure can error them out.
+        self._pending_recvs: List[Tuple[int, int, Event]] = []
         self.ranks: List[Rank] = [Rank(self, r, t) for r, t in enumerate(tasks)]
 
     @property
@@ -109,6 +127,17 @@ class Communicator:
         src_node = self.tasks[msg.src].node
         dst_node = self.tasks[msg.dst].node
         mbox = self._mailboxes[msg.dst]
+        faults = self.faults
+        if faults is not None:
+            # Link-fault hook: each message may be dropped (empty list),
+            # duplicated, corrupted, or delayed.
+            for m, extra_ns in faults.on_message(msg):
+                self.cluster.network.transfer(
+                    src_node, dst_node, m.nbytes,
+                    (lambda mm=m: mbox.put(mm)),
+                    extra_latency_ns=extra_ns,
+                )
+            return
         self.cluster.network.transfer(
             src_node, dst_node, msg.nbytes, lambda: mbox.put(msg)
         )
@@ -124,7 +153,43 @@ class Communicator:
         # use its per-envelope index instead of scanning unexpected
         # messages posted by unrelated ranks/tags.
         key = (src, tag) if src != ANY_SOURCE and tag != ANY_TAG else None
-        return self._mailboxes[dst].get_async(pred, key)
+        ev = self._mailboxes[dst].get_async(pred, key)
+        if self._failed and not ev.triggered:
+            # Receive posted *after* the source's failure was detected and
+            # with no matching message already queued: fail it now (a
+            # queued message from a since-dead rank is still delivered —
+            # it made it onto the wire before the crash).
+            if src == ANY_SOURCE:
+                r = next(iter(self._failed))
+                ev.fail(RankFailedError(
+                    r, f"recv(ANY_SOURCE) on rank {dst}: peer rank {r} failed"))
+            elif src in self._failed:
+                ev.fail(RankFailedError(
+                    src, f"recv on rank {dst}: peer rank {src} failed"))
+        if self.faults is not None and not ev.triggered:
+            self._pending_recvs.append((dst, src, ev))
+        return ev
+
+    # -- failure detection ----------------------------------------------------
+    def mark_rank_failed(self, rank: int, exc: BaseException) -> None:
+        """Record that ``rank`` died and propagate the failure into every
+        pending receive that could be waiting on it (exact-source matches
+        and ``ANY_SOURCE`` — the ULFM-style detector).  Collectives are
+        built on these receives, so the failure cascades through their
+        trees: every surviving rank's next wait on the dead peer errors
+        out deterministically."""
+        if rank in self._failed:
+            return
+        self._failed[rank] = exc
+        pending, self._pending_recvs = self._pending_recvs, []
+        for dst, src, ev in pending:
+            if ev._ok is not None:
+                continue  # completed (or already failed) — drop
+            if src == rank or src == ANY_SOURCE:
+                ev.fail(RankFailedError(
+                    rank, f"recv on rank {dst}: peer rank {rank} failed"))
+            else:
+                self._pending_recvs.append((dst, src, ev))
 
 
 class Rank:
@@ -162,9 +227,16 @@ class Rank:
     # -- point-to-point -----------------------------------------------------
     def send(self, dst: int, nbytes: int, payload: Any = None, tag: int = 0
              ) -> Generator:
-        """Eager buffered send: local library cost, then fire and forget."""
+        """Eager buffered send: local library cost, then fire and forget.
+
+        Raises :class:`RankFailedError` when the destination is known dead
+        (failure information is local — a rank learns of a peer's death
+        through the communicator's detector, as under ULFM)."""
         if not (0 <= dst < self.size):
             raise ValueError(f"bad destination rank {dst}")
+        failed = self.comm._failed
+        if failed and dst in failed:
+            raise RankFailedError(dst, f"send to failed rank {dst}")
         yield from self.task.compute(self._overhead(nbytes))
         self.comm._send_seq += 1
         msg = Message(self.rank, dst, tag, nbytes, payload, seq=self.comm._send_seq)
@@ -187,20 +259,45 @@ class Rank:
         ev = self.comm._match_async(self.rank, src, tag)
         return Request(ev, "irecv")
 
-    def wait(self, request: Request) -> Generator[Any, Any, Message]:
+    def wait(self, request: Request, timeout_ns: Optional[int] = None
+             ) -> Generator[Any, Any, Message]:
         """Block until the request completes; for receives, pay the
-        receive-side library cost and return the message."""
-        msg = yield from self.task.wait(request.event)
+        receive-side library cost and return the message.
+
+        ``timeout_ns`` (default: the communicator's ``timeout_ns``) bounds
+        the wait in simulated time; on expiry :class:`MpiTimeoutError` is
+        raised instead of blocking forever.  With both None — the clean
+        path — no timer is ever posted and the event sequence is
+        unchanged."""
+        comm = self.comm
+        if timeout_ns is None:
+            timeout_ns = comm.timeout_ns
+        ev = request.event
+        if timeout_ns is None or ev.triggered:
+            msg = yield from self.task.wait(ev)
+        else:
+            engine = comm.engine
+            timer = Event(engine, name="mpi.wait.timeout")
+            # Daemon: an unexpired timer must not keep the engine alive.
+            entry = engine._post(int(timeout_ns), timer.succeed, (None,), True)
+            idx, msg = yield from self.task.wait_any([ev, timer])
+            if idx == 1:
+                raise MpiTimeoutError(request.kind, int(timeout_ns))
+            engine._cancel_entry(entry)
         if request.kind == "irecv" and msg is not None:
+            if type(msg.payload) is CorruptedPayload:
+                raise MpiCorruptionError(
+                    f"rank {self.rank} received corrupted message "
+                    f"(src={msg.src}, tag={msg.tag}, {msg.nbytes} bytes)")
             yield from self.task.compute(self._overhead(msg.nbytes))
             self.recv_messages += 1
         return msg
 
-    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG
-             ) -> Generator[Any, Any, Message]:
-        """Blocking receive."""
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+             timeout_ns: Optional[int] = None) -> Generator[Any, Any, Message]:
+        """Blocking receive (``timeout_ns`` as in :meth:`wait`)."""
         req = self.irecv(src, tag)
-        msg = yield from self.wait(req)
+        msg = yield from self.wait(req, timeout_ns=timeout_ns)
         return msg
 
     def sendrecv(

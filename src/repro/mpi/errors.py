@@ -1,0 +1,108 @@
+"""Typed failures of the simulated MPI layer.
+
+These mirror the error taxonomy of fault-tolerant MPI proposals (ULFM):
+an operation involving a dead peer raises :class:`RankFailedError`
+rather than blocking forever, and a blocking operation bounded by a
+timeout raises :class:`MpiTimeoutError` when the bound expires.  With no
+fault plan loaded none of these can fire — the clean path never arms
+timers and never marks ranks failed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.simx.errors import SimulationError
+
+__all__ = [
+    "MpiError",
+    "RankFailedError",
+    "MpiTimeoutError",
+    "MpiCorruptionError",
+    "JobAbortedError",
+    "CorruptedPayload",
+]
+
+
+class MpiError(SimulationError):
+    """Base class for failures surfacing through the MPI layer."""
+
+
+class RankFailedError(MpiError):
+    """An operation involved a peer rank that is known to have failed.
+
+    Raised on a send to a dead rank, and thrown into pending receives
+    (including ``ANY_SOURCE`` ones and those inside collective trees)
+    when the failure is detected — so surviving ranks error out
+    deterministically instead of deadlocking.
+    """
+
+    def __init__(self, rank: int, reason: str = ""):
+        super().__init__(reason or f"rank {rank} failed")
+        self.rank = rank
+
+
+class MpiTimeoutError(MpiError):
+    """A blocking operation exceeded its ``timeout_ns`` bound."""
+
+    def __init__(self, op: str, timeout_ns: int):
+        super().__init__(
+            f"MPI {op} timed out after {timeout_ns / 1e9:g} simulated seconds")
+        self.op = op
+        self.timeout_ns = timeout_ns
+
+
+class MpiCorruptionError(MpiError):
+    """A received message carried a payload corrupted on the wire."""
+
+
+class CorruptedPayload:
+    """Wire-corruption marker wrapping the original payload.
+
+    The link-fault injector substitutes this for a message's payload;
+    :meth:`Rank.wait` detects it on receipt and raises
+    :class:`MpiCorruptionError` — modeling an application-level checksum.
+    """
+
+    __slots__ = ("original",)
+
+    def __init__(self, original: Any):
+        self.original = original
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CorruptedPayload {self.original!r}>"
+
+
+class JobAbortedError(MpiError):
+    """An MPI job ended abnormally under injected faults.
+
+    Carries the per-rank failure map (``failed``), the ranks that never
+    finished because their node died (``hung``), and the injector's fault
+    event log (``fault_events``) so harness layers can report *which*
+    fault killed the job.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failed: Optional[Dict[int, str]] = None,
+        hung: Optional[List[int]] = None,
+        fault_events: Optional[List[Dict[str, Any]]] = None,
+    ):
+        self.failed = dict(failed or {})
+        self.hung = list(hung or [])
+        self.fault_events = list(fault_events or [])
+        parts = []
+        if self.failed:
+            shown = sorted(self.failed)[:8]
+            parts.append(
+                "failed ranks " + ", ".join(
+                    f"{r}: {self.failed[r]}" for r in shown)
+                + (" ..." if len(self.failed) > 8 else ""))
+        if self.hung:
+            parts.append(f"ranks never finished (dead node): {self.hung[:16]}")
+        faults = sorted({e.get("fault", "?") for e in self.fault_events})
+        if faults:
+            parts.append("injected faults: " + ", ".join(faults))
+        super().__init__(
+            f"MPI job {name!r} aborted — " + ("; ".join(parts) or "unknown cause"))

@@ -134,24 +134,29 @@ class Network:
         dst: "Node",
         nbytes: int,
         on_deliver: Callable[[], None],
+        extra_latency_ns: int = 0,
     ) -> int:
         """Move ``nbytes`` from src to dst; ``on_deliver`` runs on the
         destination *through its gate* when the data is visible to host
-        software.  Returns the scheduled physical arrival time."""
+        software.  Returns the scheduled physical arrival time.
+
+        ``extra_latency_ns`` adds one-shot wire latency to this message
+        only (an injected link-latency spike); the default 0 changes no
+        arithmetic."""
         if nbytes < 0:
             raise ValueError("negative message size")
         self.messages += 1
         self.bytes_moved += nbytes
         now = self.engine.now
         if src is dst:
-            t_done = now + 2_000 + self.spec.memcpy_ns(nbytes)
+            t_done = now + 2_000 + self.spec.memcpy_ns(nbytes) + extra_latency_ns
             queue_ns = 0
         else:
             if src.nic is None or dst.nic is None:
                 raise RuntimeError("node has no NIC; was it attached to the network?")
             queue_ns = src.nic.tx_queue_delay(now)
             t_tx = src.nic.occupy_tx(now, nbytes)
-            t_arrive = t_tx + self.spec.latency_ns
+            t_arrive = t_tx + self.spec.latency_ns + extra_latency_ns
             t_done = dst.nic.occupy_rx(t_arrive, nbytes)
         if self._m_messages is not None:
             self._m_messages.value += 1

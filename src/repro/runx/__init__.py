@@ -20,7 +20,14 @@ cell costs one cell — not the sweep:
 
 from repro.runx.journal import Journal, load_resume, part_path
 from repro.runx.runner import SweepRunner
-from repro.runx.spec import FAILED, OK, CellResult, CellSpec, attempt_seed
+from repro.runx.spec import (
+    FAILED,
+    FAILED_IN_SIM,
+    OK,
+    CellResult,
+    CellSpec,
+    attempt_seed,
+)
 
 __all__ = [
     "CellSpec",
@@ -32,4 +39,5 @@ __all__ = [
     "attempt_seed",
     "OK",
     "FAILED",
+    "FAILED_IN_SIM",
 ]

@@ -29,7 +29,14 @@ CellFn = Callable[..., Dict[str, Any]]
 def nas_cell(params: Dict, seed: int, metrics=None) -> Dict:
     """One (config, smm) cell of Tables 1–5: ``reps`` repetitions, averaged
     downstream.  ``{"values": null}`` marks an infeasible configuration
-    (the tables' "-"), which is a legitimate result, not a failure."""
+    (the tables' "-"), which is a legitimate result, not a failure.
+
+    When the spec carries ``params["faults"]`` (rule dicts injected by the
+    harness's ``--fault-plan`` rewrite) the repetitions run with a fresh
+    seeded :class:`~repro.faults.FaultInjector` each, and a run killed by
+    its faults raises :class:`~repro.faults.FaultedRunError` so the runner
+    records the cell ``failed-in-sim``.  Without faults this is exactly
+    the legacy path."""
     from repro.apps.nas.params import NasClass
     from repro.apps.nas.study import NasConfig, run_nas_config
 
@@ -37,6 +44,9 @@ def nas_cell(params: Dict, seed: int, metrics=None) -> Dict:
         params["bench"], NasClass(params["cls"]), nodes=params["nodes"],
         ranks_per_node=params["rpn"], htt=params.get("htt", False),
     )
+    fault_rules = params.get("faults")
+    if fault_rules:
+        return _nas_cell_faulted(cfg, params, seed, metrics, fault_rules)
     m = run_repeated(
         lambda s: run_nas_config(cfg, smm=params["smm"], seed=s,
                                  metrics=metrics),
@@ -44,6 +54,90 @@ def nas_cell(params: Dict, seed: int, metrics=None) -> Dict:
         base_seed=seed,
     )
     return {"values": m.values if m is not None else None}
+
+
+def _nas_cell_faulted(cfg, params: Dict, seed: int, metrics, fault_rules) -> Dict:
+    """The faulted twin of :func:`nas_cell`'s repetition loop: same rep
+    seeds, one injector per repetition (so every rep replays the same plan
+    deterministically), typed escalation to ``failed-in-sim``."""
+    from repro.apps.nas.study import run_nas_config
+    from repro.faults import FaultedRunError, FaultInjector
+    from repro.mpi.errors import MpiError
+
+    values = []
+    events: list = []
+    suppressed = 0
+    for r in range(params["reps"]):
+        s = rep_seed(seed, r)
+        inj = FaultInjector.from_rules(fault_rules, seed=s, metrics=metrics)
+        try:
+            v = run_nas_config(cfg, smm=params["smm"], seed=s,
+                               metrics=metrics, faults=inj)
+        except (MpiError, AssertionError, RuntimeError) as exc:
+            events.extend(inj.events)
+            suppressed += inj.suppressed
+            if events:
+                raise FaultedRunError(
+                    f"{cfg.label} rep {r + 1}/{params['reps']}: "
+                    f"{type(exc).__name__}: {exc}",
+                    events=events,
+                ) from exc
+            raise  # a real bug, not an injected fault: let retries happen
+        events.extend(inj.events)
+        suppressed += inj.suppressed
+        if inj.fatal:
+            # A crash/hang fired yet the run returned — e.g. every rank
+            # finished before the fault landed.  Treat it as faulted
+            # anyway: the cell's value is not comparable to clean cells.
+            raise FaultedRunError(
+                f"{cfg.label} rep {r + 1}/{params['reps']}: fatal fault "
+                "fired during run", events=events)
+        if v is None:
+            return {"values": None}
+        values.append(v)
+    payload: Dict[str, Any] = {"values": values}
+    if events:
+        payload["fault_events"] = events
+        if suppressed:
+            payload["fault_suppressed"] = suppressed
+    return payload
+
+
+def _faulted_machine_runner(fault_rules, seed: int, metrics):
+    """Single-machine fault shim for the figure cells: returns
+    ``(call, events)`` where ``call(run)`` executes ``run(machine)`` on a
+    fresh fault-armed machine and escalates fault-killed runs to
+    :class:`~repro.faults.FaultedRunError`.  A fresh machine/injector pair
+    per call keeps each sub-run's fault timing identical to a standalone
+    run with the same seed."""
+    from repro.faults import FaultedRunError, FaultInjector
+    from repro.machine.topology import R410_SPEC
+    from repro.system import make_machine
+
+    events: list = []
+
+    def call(run):
+        inj = FaultInjector.from_rules(fault_rules, seed=seed, metrics=metrics)
+        machine = make_machine(R410_SPEC, seed=seed, metrics=metrics)
+        inj.attach_node(machine.node)
+        try:
+            result = run(machine)
+        except Exception as exc:
+            events.extend(inj.events)
+            if inj.events:
+                raise FaultedRunError(
+                    f"{type(exc).__name__}: {exc}", events=events) from exc
+            raise
+        events.extend(inj.events)
+        if inj.fatal:
+            # Crashed workers still fire their done callbacks, so a dead
+            # node can look "finished" — the injector's log is the truth.
+            raise FaultedRunError(
+                "fatal fault (node crash/hang) fired during run",
+                events=events)
+        return result
+
+    return call, events
 
 
 def convolve_line_cell(params: Dict, seed: int, metrics=None) -> Dict:
@@ -54,6 +148,22 @@ def convolve_line_cell(params: Dict, seed: int, metrics=None) -> Dict:
 
     config = _convolve_config(params["config"])
     k = params["cpus"]
+    fault_rules = params.get("faults")
+    if fault_rules:
+        call, events = _faulted_machine_runner(fault_rules, seed, metrics)
+        baseline = call(lambda m: run_convolve(
+            config, k, seed=seed, metrics=metrics, machine=m)).elapsed_s
+        points = []
+        for iv in params["intervals_ms"]:
+            r = call(lambda m, iv=iv: run_convolve(
+                config, k, smi_durations=SmiProfile.LONG,
+                smi_interval_jiffies=iv, seed=seed, metrics=metrics,
+                machine=m))
+            points.append([iv, r.elapsed_s])
+        out: Dict[str, Any] = {"baseline": baseline, "points": points}
+        if events:
+            out["fault_events"] = events
+        return out
     baseline = run_convolve(config, k, seed=seed, metrics=metrics).elapsed_s
     points = []
     for iv in params["intervals_ms"]:
@@ -71,6 +181,20 @@ def convolve_run_cell(params: Dict, seed: int, metrics=None) -> Dict:
     from repro.core.smi import SmiProfile
 
     config = _convolve_config(params["config"])
+    fault_rules = params.get("faults")
+    if fault_rules:
+        call, events = _faulted_machine_runner(fault_rules, seed, metrics)
+        points = []
+        for k in params["cpus"]:
+            r = call(lambda m, k=k: run_convolve(
+                config, k, smi_durations=SmiProfile.LONG,
+                smi_interval_jiffies=params.get("interval_ms", 50),
+                seed=seed, metrics=metrics, machine=m))
+            points.append([k, r.elapsed_s])
+        out: Dict[str, Any] = {"points": points}
+        if events:
+            out["fault_events"] = events
+        return out
     points = []
     for k in params["cpus"]:
         r = run_convolve(
@@ -89,6 +213,25 @@ def unixbench_cell(params: Dict, seed: int, metrics=None) -> Dict:
     from repro.core.smi import SmiProfile
 
     k = params["cpus"]
+    fault_rules = params.get("faults")
+    if fault_rules:
+        call, events = _faulted_machine_runner(fault_rules, seed, metrics)
+        baseline = call(lambda m: run_unixbench(
+            k, seed=seed, metrics=metrics, machine=m)).total_index
+        short = call(lambda m: run_unixbench(
+            k, SmiProfile.SHORT, 100, seed=seed, metrics=metrics,
+            machine=m)).total_index
+        points = []
+        for iv in params["intervals_ms"]:
+            r = call(lambda m, iv=iv: run_unixbench(
+                k, SmiProfile.LONG, iv, seed=seed, metrics=metrics,
+                machine=m))
+            points.append([iv, r.total_index])
+        out: Dict[str, Any] = {
+            "baseline": baseline, "short_at_100ms": short, "points": points}
+        if events:
+            out["fault_events"] = events
+        return out
     baseline = run_unixbench(k, seed=seed, metrics=metrics).total_index
     short = run_unixbench(
         k, SmiProfile.SHORT, 100, seed=seed, metrics=metrics).total_index

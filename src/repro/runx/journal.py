@@ -42,6 +42,7 @@ class Journal:
         self.manifest_path = manifest_path
         self.path = part_path(manifest_path)
         self._lock = threading.Lock()
+        self._tail_checked = False
 
     def write_header(self, meta: Dict) -> None:
         """Start a fresh journal (truncating any stale one)."""
@@ -49,10 +50,37 @@ class Journal:
         with self._lock:
             if os.path.exists(self.path):
                 os.unlink(self.path)
+            self._tail_checked = True  # fresh file: nothing to repair
             fsync_append(self.path, json.dumps(rec, separators=(",", ":")))
+
+    def _repair_tail(self) -> None:
+        """Terminate a torn final line left by a crash mid-append.
+
+        Without this, resuming into a journal whose last line lacks its
+        newline would *merge* the next record into the torn line — losing
+        both the torn cell and the first cell of the resumed run.
+        """
+        try:
+            with open(self.path, "rb") as fp:
+                fp.seek(0, os.SEEK_END)
+                if fp.tell() == 0:
+                    return
+                fp.seek(-1, os.SEEK_END)
+                torn = fp.read(1) != b"\n"
+        except FileNotFoundError:
+            return
+        if torn:
+            log.warning("journal %s: repairing torn final line", self.path)
+            with open(self.path, "a", encoding="utf-8") as fp:
+                fp.write("\n")
 
     def append(self, result: CellResult) -> None:
         with self._lock:
+            if not self._tail_checked:
+                # First append of a resumed run (no write_header): the
+                # prior process may have died mid-append.
+                self._repair_tail()
+                self._tail_checked = True
             fsync_append(
                 self.path,
                 json.dumps(result.to_record(), separators=(",", ":")),
@@ -86,7 +114,13 @@ def _read_jsonl(path: str) -> Tuple[Optional[Dict], Dict[str, CellResult]]:
             if rec.get("kind") == "header":
                 header = rec
             elif rec.get("kind") == "cell":
-                cells[rec["id"]] = CellResult.from_record(rec)
+                try:
+                    cells[rec["id"]] = CellResult.from_record(rec)
+                except (KeyError, TypeError, ValueError):
+                    # Parses as JSON but is not a well-formed cell record
+                    # (e.g. a torn line that happened to stay valid JSON).
+                    log.warning("journal %s: skipping malformed cell "
+                                "record at line %d", path, lineno)
     return header, cells
 
 

@@ -41,7 +41,14 @@ import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.runx.spec import FAILED, OK, CellResult, CellSpec, attempt_seed
+from repro.runx.spec import (
+    FAILED,
+    FAILED_IN_SIM,
+    OK,
+    CellResult,
+    CellSpec,
+    attempt_seed,
+)
 from repro.runx.worker import RESULT_SENTINEL
 
 __all__ = ["SweepRunner"]
@@ -117,9 +124,13 @@ class SweepRunner:
                 "runx.cells.resumed", "cells satisfied from a prior journal")
             self._c_timeout = metrics.counter(
                 "runx.cells.timeouts", "attempts killed by the watchdog")
+            self._c_failed_in_sim = metrics.counter(
+                "runx.cells.failed_in_sim",
+                "cells killed deterministically by injected model faults")
         else:
             self._c_started = self._c_ok = self._c_failed = None
             self._c_retried = self._c_resumed = self._c_timeout = None
+            self._c_failed_in_sim = None
 
     # -- public entry ---------------------------------------------------------
     def run(
@@ -193,6 +204,7 @@ class SweepRunner:
         t0 = time.monotonic()
         errors: List[str] = []
         value = None
+        fault = None
         seed = spec.base_seed
         attempt = 0
         while True:
@@ -204,11 +216,16 @@ class SweepRunner:
                 if self._c_retried is not None:
                     with self._lock:
                         self._c_retried.inc()
-            value, err = self._attempt(spec, attempt, seed)
+            value, err, fault = self._attempt(spec, attempt, seed)
             if err is None:
                 break
             errors.append(f"attempt {attempt} (seed {seed}): {err}")
             log.warning("cell %s %s", spec.id, errors[-1])
+            if fault is not None:
+                # Killed by injected model-level faults: deterministic —
+                # the same seed and plan would die the same way, so
+                # retrying would only replay the failure.  Terminal.
+                break
             if attempt >= self.retries:
                 break
             attempt += 1
@@ -218,6 +235,13 @@ class SweepRunner:
                 id=spec.id, status=OK, value=value, attempts=attempt + 1,
                 duration_s=round(duration, 6), seed=seed,
                 attempt_errors=errors, digest=spec.digest(),
+            )
+        elif fault is not None:
+            result = CellResult(
+                id=spec.id, status=FAILED_IN_SIM, attempts=attempt + 1,
+                duration_s=round(duration, 6), seed=seed,
+                error=errors[-1] if errors else "failed in simulation",
+                attempt_errors=errors, digest=spec.digest(), fault=fault,
             )
         else:
             result = CellResult(
@@ -230,6 +254,9 @@ class SweepRunner:
             if result.ok:
                 if self._c_ok is not None:
                     self._c_ok.inc()
+            elif result.status == FAILED_IN_SIM:
+                if self._c_failed_in_sim is not None:
+                    self._c_failed_in_sim.inc()
             elif self._c_failed is not None:
                 self._c_failed.inc()
         self._record(result, journal=True)
@@ -238,21 +265,29 @@ class SweepRunner:
     # -- one attempt ----------------------------------------------------------
     def _attempt(
         self, spec: CellSpec, attempt: int, seed: int,
-    ) -> Tuple[Optional[Dict], Optional[str]]:
-        """Returns (value, None) on success, (None, error) on failure."""
+    ) -> Tuple[Optional[Dict], Optional[str], Optional[Dict]]:
+        """Returns ``(value, error, fault)``: ``(value, None, None)`` on
+        success, ``(None, error, None)`` on a retryable failure, and
+        ``(None, error, fault)`` when injected model-level faults killed
+        the simulation (terminal — never retried)."""
         if self.isolation == "inline":
+            from repro.faults import FaultedRunError
             from repro.runx.cells import run_cell
 
             try:
                 return run_cell(spec.fn, spec.params, seed,
-                                metrics=self.metrics), None
+                                metrics=self.metrics), None, None
+            except FaultedRunError as exc:
+                return None, str(exc), {"events": exc.events}
             except Exception:
-                return None, "cell raised:\n" + traceback.format_exc(limit=8)
+                return (None,
+                        "cell raised:\n" + traceback.format_exc(limit=8),
+                        None)
         return self._attempt_process(spec, attempt, seed)
 
     def _attempt_process(
         self, spec: CellSpec, attempt: int, seed: int,
-    ) -> Tuple[Optional[Dict], Optional[str]]:
+    ) -> Tuple[Optional[Dict], Optional[str], Optional[Dict]]:
         request = json.dumps({
             "spec": spec.to_record(),
             "attempt": attempt,
@@ -275,16 +310,16 @@ class SweepRunner:
             if self._c_timeout is not None:
                 with self._lock:
                     self._c_timeout.inc()
-            return None, f"watchdog timeout after {self.timeout_s:g}s"
+            return None, f"watchdog timeout after {self.timeout_s:g}s", None
         except OSError as exc:  # pragma: no cover — spawn failure
-            return None, f"could not spawn worker: {exc}"
+            return None, f"could not spawn worker: {exc}", None
         reply = None
         for line in reversed(proc.stdout.splitlines()):
             if line.startswith(RESULT_SENTINEL):
                 try:
                     reply = json.loads(line[len(RESULT_SENTINEL):])
                 except ValueError:
-                    return None, "corrupt result record from worker"
+                    return None, "corrupt result record from worker", None
                 break
         if reply is None:
             tail = proc.stderr[-_STDERR_TAIL:].strip()
@@ -294,13 +329,16 @@ class SweepRunner:
                 err = f"worker exited with status {proc.returncode}"
             else:
                 err = "worker produced no result record"
-            return None, err + (f"; stderr: {tail}" if tail else "")
-        if not reply.get("ok"):
-            return None, "cell raised:\n" + str(reply.get("error", "?"))
+            return None, err + (f"; stderr: {tail}" if tail else ""), None
         if self.metrics is not None and reply.get("metrics"):
             with self._lock:
                 self.metrics.merge_snapshot(reply["metrics"])
-        return reply.get("value"), None
+        if not reply.get("ok"):
+            if reply.get("failed_in_sim"):
+                return (None, str(reply.get("error", "failed in simulation")),
+                        reply.get("fault") or {"events": []})
+            return None, "cell raised:\n" + str(reply.get("error", "?")), None
+        return reply.get("value"), None, None
 
     # -- bookkeeping ----------------------------------------------------------
     def _record(self, result: CellResult, journal: bool) -> None:
@@ -313,7 +351,12 @@ class SweepRunner:
                 rec.pop("kind", None)  # "id" stays: it is the resume key
                 self.manifest.add_cell(result.id, **rec)
             if self.progress is not None:
-                flag = "" if result.ok else " FAILED"
+                if result.ok:
+                    flag = ""
+                elif result.status == FAILED_IN_SIM:
+                    flag = " FAILED-IN-SIM"
+                else:
+                    flag = " FAILED"
                 src = " (resumed)" if result.resumed else ""
                 self.progress(
                     f"[{self._done}/{self._total}] {result.id}{flag}{src}")

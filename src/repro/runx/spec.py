@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional
 __all__ = [
     "OK",
     "FAILED",
+    "FAILED_IN_SIM",
     "CellSpec",
     "CellResult",
     "attempt_seed",
@@ -33,9 +34,13 @@ __all__ = [
 #: Terminal cell statuses.  Timeouts, crashes, corrupt output, and cell
 #: exceptions all end as FAILED (with ``error`` saying which); a FAILED
 #: cell renders as the tables' "-" and makes the CLI exit nonzero, but
-#: never kills the sweep.
+#: never kills the sweep.  FAILED_IN_SIM is the *deterministic* failure of
+#: a cell whose simulation was killed by injected model-level faults
+#: (``--fault-plan``): same rendering and exit code, but never retried —
+#: the same seed and plan would fail the same way.
 OK = "ok"
 FAILED = "failed"
+FAILED_IN_SIM = "failed-in-sim"
 
 #: Stride between retry attempts of the same cell (a large prime far from
 #: the rep/smm strides, so attempt seeds never collide with neighbouring
@@ -105,6 +110,9 @@ class CellResult:
     #: content digest of the producing spec (see :meth:`CellSpec.digest`);
     #: None on records written before the field existed.
     digest: Optional[str] = None
+    #: injected-fault evidence for FAILED_IN_SIM cells: the injector's
+    #: event log (``{"events": [...], "suppressed": n?}``); None otherwise.
+    fault: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -112,6 +120,8 @@ class CellResult:
 
     def to_record(self) -> Dict[str, Any]:
         rec = asdict(self)
+        if rec.get("fault") is None:
+            del rec["fault"]  # keep clean-run manifests byte-stable
         rec["kind"] = "cell"
         return rec
 
@@ -128,4 +138,5 @@ class CellResult:
             resumed=rec.get("resumed", False),
             attempt_errors=list(rec.get("attempt_errors", [])),
             digest=rec.get("digest"),
+            fault=rec.get("fault"),
         )

@@ -46,6 +46,7 @@ def main() -> int:
         if rule is not None:
             apply_fault(rule)  # kill never returns; others raise SystemExit
 
+    from repro.faults import FaultedRunError
     from repro.obs.metrics import MetricsRegistry
     from repro.runx.cells import run_cell
 
@@ -55,6 +56,13 @@ def main() -> int:
         value = run_cell(spec["fn"], spec.get("params", {}), seed,
                          metrics=registry)
         reply = {"ok": True, "value": value}
+        if registry is not None:
+            reply["metrics"] = registry.snapshot()
+    except FaultedRunError as exc:
+        # Deterministic in-sim death: report the fault evidence in-band so
+        # the runner can mark the cell failed-in-sim and skip retries.
+        reply = {"ok": False, "failed_in_sim": True, "error": str(exc),
+                 "fault": {"events": exc.events}}
         if registry is not None:
             reply["metrics"] = registry.snapshot()
     except Exception:

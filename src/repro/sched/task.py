@@ -22,7 +22,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Generator, Iterable, Optional, TYPE_CHECKING
 
-from repro.simx.engine import Delay, Event, Process
+from repro.simx.engine import AnyOf, Delay, Event, Process
 from repro.simx.rate import WorkItem
 from repro.machine.profile import WorkloadProfile
 
@@ -147,6 +147,14 @@ class Task:
         self.state = TaskState.BLOCKED
         value = yield event
         return value
+
+    def wait_any(self, events: Iterable[Event]) -> Generator[Any, Any, Any]:
+        """Block until the first of ``events`` triggers; resumes with
+        ``(index, value)`` (gated by the node).  Used by the MPI layer to
+        race a receive completion against a timeout timer."""
+        self.state = TaskState.BLOCKED
+        result = yield AnyOf(events)
+        return result
 
     def now_ns(self) -> int:
         """Node-local CLOCK_MONOTONIC (see :class:`repro.machine.clock.Clock`)."""

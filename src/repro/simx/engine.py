@@ -287,6 +287,7 @@ class Process:
         self._pending_handle: Any = None
         self._waiting_on: Any = None
         engine._live_processes += 1
+        engine._procs[id(self)] = self
         # First step happens at the current instant, in scheduling order.
         engine._post(0, self._step, (None, None), daemon)
 
@@ -317,6 +318,21 @@ class Process:
             return
         self._cancel_pending()
         self.engine._post(0, self._step, (None, ProcessKilled(self.name)), False)
+
+    def abort(self, exc: BaseException) -> None:
+        """Throw ``exc`` into the process at the current instant, bypassing
+        its gate.
+
+        :meth:`kill` ends a process *cleanly* (its ``done_event`` succeeds);
+        ``abort`` is the error path — unless the generator catches ``exc``,
+        the ``done_event`` fails with it.  Bypassing the gate matters for
+        fault injection: when a node fails, the gate *is* the failed node,
+        which no longer delivers wake-ups.
+        """
+        if not self._alive:
+            return
+        self._cancel_pending()
+        self.engine._post(0, self._step, (None, exc), False)
 
     # -- engine internals ---------------------------------------------------
     def _cancel_pending(self) -> None:
@@ -371,6 +387,7 @@ class Process:
     ) -> None:
         self._alive = False
         self.engine._live_processes -= 1
+        self.engine._procs.pop(id(self), None)
         self.gen.close()
         if ok:
             self.done_event.succeed(value)
@@ -528,6 +545,35 @@ class _AnyWaiter:
             proc._resume(None, event._exc)
 
 
+def _describe_wait(w: Any) -> str:
+    """Human-readable description of a process's wait target (for
+    :class:`DeadlockError` diagnostics)."""
+    if w is None:
+        return "nothing (never resumed)"
+    if isinstance(w, Event):
+        return f"event {w.name!r}" if w.name else "unnamed event"
+    if isinstance(w, Process):
+        return f"process {w.name!r}"
+    if isinstance(w, (AllOf, AnyOf)):
+        kind = "all of" if isinstance(w, AllOf) else "any of"
+        names = []
+        for item in w.waitables[:3]:
+            if isinstance(item, Event):
+                names.append(item.name or "<event>")
+            elif isinstance(item, Process):
+                names.append(item.name)
+            else:  # pragma: no cover - waitables are events/processes
+                names.append(repr(item))
+        if len(w.waitables) > 3:
+            names.append(f"... {len(w.waitables) - 3} more")
+        return f"{kind} [{', '.join(names)}]"
+    if isinstance(w, Delay):
+        return f"delay {w.ns}ns"
+    if isinstance(w, int):
+        return f"delay {w}ns"
+    return repr(w)
+
+
 def _as_event(w: Any) -> Event:
     if isinstance(w, Event):
         return w
@@ -555,6 +601,9 @@ class Engine:
         self._now = 0
         self._seq = 0
         self._live_processes = 0
+        #: id(proc) -> live Process; insertion-ordered, so deadlock
+        #: diagnostics list blocked processes in creation order.
+        self._procs: dict[int, Process] = {}
         self._foreground = 0  # pending non-daemon callbacks
         self._orphan_failures: list[tuple[str, BaseException]] = []
         # Observability: instruments are cached here (or None) so the
@@ -724,12 +773,26 @@ class Engine:
 
     def run_until_deadlock_check(self) -> int:
         """Run to completion; raise :class:`DeadlockError` if processes
-        remain alive with an empty heap (e.g. an MPI recv never matched)."""
+        remain alive with an empty heap (e.g. an MPI recv never matched).
+
+        The error lists the first 10 blocked processes by name together
+        with what each is waiting on, so a modeling bug ("rank 3 blocked
+        on recv from rank 1") is distinguishable from an injected hang at
+        a glance."""
         t = self.run()
         if self._live_processes > 0:
+            alive = [p for p in self._procs.values() if p._alive]
+            lines = [
+                f"  {p.name!r} waiting on {_describe_wait(p._waiting_on)}"
+                for p in alive[:10]
+            ]
+            more = len(alive) - len(lines)
+            if more > 0:
+                lines.append(f"  ... and {more} more")
             raise DeadlockError(
                 f"{self._live_processes} process(es) still alive at t={t} "
-                "with no scheduled events (blocked forever)"
+                "with no scheduled events (blocked forever):\n"
+                + "\n".join(lines)
             )
         return t
 

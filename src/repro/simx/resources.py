@@ -222,12 +222,23 @@ class Store:
 
     def put(self, item: Any) -> None:
         """Deposit an item; wakes the *oldest* waiter whose predicate
-        matches (FIFO among waiters, preserving arrival order of items)."""
+        matches (FIFO among waiters, preserving arrival order of items).
+
+        Waiters whose event has already triggered are skipped (and
+        dropped): the MPI failure detector fails pending-receive events
+        out from under the store, and a late-arriving message must not
+        re-trigger them."""
+        stale = False
         for i, (pred, ev) in enumerate(self._waiters):
+            if ev._ok is not None:
+                stale = True
+                continue
             if pred(item):
                 del self._waiters[i]
                 ev.succeed(item)
                 return
+        if stale:
+            self._waiters = [w for w in self._waiters if w[1]._ok is None]
         self._seq += 1
         self._items[self._seq] = item
         if self._index is not None:

@@ -1,0 +1,137 @@
+"""Machine-layer fault semantics: fail/hang state machine, CPU
+degradation, clock skew, and their interaction with the SMM engine."""
+
+import pytest
+
+from repro.machine.profile import WorkloadProfile
+from repro.machine.topology import WYEAST_SPEC
+from repro.simx.errors import NodeFailedError
+from repro.system import make_machine
+
+REG = WorkloadProfile(name="reg", mem_ref_fraction=0.0, base_miss_rate=0.0)
+
+
+def _spawn_worker(m, log):
+    def body(task):
+        yield from task.compute(1e12)  # effectively forever
+        log.append("done")
+
+    task = m.scheduler.spawn(body, "w0", REG)
+    # Join the done event so an injected failure is not an orphan.
+    task.proc.done_event.add_callback(lambda ev: log.append(
+        "failed" if not ev.ok else "ok"))
+    return task
+
+
+def test_fail_aborts_hosted_tasks_with_node_failed_error():
+    m = make_machine(WYEAST_SPEC)
+    log = []
+    task = _spawn_worker(m, log)
+    m.engine.schedule(1_000_000, m.node.fail, "test crash")
+    m.engine.run()
+    assert log == ["failed"]
+    assert isinstance(task.proc.done_event.exception, NodeFailedError)
+    assert m.node.failed and m.node.dead and not m.node.hung
+
+
+def test_failed_node_drops_wakeups_and_cannot_thaw():
+    m = make_machine(WYEAST_SPEC)
+    m.node.fail("gone")
+    seen = []
+    m.node.deliver(lambda: seen.append(1))
+    m.node.unfreeze()  # must not resurrect the node
+    m.engine.run()
+    assert seen == []
+    assert m.node.failed
+
+
+def test_hang_freezes_forever_and_smm_exit_cannot_thaw():
+    m = make_machine(WYEAST_SPEC)
+    log = []
+    _spawn_worker(m, log)
+    # An SMI in flight when the hang lands: its exit must not unfreeze.
+    m.engine.schedule(500_000, m.node.smm.trigger, 1_000_000)
+    m.engine.schedule(1_000_000, m.node.hang, "stuck SMI")
+    m.engine.run()
+    assert log == []  # task neither finished nor failed: it is frozen
+    assert m.node.hung and m.node.dead and m.node.frozen
+
+
+def test_dead_node_rejects_new_smis():
+    m = make_machine(WYEAST_SPEC)
+    m.node.hang()
+    assert m.node.smm.trigger(1_000_000) is False
+    m2 = make_machine(WYEAST_SPEC)
+    m2.node.fail()
+    assert m2.node.smm.trigger(1_000_000) is False
+
+
+def test_fail_and_hang_are_idempotent_and_sticky():
+    m = make_machine(WYEAST_SPEC)
+    m.node.hang()
+    m.node.hang()
+    assert m.node.hung
+    m.node.fail()  # fail after hang upgrades to failed
+    m.node.fail()
+    assert m.node.failed
+
+
+def test_degrade_scales_cpu_rate():
+    m = make_machine(WYEAST_SPEC)
+    cpu = m.node.cpus[0]
+    base = cpu.gross_hz()
+    cpu.degrade(0.25)
+    assert cpu.gross_hz() == pytest.approx(base * 0.25)
+
+
+def test_degrade_factor_validated():
+    m = make_machine(WYEAST_SPEC)
+    for bad in (0.0, -1.0, 1.5):
+        with pytest.raises(ValueError):
+            m.node.cpus[0].degrade(bad)
+
+
+def test_degraded_cpu_slows_compute():
+    def elapsed(factor):
+        m = make_machine(WYEAST_SPEC)
+        if factor is not None:
+            m.node.cpus[0].degrade(factor)
+        done = []
+
+        def body(task):
+            yield from task.compute(1e8)
+            done.append(task.now_ns())
+
+        m.scheduler.spawn(body, "w0", REG)
+        m.engine.run()
+        return done[0]
+
+    assert elapsed(0.5) == pytest.approx(2 * elapsed(None), rel=1e-6)
+
+
+def test_clock_skew_drifts_monotonic_and_tsc():
+    m = make_machine(WYEAST_SPEC)
+    clock = m.node.clock
+    m.engine.schedule(1_000_000_000, lambda: None)
+    m.engine.run()
+    unskewed = clock.monotonic_ns()
+    clock.set_skew(1000.0)  # +1000 ppm
+    assert clock.monotonic_ns() == unskewed  # drift starts accruing now
+    m.engine.schedule_at(2_000_000_000, lambda: None)
+    m.engine.run()
+    drifted = clock.monotonic_ns()
+    expected_extra = int(1_000_000_000 * 1000e-6)
+    assert drifted - unskewed == 1_000_000_000 + expected_extra
+    # TSC is derived from the same skewed time base.
+    assert clock.rdtsc() == int(drifted * clock.tsc_hz / 1e9)
+
+
+def test_clock_skew_zero_is_identity():
+    a = make_machine(WYEAST_SPEC)
+    b = make_machine(WYEAST_SPEC)
+    for m in (a, b):
+        m.engine.schedule(123_456_789, lambda: None)
+        m.engine.run()
+    b.node.clock.set_skew(0.0)
+    assert a.node.clock.monotonic_ns() == b.node.clock.monotonic_ns()
+    assert a.node.clock.rdtsc() == b.node.clock.rdtsc()

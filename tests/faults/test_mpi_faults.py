@@ -1,0 +1,164 @@
+"""MPI failure semantics under injected faults: typed errors instead of
+deadlocks, deterministic replay, and zero overhead when disabled."""
+
+import time
+
+import pytest
+
+from repro.apps.nas.params import NasClass
+from repro.apps.nas.study import NasConfig, run_nas_config
+from repro.faults import FaultInjector
+from repro.mpi.errors import (
+    JobAbortedError,
+    MpiTimeoutError,
+    RankFailedError,
+)
+
+EP2 = NasConfig("EP", NasClass.A, nodes=2, ranks_per_node=1)
+
+
+def _run(cfg, rules, seed=1, smm=0):
+    inj = FaultInjector(rules, seed=seed)
+    try:
+        elapsed = run_nas_config(cfg, smm=smm, seed=seed, faults=inj)
+        return elapsed, None, inj
+    except JobAbortedError as exc:
+        return None, exc, inj
+
+
+def test_node_crash_survivors_raise_rank_failed():
+    _, exc, inj = _run(EP2, [{"fault": "node_crash", "node": 1, "at_s": 0.5}])
+    assert exc is not None
+    assert inj.events == [
+        {"fault": "node_crash", "node": "node1", "at_ns": 500_000_000}]
+    # The crashed rank dies of NodeFailedError, the survivor of a typed
+    # RankFailedError — nobody deadlocks.
+    assert set(exc.failed) == {0, 1}
+    assert "RankFailedError" in exc.failed[0]
+    assert "NodeFailedError" in exc.failed[1]
+    assert exc.fault_events == inj.events
+
+
+def test_node_hang_times_out_in_bounded_wall_clock():
+    t0 = time.monotonic()
+    _, exc, inj = _run(EP2, [{"fault": "node_hang", "node": 1, "at_s": 0.5}])
+    wall = time.monotonic() - t0
+    assert exc is not None
+    assert wall < 30.0  # no wall-clock hang, no simulated-time runaway
+    assert "MpiTimeoutError" in exc.failed[0]
+    assert exc.hung == [1]
+
+
+def test_explicit_mpi_timeout_overrides_default():
+    _, exc, _ = _run(EP2, [{"fault": "node_hang", "node": 1, "at_s": 0.5,
+                            "mpi_timeout_s": 2.0}])
+    assert exc is not None
+    assert "2 simulated seconds" in exc.failed[0]
+
+
+def test_crash_is_deterministic_across_replays():
+    def outcome():
+        _, exc, inj = _run(
+            NasConfig("BT", NasClass.A, nodes=4, ranks_per_node=1),
+            [{"fault": "node_crash", "node": 2, "at_s": 5.0}],
+            seed=7, smm=2)
+        assert exc is not None
+        return sorted(exc.failed.items()), exc.hung, inj.events
+
+    assert outcome() == outcome()
+
+
+def test_link_delay_slows_but_completes():
+    clean, _, _ = _run(EP2, [])
+    slow, exc, inj = _run(EP2, [{"fault": "link_delay",
+                                 "delay_ns": 5_000_000}])
+    assert exc is None
+    assert slow > clean
+    assert all(e["fault"] == "link_delay" for e in inj.events)
+
+
+def test_link_corrupt_raises_typed_error():
+    _, exc, _ = _run(EP2, [{"fault": "link_corrupt", "p": 1.0}])
+    assert exc is not None
+    assert any("MpiCorruptionError" in v for v in exc.failed.values())
+
+
+def test_link_drop_everything_aborts_via_timeout_not_deadlock():
+    t0 = time.monotonic()
+    _, exc, _ = _run(EP2, [{"fault": "link_drop", "p": 1.0}])
+    assert time.monotonic() - t0 < 30.0
+    assert exc is not None
+
+
+def test_link_dup_is_harmless_to_point_to_point():
+    # Receivers match one message per recv; a duplicate is ignored by
+    # construction of the mailbox protocol and must not corrupt results.
+    elapsed, exc, inj = _run(EP2, [{"fault": "link_dup", "p": 1.0}])
+    assert exc is None
+    assert elapsed is not None
+    assert any(e["fault"] == "link_dup" for e in inj.events)
+
+
+def test_cpu_degrade_slows_elapsed():
+    clean, _, _ = _run(EP2, [])
+    slow, exc, _ = _run(EP2, [{"fault": "cpu_degrade", "node": 0, "cpu": 0,
+                               "at_s": 0.1, "factor": 0.25}])
+    assert exc is None
+    assert slow > clean * 1.5
+
+
+def test_clock_skew_shifts_reported_time_only_slightly():
+    clean, _, _ = _run(EP2, [])
+    skewed, exc, _ = _run(EP2, [{"fault": "clock_skew", "node": 0,
+                                 "at_s": 0.1, "skew_ppm": 500}])
+    assert exc is None
+    assert skewed != clean
+    assert abs(skewed - clean) / clean < 0.01
+
+
+def test_empty_injector_is_bitwise_no_op():
+    """Zero-overhead contract: attaching an injector with no rules must
+    not change the simulated result at all."""
+    clean = run_nas_config(EP2, smm=2, seed=3)
+    faulted = run_nas_config(EP2, smm=2, seed=3,
+                             faults=FaultInjector([], seed=3))
+    assert faulted == clean
+
+
+def test_unmatched_node_index_is_skipped():
+    # Rule targets node 7 of a 2-node cluster: nothing to arm, clean run.
+    elapsed, exc, inj = _run(EP2, [{"fault": "node_crash", "node": 7,
+                                    "at_s": 0.5}])
+    assert exc is None and elapsed is not None
+    assert inj.events == []
+    assert not inj.fatal
+
+
+def test_send_to_failed_rank_raises_immediately():
+    """ULFM semantics: once a peer's death is known, a send to it errors
+    out at once — no message buffering, no timeout wait."""
+    from repro.mpi.cluster import Cluster, ClusterSpec, run_mpi_job
+    from repro.mpi.network import NetworkSpec
+
+    cluster = Cluster(ClusterSpec(n_nodes=2, network=NetworkSpec()), seed=1)
+    FaultInjector([], seed=1).attach(cluster)
+    outcome = []
+
+    def app(rank):
+        yield from rank.task.sleep(0)
+        if rank.rank == 1:
+            raise RuntimeError("rank 1 dies at t=0")
+        yield from rank.task.sleep(1_000_000)  # let the death be detected
+        try:
+            yield from rank.send(1, 64)
+        except RankFailedError as err:
+            outcome.append((err.rank, rank.task.now_ns()))
+            raise
+        return None
+
+    with pytest.raises(JobAbortedError) as info:
+        run_mpi_job(cluster, app, nranks=2, ranks_per_node=1, name="ulfm")
+    assert outcome and outcome[0][0] == 1
+    # Raised promptly after the sleep, not after any timeout machinery.
+    assert outcome[0][1] < 10_000_000
+    assert set(info.value.failed) == {0, 1}

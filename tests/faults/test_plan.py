@@ -1,0 +1,84 @@
+"""Fault-plan vocabulary: validation, matching, (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.faults import LINK_FAULTS, NODE_FAULTS, PLAN_ENV, FaultPlan, FaultRule
+
+
+def test_every_kind_round_trips():
+    for kind in NODE_FAULTS + LINK_FAULTS:
+        rule = FaultRule(fault=kind, match="BT.*")
+        back = FaultRule.from_record(rule.to_record())
+        assert back.fault == kind
+        assert back.match == "BT.*"
+        assert back.is_link == (kind in LINK_FAULTS)
+
+
+def test_unknown_fault_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fault"):
+        FaultRule(fault="meteor_strike")
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"at_s": -1.0},
+    {"p": 1.5},
+    {"p": -0.1},
+    {"factor": 0.0},
+    {"factor": 1.5},
+    {"delay_ns": -1},
+    {"mpi_timeout_s": 0},
+])
+def test_bad_parameters_rejected(kwargs):
+    with pytest.raises(ValueError):
+        FaultRule(fault="node_crash", **kwargs)
+
+
+def test_glob_matching_scopes_rules_to_cells():
+    plan = FaultPlan([
+        FaultRule(fault="node_crash", match="BT.A n=4 *"),
+        FaultRule(fault="link_delay", match="BT.*"),
+        FaultRule(fault="node_hang", match="FT.*"),
+    ])
+    assert [r.fault for r in plan.rules_for("BT.A n=4 rpn=1 smm=2")] == \
+        ["node_crash", "link_delay"]
+    assert [r.fault for r in plan.rules_for("BT.A n=8 rpn=1 smm=0")] == \
+        ["link_delay"]
+    assert plan.rules_for("EP.A n=4 rpn=1 smm=0") == []
+
+
+def test_load_write_round_trip(tmp_path):
+    plan = FaultPlan([
+        FaultRule(fault="node_crash", match="*", node=1, at_s=2.0),
+        FaultRule(fault="link_drop", p=0.25, src=0, dst=3),
+    ])
+    path = tmp_path / "plan.json"
+    plan.write(str(path))
+    back = FaultPlan.load(str(path))
+    assert [r.to_record() for r in back.rules] == \
+        [r.to_record() for r in plan.rules]
+
+
+def test_load_rejects_non_list(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"fault": "node_crash"}))
+    with pytest.raises(ValueError, match="JSON list"):
+        FaultPlan.load(str(path))
+
+
+def test_from_env(tmp_path, monkeypatch):
+    monkeypatch.delenv(PLAN_ENV, raising=False)
+    assert FaultPlan.from_env() is None
+    path = tmp_path / "plan.json"
+    FaultPlan([FaultRule(fault="clock_skew")]).write(str(path))
+    monkeypatch.setenv(PLAN_ENV, str(path))
+    plan = FaultPlan.from_env()
+    assert plan is not None and plan.rules[0].fault == "clock_skew"
+
+
+def test_link_record_omits_node_fields():
+    rec = FaultRule(fault="link_drop", p=0.5).to_record()
+    assert "node" not in rec and "at_s" not in rec
+    rec = FaultRule(fault="node_crash").to_record()
+    assert "p" not in rec and "delay_ns" not in rec

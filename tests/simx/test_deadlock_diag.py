@@ -1,0 +1,52 @@
+"""DeadlockError diagnostics: name the blocked processes and their waits."""
+
+import pytest
+
+from repro.simx import AnyOf, DeadlockError, Engine
+
+
+def test_deadlock_lists_processes_and_wait_targets():
+    eng = Engine()
+    never = eng.event(name="never.fires")
+
+    def waiter():
+        yield never
+
+    def any_waiter():
+        other = eng.event(name="also.never")
+        yield AnyOf([never, other])
+
+    eng.process(waiter(), name="stuck-on-event")
+    eng.process(any_waiter(), name="stuck-on-any")
+    with pytest.raises(DeadlockError) as info:
+        eng.run_until_deadlock_check()
+    msg = str(info.value)
+    assert "2 process(es)" in msg
+    assert "'stuck-on-event' waiting on event 'never.fires'" in msg
+    assert "'stuck-on-any' waiting on any of [never.fires, also.never]" in msg
+
+
+def test_deadlock_caps_listing_at_ten():
+    eng = Engine()
+    never = eng.event(name="never")
+
+    def waiter():
+        yield never
+
+    for i in range(14):
+        eng.process(waiter(), name=f"w{i}")
+    with pytest.raises(DeadlockError) as info:
+        eng.run_until_deadlock_check()
+    msg = str(info.value)
+    assert "... and 4 more" in msg
+    assert msg.count("waiting on") == 10
+
+
+def test_clean_completion_raises_nothing():
+    eng = Engine()
+
+    def body():
+        yield 100
+
+    eng.process(body(), name="fine")
+    assert eng.run_until_deadlock_check() == 100
