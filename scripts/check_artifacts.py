@@ -2,6 +2,9 @@
 """CI smoke check: the observability artifacts parse and are non-trivial.
 
 Usage: check_artifacts.py MANIFEST.json TRACE.json [RECORDS.jsonl]
+
+The first file may be either a sweep manifest or a ``repro-smm explain``
+attribution report (detected by its ``components`` block).
 """
 
 import json
@@ -15,11 +18,22 @@ def main(argv):
     manifest_path, trace_path = argv[1], argv[2]
 
     man = json.load(open(manifest_path))
-    assert man["matrix"], "manifest has no planned matrix"
-    assert man["cells"], "manifest has no measured cells"
-    assert man["calibration"], "manifest is missing calibration constants"
-    assert all("base_seed" in c for c in man["matrix"]), \
-        "matrix cells must carry re-run seeds"
+    if "components" in man:
+        # An attribution report from `repro-smm explain --report`.
+        c = man["components"]
+        total = sum(c[k] for k in ("direct_smi_s", "induced_wait_s",
+                                   "contention_s", "residual_s"))
+        assert abs(total - man["slowdown_s"]) < 1e-4, \
+            "attribution components do not sum to the slowdown"
+        assert man["conservation"]["ok"], "conservation check failed"
+        assert man["wait_states"], "report has no wait-state census"
+        assert man["per_rank"], "report has no per-rank series"
+    else:
+        assert man["matrix"], "manifest has no planned matrix"
+        assert man["cells"], "manifest has no measured cells"
+        assert man["calibration"], "manifest is missing calibration constants"
+        assert all("base_seed" in c for c in man["matrix"]), \
+            "matrix cells must carry re-run seeds"
 
     doc = json.load(open(trace_path))
     events = doc["traceEvents"]
@@ -34,7 +48,9 @@ def main(argv):
             n_jsonl = sum(1 for line in fp if json.loads(line)["kind"])
         assert n_jsonl > 0, "empty jsonl dump"
 
-    print(f"ok: manifest {len(man['cells'])} cells, trace {len(events)} "
+    head = (f"report {man['bench']}.{man['class']} n={man['nodes']}"
+            if "components" in man else f"manifest {len(man['cells'])} cells")
+    print(f"ok: {head}, trace {len(events)} "
           f"events ({len(smm)} SMM windows), jsonl {n_jsonl} lines")
     return 0
 

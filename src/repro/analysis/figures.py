@@ -52,8 +52,15 @@ def ascii_chart(
     y_label: str = "",
     x_label: str = "",
     y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
 ) -> str:
-    """A scatter-line chart in monospace (series marked 1..9, a..z)."""
+    """A scatter-line chart in monospace (series marked 1..9, a..z).
+
+    ``y_min``/``y_max`` pin the y range — pass the same pair to several
+    charts to render them on a shared scale (the ``explain`` breakdowns
+    and the Figure 1/2 panels use this so CI-log charts are comparable).
+    Interior y-axis tick labels appear at the quarter lines.
+    """
     pts = [(x, y) for s in series for x, y in s.points]
     if not pts:
         return "(empty chart)\n"
@@ -61,7 +68,7 @@ def ascii_chart(
     ys = [p[1] for p in pts]
     x0, x1 = min(xs), max(xs)
     y0 = min(ys) if y_min is None else y_min
-    y1 = max(ys)
+    y1 = max(ys) if y_max is None else y_max
     if x1 == x0:
         x1 = x0 + 1
     if y1 == y0:
@@ -73,13 +80,23 @@ def ascii_chart(
         for x, y in sorted(s.points):
             cx = int((x - x0) / (x1 - x0) * (width - 1))
             cy = int((y - y0) / (y1 - y0) * (height - 1))
+            cy = max(0, min(height - 1, cy))
             grid[height - 1 - cy][cx] = mark
+    # Interior tick rows: the quarter lines, skipping the labeled ends.
+    ticks = {
+        round(k * (height - 1) / 4)
+        for k in (1, 2, 3)
+    } - {0, height - 1}
     out = StringIO()
     if title:
         out.write(title + "\n")
     out.write(f"{y1:>10.4g} ┤" + "".join(grid[0]) + "\n")
-    for row in grid[1:-1]:
-        out.write(" " * 10 + " │" + "".join(row) + "\n")
+    for i, row in enumerate(grid[1:-1], start=1):
+        if i in ticks:
+            yv = y1 - i * (y1 - y0) / (height - 1)
+            out.write(f"{yv:>10.4g} ┤" + "".join(row) + "\n")
+        else:
+            out.write(" " * 10 + " │" + "".join(row) + "\n")
     out.write(f"{y0:>10.4g} ┤" + "".join(grid[-1]) + "\n")
     out.write(" " * 12 + "└" + "─" * width + "\n")
     out.write(" " * 12 + f"{x0:<12.4g}{x_label:^{max(0, width - 24)}}{x1:>12.4g}\n")

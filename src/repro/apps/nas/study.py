@@ -83,6 +83,7 @@ def run_nas_config(
     trace: bool = False,
     faults=None,
     mpi_timeout_s: Optional[float] = None,
+    attr=None,
 ) -> Optional[float]:
     """Run one benchmark configuration under one SMI class.
 
@@ -104,6 +105,11 @@ def run_nas_config(
     fatal fault then raises :class:`repro.mpi.errors.JobAbortedError`
     (see :func:`repro.mpi.cluster.run_mpi_job`).  ``mpi_timeout_s``
     overrides the injector's derived blocking-wait bound.
+
+    Attribution: pass a :class:`repro.obs.attr.AttrCapture` as ``attr``
+    to record per-rank waits, message lifecycles, and accounting for the
+    post-run noise-attribution engine.  The capture is pure recording —
+    the simulated event sequence is identical with and without it.
     """
     if not nas_config_feasible(cfg):
         return None
@@ -117,8 +123,11 @@ def run_nas_config(
     cluster = Cluster(spec, seed=seed, timeline=timeline, metrics=metrics)
     if faults is not None:
         faults.attach(cluster)
+    if attr is not None:
+        attr.attach(cluster)
     if trace:
         cluster.network.trace = True
+        cluster.trace_waits = True
         for node in cluster.nodes:
             node.scheduler.trace_placements = True
     cluster.enable_smi(
@@ -136,6 +145,8 @@ def run_nas_config(
         name=cfg.label,
         mpi_timeout_s=mpi_timeout_s,
     )
+    if attr is not None:
+        attr.finalize(cluster, result)
     for r in result.rank_results:
         if not r.get("verified", False):
             raise AssertionError(f"verification failed for {cfg.label}: {r}")

@@ -6,6 +6,11 @@ Subcommands regenerate the paper's artifacts or run the tools:
 * ``table4|table5`` — the HTT × SMI tables (EP/FT at 4 ranks/node).
 * ``figure1`` — Convolve sweeps; ``figure2`` — UnixBench sweeps.
 * ``trace`` — run one scenario and export a Chrome-trace/Perfetto JSON.
+* ``explain`` — attribute one cell's slowdown: run it at SMM 0 and under
+  the requested SMI class with the wait-state capture attached, then
+  print the decomposition (direct theft / induced wait / contention /
+  residual), the wait-state census, and the critical path next to the
+  paper's numbers.  Exits 3 if the conservation check fails.
 * ``detect`` — run the hwlat-style gap detector on the *host*.
 * ``calibrate`` — print the calibration derivation.
 
@@ -16,7 +21,9 @@ Observability flags:
 
 * ``-v/-vv`` (global) — INFO/DEBUG logging to stderr.
 * ``--metrics`` — collect and print the run's metrics registry
-  (engine/SMM/scheduler/network counters and histograms).
+  (engine/SMM/scheduler/network counters and histograms);
+  ``--metrics-format {text,json,prom}`` picks the rendering (``prom``
+  is Prometheus textfile-collector exposition format).
 * ``--manifest [PATH]`` — write a JSON run manifest (seed, matrix,
   calibration constants, per-cell timings); defaults to
   ``<subcommand>.manifest.json``.
@@ -38,6 +45,10 @@ checkpoint journal, and graceful degradation — failed cells render as
   lossy links) *into the simulation* of matching cells; a cell killed by
   its faults is recorded ``failed-in-sim`` (rendered "-", never
   retried) while the rest of the sweep completes normally.
+* ``--attr`` — attach the noise-attribution engine to every noisy NAS
+  cell: each cell's manifest record gains an ``attribution`` block
+  (slowdown decomposition, wait-state census, critical-path summary)
+  computed from a capture-enabled replay of the cell's first repetition.
 """
 
 from __future__ import annotations
@@ -93,6 +104,9 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--csv", action="store_true", help="emit CSV instead of text")
     p.add_argument("--metrics", action="store_true",
                    help="collect and print run metrics")
+    p.add_argument("--metrics-format", choices=("text", "json", "prom"),
+                   default="text", help="metrics rendering: human text, "
+                   "JSON snapshot, or Prometheus exposition format")
     p.add_argument("--manifest", nargs="?", const="auto", default=None,
                    metavar="PATH", help="write a JSON run manifest "
                    "(default <subcommand>.manifest.json)")
@@ -114,6 +128,10 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                            help="inject model-level faults from this JSON "
                            "plan into matching cells' simulations "
                            "(env: REPRO_FAULT_PLAN)")
+    resilient.add_argument("--attr", action="store_true", default=None,
+                           help="attach an 'attribution' block (slowdown "
+                           "decomposition, wait states, critical path) to "
+                           "every noisy NAS cell in the manifest")
 
 
 def _setup_logging(verbosity: int) -> None:
@@ -138,10 +156,22 @@ def _obs_kwargs(args: argparse.Namespace, params: dict):
     return manifest, registry
 
 
-def _finish_obs(args: argparse.Namespace, manifest, registry) -> None:
-    if registry is not None:
+def _print_metrics(args: argparse.Namespace, registry) -> None:
+    fmt = getattr(args, "metrics_format", "text")
+    if fmt == "json":
+        import json
+
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    elif fmt == "prom":
+        print(registry.render_prom(), end="")
+    else:
         print("\n-- metrics " + "-" * 49)
         print(registry.render())
+
+
+def _finish_obs(args: argparse.Namespace, manifest, registry) -> None:
+    if registry is not None:
+        _print_metrics(args, registry)
     if manifest is not None:
         path = args.manifest
         if path == "auto":
@@ -155,7 +185,8 @@ def _resilient_requested(args: argparse.Namespace) -> bool:
 
     if any(
         getattr(args, flag, None) is not None
-        for flag in ("jobs", "timeout", "retries", "resume", "fault_plan")
+        for flag in ("jobs", "timeout", "retries", "resume", "fault_plan",
+                     "attr")
     ):
         return True
     # A fault plan in the environment also opts in: model-level faults
@@ -206,6 +237,25 @@ def _with_faults(specs, plan):
     return out, hit
 
 
+def _with_attr(specs):
+    """Rewrite every NAS spec so its executor runs the attribution engine
+    alongside the cell.  Like ``--fault-plan``, the rewrite changes the
+    specs' digests — an attributed cell's payload carries an extra block,
+    so it must not be interchangeable with a plain one on resume."""
+    from repro.runx import CellSpec
+
+    out = []
+    for spec in specs:
+        if spec.fn == "nas":
+            out.append(CellSpec(
+                id=spec.id, fn=spec.fn, base_seed=spec.base_seed,
+                params={**spec.params, "attr": True},
+            ))
+        else:
+            out.append(spec)
+    return out
+
+
 def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
                    extra_params: Optional[dict] = None) -> int:
     """Shared driver for all table/figure subcommands in runx mode.
@@ -230,6 +280,7 @@ def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
 
     quick, seed = args.quick, args.seed
     reps = args.reps if args.reps is not None else (1 if args.quick else 3)
+    attr = bool(getattr(args, "attr", None))
     fault_plan_path = getattr(args, "fault_plan", None)
     if fault_plan_path is None:
         from repro.faults import PLAN_ENV
@@ -254,11 +305,12 @@ def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
             # original matrix and seeds, not whatever the new command
             # line happens to say.
             recorded = {k: header[k]
-                        for k in ("quick", "reps", "seed", "fault_plan")
+                        for k in ("quick", "reps", "seed", "fault_plan",
+                                  "attr")
                         if k in header and header[k] is not None}
             if recorded:
                 current = {"quick": quick, "reps": reps, "seed": seed,
-                           "fault_plan": fault_plan_path}
+                           "fault_plan": fault_plan_path, "attr": attr}
                 drift = {k: (current[k], v) for k, v in recorded.items()
                          if current[k] != v}
                 if drift:
@@ -269,6 +321,7 @@ def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
                 reps = recorded.get("reps", reps)
                 seed = recorded.get("seed", seed)
                 fault_plan_path = recorded.get("fault_plan", fault_plan_path)
+                attr = recorded.get("attr", attr)
         print(f"resume: {len(completed)} cells already complete",
               file=sys.stderr)
 
@@ -287,7 +340,11 @@ def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
               **(extra_params or {})}
     if fault_plan_path:
         params["fault_plan"] = fault_plan_path
+    if attr:
+        params["attr"] = True
     specs = specs_fn(quick, reps, seed)
+    if attr:
+        specs = _with_attr(specs)
     if plan is not None:
         specs, hit = _with_faults(specs, plan)
         print(f"fault plan {fault_plan_path}: {len(plan.rules)} rules, "
@@ -302,6 +359,8 @@ def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
                   "seed": seed}
         if fault_plan_path:
             header["fault_plan"] = fault_plan_path
+        if attr:
+            header["attr"] = True
         journal.write_header(header)
         for prior in completed.values():
             journal.append(prior)
@@ -317,8 +376,7 @@ def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
     results = runner.run(specs, completed=completed)
     print(render_fn(quick, results))
     if registry is not None:
-        print("\n-- metrics " + "-" * 49)
-        print(registry.render())
+        _print_metrics(args, registry)
     manifest.write(manifest_path)
     failed = sorted(r.id for r in results.values() if not r.ok)
     if failed:
@@ -476,8 +534,77 @@ def _trace(args: argparse.Namespace) -> int:
         lines = write_jsonl(timeline, args.jsonl)
         print(f"wrote {args.jsonl} ({lines} records)")
     if registry is not None:
-        print("\n-- metrics " + "-" * 49)
-        print(registry.render())
+        _print_metrics(args, registry)
+    return 0
+
+
+def _explain(args: argparse.Namespace) -> int:
+    """Attribute one cell's slowdown and print the breakdown.
+
+    Exit codes: 0 ok, 2 infeasible configuration or unusable arguments,
+    3 conservation violation (the decomposition's residual exceeded the
+    tolerance — the attribution model is missing something, and CI
+    treats that as a failure).
+    """
+    import json
+
+    import repro
+    from repro.obs import MetricsRegistry, write_chrome_trace
+    from repro.obs.attr import attribute_cell, render_explain
+    from repro.paperdata import paper_cell
+
+    if args.quick:
+        bench, cls, nodes, rpn = "EP", "A", 2, 1
+    else:
+        bench, cls, nodes, rpn = args.bench, args.cls, args.nodes, args.rpn
+    if args.smm == 0:
+        print("error: --smm 0 has nothing to attribute (pick 1 or 2)",
+              file=sys.stderr)
+        return 2
+    registry = MetricsRegistry() if args.metrics else None
+    a = attribute_cell(
+        bench, cls=cls, nodes=nodes, rpn=rpn, smm=args.smm,
+        seed=args.seed, interval_jiffies=args.interval,
+        metrics=registry, trace=args.trace is not None,
+        tolerance=args.tolerance,
+    )
+    if a is None:
+        print(f"configuration {bench}.{cls} n={nodes}×{rpn} is infeasible",
+              file=sys.stderr)
+        return 2
+    from repro.apps.nas.params import NasClass
+
+    try:
+        paper = paper_cell(bench, rpn, NasClass(cls), nodes)
+    except KeyError:
+        paper = None
+    print(render_explain(a.report, paper=paper))
+    if args.report:
+        with open(args.report, "w") as fp:
+            json.dump(a.report, fp, indent=2)
+        print(f"report written to {args.report}", file=sys.stderr)
+    if args.trace:
+        n = write_chrome_trace(
+            a.noisy_timeline, args.trace,
+            nodes=[f"node{i}" for i in range(nodes)],
+            extra={
+                "bench": bench, "class": cls, "nodes": nodes,
+                "ranks_per_node": rpn, "smm": args.smm,
+                "interval_jiffies": args.interval, "seed": args.seed,
+                "version": repro.__version__,
+            },
+        )
+        print(f"trace written to {args.trace} ({n} events)", file=sys.stderr)
+    if registry is not None:
+        _print_metrics(args, registry)
+    if not a.decomposition.conserved:
+        print(
+            f"conservation VIOLATED: |residual| = "
+            f"{100.0 * a.decomposition.residual_frac:.2f}% of slowdown "
+            f"(tolerance {100.0 * a.decomposition.tolerance:.1f}%)",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -558,7 +685,37 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="also dump raw timeline records as JSON Lines")
     p.add_argument("--metrics", action="store_true",
                    help="collect and print run metrics")
+    p.add_argument("--metrics-format", choices=("text", "json", "prom"),
+                   default="text", help="metrics rendering")
     p.set_defaults(fn=_trace)
+    p = sub.add_parser(
+        "explain",
+        help="attribute one cell's slowdown (decomposition, wait states, "
+             "critical path)")
+    p.add_argument("--bench", default="BT", choices=("EP", "BT", "FT"))
+    p.add_argument("--cls", default="A", type=_nas_class, metavar="CLASS",
+                   help="NAS problem class (A, B, or C; case-insensitive)")
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--rpn", type=int, default=1, help="MPI ranks per node")
+    p.add_argument("--smm", type=int, default=2, choices=(0, 1, 2),
+                   help="SMI class to attribute: 1 short, 2 long")
+    p.add_argument("--interval", type=int, default=1000,
+                   help="SMI interval in jiffies (1 jiffy = 1 ms)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--quick", action="store_true",
+                   help="shorthand for the tiny EP.A 2-node scenario")
+    p.add_argument("--tolerance", type=_positive_float, default=0.05,
+                   help="conservation tolerance (fraction of the slowdown)")
+    p.add_argument("--report", default=None, metavar="PATH",
+                   help="also write the attribution report as JSON")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="also export the noisy run's Chrome trace (with "
+                   "wait-state slices and counter tracks)")
+    p.add_argument("--metrics", action="store_true",
+                   help="collect and print run metrics")
+    p.add_argument("--metrics-format", choices=("text", "json", "prom"),
+                   default="text", help="metrics rendering")
+    p.set_defaults(fn=_explain)
     p = sub.add_parser("detect", help="host-native SMI/latency gap scan")
     p.add_argument("--window", type=float, default=1.0, help="seconds to scan")
     p.set_defaults(fn=_detect)

@@ -58,6 +58,11 @@ class Cluster:
         self.smi_sources: List[SmiSource] = []
         #: a repro.faults.FaultInjector once attached; None on clean runs.
         self.faults = None
+        #: a repro.obs.attr.AttrCapture once attached; None on clean runs.
+        self.attr = None
+        #: when True, communicators record ``mpi.wait`` timeline records
+        #: (blocked receive spans) for the trace exporter.
+        self.trace_waits = False
         for i in range(spec.n_nodes):
             node = make_node(
                 self.engine,

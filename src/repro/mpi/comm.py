@@ -68,6 +68,12 @@ def _envelope_key(m: "Message"):
 class Request:
     """Handle for a non-blocking operation."""
 
+    #: envelope + post time, stamped only under attribution capture or
+    #: wait tracing (class-level defaults keep the clean path allocation-free).
+    post_ns: Optional[int] = None
+    post_src: int = ANY_SOURCE
+    post_tag: int = ANY_TAG
+
     def __init__(self, event: Event, kind: str):
         self.event = event
         self.kind = kind
@@ -107,6 +113,20 @@ class Communicator:
         # ``faults`` is None, ``_failed`` stays empty, ``timeout_ns`` stays
         # None, and no branch below changes behaviour.
         self.faults = getattr(cluster, "faults", None)
+        # Attribution capture: a pure recorder (repro.obs.attr) that the
+        # hooks below feed.  None on clean runs — every hook site guards
+        # with ``is not None`` so the clean path pays one attribute test.
+        self.attr = getattr(cluster, "attr", None)
+        #: record ``mpi.wait`` timeline spans for the trace exporter.
+        self.trace_waits = bool(getattr(cluster, "trace_waits", False))
+        # Per-node rank ordinal (rank → position among its node's ranks),
+        # used to assign per-rank wait tracks in trace exports.
+        per_node: Dict[str, int] = {}
+        self._lrank: List[int] = []
+        for t in tasks:
+            n = t.node.name
+            self._lrank.append(per_node.get(n, 0))
+            per_node[n] = per_node.get(n, 0) + 1
         #: default bound for blocking waits (per-call override wins); None
         #: disables timeouts entirely (no timer events are ever posted).
         self.timeout_ns: Optional[int] = None
@@ -115,6 +135,8 @@ class Communicator:
         #: detected rank failure can error them out.
         self._pending_recvs: List[Tuple[int, int, Event]] = []
         self.ranks: List[Rank] = [Rank(self, r, t) for r, t in enumerate(tasks)]
+        if self.attr is not None:
+            self.attr.on_comm(self)
 
     @property
     def size(self) -> int:
@@ -137,6 +159,18 @@ class Communicator:
                     (lambda mm=m: mbox.put(mm)),
                     extra_latency_ns=extra_ns,
                 )
+            return
+        attr = self.attr
+        if attr is not None:
+            # Record when the message becomes *visible* (the callback runs
+            # post node-gate, i.e. after any receiver-side SMM freeze).
+            def deliver_observed(msg=msg, attr=attr, mbox=mbox) -> None:
+                attr.on_arrival(msg.seq, self.engine.now)
+                mbox.put(msg)
+
+            self.cluster.network.transfer(
+                src_node, dst_node, msg.nbytes, deliver_observed
+            )
             return
         self.cluster.network.transfer(
             src_node, dst_node, msg.nbytes, lambda: mbox.put(msg)
@@ -240,6 +274,9 @@ class Rank:
         yield from self.task.compute(self._overhead(nbytes))
         self.comm._send_seq += 1
         msg = Message(self.rank, dst, tag, nbytes, payload, seq=self.comm._send_seq)
+        attr = self.comm.attr
+        if attr is not None:
+            attr.on_send(msg, self.comm.engine.now)
         self.comm._inject(msg)
         self.sent_messages += 1
         self.sent_bytes += nbytes
@@ -257,7 +294,12 @@ class Rank:
     def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         """Post a receive; returns immediately with a Request."""
         ev = self.comm._match_async(self.rank, src, tag)
-        return Request(ev, "irecv")
+        req = Request(ev, "irecv")
+        if self.comm.attr is not None or self.comm.trace_waits:
+            req.post_ns = self.comm.engine.now
+            req.post_src = src
+            req.post_tag = tag
+        return req
 
     def wait(self, request: Request, timeout_ns: Optional[int] = None
              ) -> Generator[Any, Any, Message]:
@@ -270,6 +312,8 @@ class Rank:
         path — no timer is ever posted and the event sequence is
         unchanged."""
         comm = self.comm
+        observing = comm.attr is not None or comm.trace_waits
+        t_begin = comm.engine.now if observing else 0
         if timeout_ns is None:
             timeout_ns = comm.timeout_ns
         ev = request.event
@@ -284,6 +328,20 @@ class Rank:
             if idx == 1:
                 raise MpiTimeoutError(request.kind, int(timeout_ns))
             engine._cancel_entry(entry)
+        if observing and request.kind == "irecv":
+            t_end = comm.engine.now
+            if comm.attr is not None:
+                comm.attr.on_wait(self.rank, t_begin, t_end, request, msg)
+            if comm.trace_waits and t_end > t_begin:
+                node = self.task.node
+                node.timeline.record(
+                    t_end, "mpi.wait", node.name,
+                    rank=self.rank, lrank=comm._lrank[self.rank],
+                    begin_ns=t_begin, dur_ns=t_end - t_begin,
+                    cls=("coll" if request.post_tag >= COLL_TAG_BASE
+                         else "p2p"),
+                    src=(msg.src if msg is not None else request.post_src),
+                )
         if request.kind == "irecv" and msg is not None:
             if type(msg.payload) is CorruptedPayload:
                 raise MpiCorruptionError(
@@ -322,66 +380,88 @@ class Rank:
         self._coll_seq += 1
         return COLL_TAG_BASE + self._coll_seq
 
+    def _coll(self, op: str, gen: Generator) -> Generator:
+        """Drive one collective, marking the region for attribution so
+        waits inside it carry the operation name.  Without a capture
+        attached this is a plain ``yield from``."""
+        attr = self.comm.attr
+        if attr is None:
+            result = yield from gen
+            return result
+        attr.on_coll_begin(self.rank, op)
+        try:
+            result = yield from gen
+        finally:
+            attr.on_coll_end(self.rank)
+        return result
+
     def barrier(self) -> Generator:
         from repro.mpi.collectives import barrier
 
-        yield from barrier(self)
+        yield from self._coll("barrier", barrier(self))
 
     def bcast(self, value: Any = None, root: int = 0, nbytes: int = 8) -> Generator:
         from repro.mpi.collectives import bcast
 
-        result = yield from bcast(self, value, root, nbytes)
+        result = yield from self._coll("bcast", bcast(self, value, root, nbytes))
         return result
 
     def reduce(self, value: Any, root: int = 0, nbytes: int = 8, op=None) -> Generator:
         from repro.mpi.collectives import reduce as _reduce
 
-        result = yield from _reduce(self, value, root, nbytes, op)
+        result = yield from self._coll(
+            "reduce", _reduce(self, value, root, nbytes, op))
         return result
 
     def allreduce(self, value: Any, nbytes: int = 8, op=None) -> Generator:
         from repro.mpi.collectives import allreduce
 
-        result = yield from allreduce(self, value, nbytes, op)
+        result = yield from self._coll(
+            "allreduce", allreduce(self, value, nbytes, op))
         return result
 
     def allgather(self, value: Any, nbytes: int = 8) -> Generator:
         from repro.mpi.collectives import allgather
 
-        result = yield from allgather(self, value, nbytes)
+        result = yield from self._coll(
+            "allgather", allgather(self, value, nbytes))
         return result
 
     def alltoall(self, per_pair_nbytes: int, values: Optional[List[Any]] = None
                  ) -> Generator:
         from repro.mpi.collectives import alltoall
 
-        result = yield from alltoall(self, per_pair_nbytes, values)
+        result = yield from self._coll(
+            "alltoall", alltoall(self, per_pair_nbytes, values))
         return result
 
     def scatter(self, values: Optional[List[Any]] = None, root: int = 0,
                 nbytes: int = 8) -> Generator:
         from repro.mpi.collectives import scatter
 
-        result = yield from scatter(self, values, root, nbytes)
+        result = yield from self._coll(
+            "scatter", scatter(self, values, root, nbytes))
         return result
 
     def gather(self, value: Any, root: int = 0, nbytes: int = 8) -> Generator:
         from repro.mpi.collectives import gather
 
-        result = yield from gather(self, value, root, nbytes)
+        result = yield from self._coll(
+            "gather", gather(self, value, root, nbytes))
         return result
 
     def reduce_scatter(self, values: List[Any], nbytes: int = 8, op=None
                        ) -> Generator:
         from repro.mpi.collectives import reduce_scatter
 
-        result = yield from reduce_scatter(self, values, nbytes, op)
+        result = yield from self._coll(
+            "reduce_scatter", reduce_scatter(self, values, nbytes, op))
         return result
 
     def scan(self, value: Any, nbytes: int = 8, op=None) -> Generator:
         from repro.mpi.collectives import scan
 
-        result = yield from scan(self, value, nbytes, op)
+        result = yield from self._coll("scan", scan(self, value, nbytes, op))
         return result
 
     def __repr__(self) -> str:  # pragma: no cover

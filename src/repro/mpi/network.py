@@ -114,6 +114,9 @@ class Network:
         #: runs move 10^5+ messages.
         self.trace = False
         self.metrics = metrics
+        #: a repro.obs.attr.AttrCapture once attached (pure recording:
+        #: it observes queueing delays and arrival times, never schedules).
+        self.attr = None
         if metrics is not None:
             self._m_messages = metrics.counter("net.messages")
             self._m_bytes = metrics.counter("net.bytes")
@@ -162,6 +165,8 @@ class Network:
             self._m_messages.value += 1
             self._m_bytes.value += nbytes
             self._m_queue.observe(queue_ns)
+        if self.attr is not None:
+            self.attr.on_transfer(queue_ns, t_done)
         if self.trace:
             msg_id = self.messages
             src.timeline.record(

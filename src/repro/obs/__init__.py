@@ -17,11 +17,23 @@ artifacts you can actually watch and archive:
   can emit a JSON manifest capturing the seed, the cell matrix, the
   calibration constants, and per-cell timings, so any table or figure is
   reproducible from its artifact alone.
+* :mod:`repro.obs.attr` — the noise-attribution engine: per-rank
+  wait-state capture, critical-path extraction, and slowdown
+  decomposition against a zero-SMI baseline (``repro-smm explain``).
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import chrome_trace_events, write_chrome_trace, write_jsonl
 from repro.obs.manifest import RunManifest, calibration_constants
+from repro.obs.attr import (
+    AttrCapture,
+    CellAttribution,
+    attribute_cell,
+    build_profile,
+    critical_path,
+    decompose,
+    render_explain,
+)
 
 __all__ = [
     "Counter",
@@ -33,4 +45,11 @@ __all__ = [
     "write_jsonl",
     "RunManifest",
     "calibration_constants",
+    "AttrCapture",
+    "CellAttribution",
+    "attribute_cell",
+    "build_profile",
+    "critical_path",
+    "decompose",
+    "render_explain",
 ]

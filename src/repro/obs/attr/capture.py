@@ -1,0 +1,210 @@
+"""Per-rank event capture: the recording half of the attribution engine.
+
+An :class:`AttrCapture` is attached to a cluster *before* the job
+launches (``cluster.attr = capture``, done by :meth:`AttrCapture.attach`
+or by :func:`repro.apps.nas.study.run_nas_config` via its ``attr=``
+parameter).  The MPI layer then calls the ``on_*`` hooks at each
+interesting transition:
+
+* :meth:`on_comm` — a communicator was built (rank → node placement);
+* :meth:`on_send` / :meth:`on_transfer` — a message was injected and
+  its NIC queueing delay + physical arrival time are known;
+* :meth:`on_arrival` — the message became *visible* to host software
+  (post node-gate, i.e. after any SMM freeze on the receiver);
+* :meth:`on_wait` — a blocking receive-side wait completed;
+* :meth:`on_coll_begin` / :meth:`on_coll_end` — a rank entered/left a
+  collective region (so waits inside it carry the operation name).
+
+Every hook is **pure recording**: no events are scheduled, no state the
+simulation reads is touched, so an attributed run is event-for-event
+identical to an unattributed one (asserted by the inertness test in
+``tests/obs/test_attr.py``).  :meth:`finalize` snapshots the per-task
+accounting and the ground-truth SMM residency windows after the engine
+stops; :func:`repro.obs.attr.profile.build_profile` does the analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["SendRec", "WaitRec", "RankObs", "AttrCapture"]
+
+
+@dataclass
+class SendRec:
+    """One message's life: injection, NIC queueing, visibility."""
+
+    seq: int
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    inject_ns: int
+    #: time the message waited behind earlier traffic on the source NIC.
+    queue_ns: int = 0
+    #: scheduled physical arrival (DMA complete) at the destination.
+    eta_ns: Optional[int] = None
+    #: when host software on the destination could first see it (post
+    #: node-gate: equals ``eta_ns`` unless the receiver was in SMM).
+    visible_ns: Optional[int] = None
+
+
+@dataclass
+class WaitRec:
+    """One completed blocking wait on a receive request."""
+
+    rank: int
+    begin_ns: int
+    end_ns: int
+    #: requested envelope (may be wildcards).
+    src: int
+    tag: int
+    #: collective operation name when the wait ran inside one.
+    coll: Optional[str] = None
+    #: matched message identity (None when the wait returned no message).
+    seq: Optional[int] = None
+    msg_src: Optional[int] = None
+    post_ns: Optional[int] = None
+
+
+@dataclass
+class RankObs:
+    """Post-run per-rank observations (filled by :meth:`finalize`)."""
+
+    rank: int
+    node: str
+    lrank: int
+    started_ns: Optional[int] = None
+    finished_ns: Optional[int] = None
+    kernel_ns: float = 0.0
+    true_ns: float = 0.0
+    stolen_ns: float = 0.0
+    segments: int = 0
+
+
+class AttrCapture:
+    """Recorder for one MPI job; attach to a cluster, run, finalize."""
+
+    def __init__(self, metrics=None):
+        self.metrics = metrics
+        self.sends: Dict[int, SendRec] = {}
+        self.waits: List[WaitRec] = []
+        self.ranks: Dict[int, RankObs] = {}
+        #: node name → SMM residency [enter, exit) windows (ground truth).
+        self.smm: Dict[str, List[tuple]] = {}
+        #: node name → total SMM residency ns (controller stats).
+        self.smm_total_ns: Dict[str, float] = {}
+        #: node name → post-SMM misplacement count (scheduler hook data).
+        self.misplacements: Dict[str, int] = {}
+        self.t0_ns: Optional[int] = None
+        self.t_end_ns: Optional[int] = None
+        self.elapsed_app_s: Optional[float] = None
+        self.wall_s: Optional[float] = None
+        self._coll_stack: Dict[int, List[str]] = {}
+        self._pending_send: Optional[SendRec] = None
+        self._tasks = None
+        self._finalized = False
+
+    # -- wiring -------------------------------------------------------------
+    def attach(self, cluster) -> None:
+        """Register with a cluster (before the job launches)."""
+        cluster.attr = self
+        cluster.network.attr = self
+
+    # -- hooks (pure recording; called from the MPI layer) -------------------
+    def on_comm(self, comm) -> None:
+        if self._tasks is not None:
+            return  # first communicator wins (one job per capture)
+        self._tasks = list(comm.tasks)
+        self.t0_ns = comm.engine.now
+        per_node: Dict[str, int] = {}
+        for r, task in enumerate(self._tasks):
+            name = task.node.name
+            lrank = per_node.get(name, 0)
+            per_node[name] = lrank + 1
+            self.ranks[r] = RankObs(rank=r, node=name, lrank=lrank)
+
+    def on_send(self, msg, now: int) -> None:
+        rec = SendRec(
+            seq=msg.seq, src=msg.src, dst=msg.dst, tag=msg.tag,
+            nbytes=msg.nbytes, inject_ns=now,
+        )
+        self.sends[msg.seq] = rec
+        self._pending_send = rec
+
+    def on_transfer(self, queue_ns: int, eta_ns: int) -> None:
+        rec = self._pending_send
+        if rec is None:
+            return  # e.g. a fault-duplicated transfer; first one wins
+        rec.queue_ns = queue_ns
+        rec.eta_ns = eta_ns
+        self._pending_send = None
+
+    def on_arrival(self, seq: int, now: int) -> None:
+        rec = self.sends.get(seq)
+        if rec is not None and rec.visible_ns is None:
+            rec.visible_ns = now
+
+    def on_wait(self, rank: int, begin_ns: int, end_ns: int, request, msg
+                ) -> None:
+        stack = self._coll_stack.get(rank)
+        self.waits.append(WaitRec(
+            rank=rank,
+            begin_ns=begin_ns,
+            end_ns=end_ns,
+            src=getattr(request, "post_src", -1),
+            tag=getattr(request, "post_tag", -1),
+            coll=stack[-1] if stack else None,
+            seq=msg.seq if msg is not None else None,
+            msg_src=msg.src if msg is not None else None,
+            post_ns=getattr(request, "post_ns", None),
+        ))
+
+    def on_coll_begin(self, rank: int, op: str) -> None:
+        self._coll_stack.setdefault(rank, []).append(op)
+
+    def on_coll_end(self, rank: int) -> None:
+        stack = self._coll_stack.get(rank)
+        if stack:
+            stack.pop()
+
+    # -- post-run snapshot ---------------------------------------------------
+    def finalize(self, cluster, result=None) -> None:
+        """Snapshot accounting + ground truth once the engine stopped."""
+        if self._finalized:
+            return
+        self._finalized = True
+        timeline = cluster.timeline
+        if not timeline.enabled:
+            raise ValueError(
+                "attribution capture needs an enabled timeline "
+                "(SMM residency windows come from smm.enter/smm.exit records)")
+        for node in cluster.nodes:
+            self.smm[node.name] = timeline.intervals(
+                "smm.enter", "smm.exit", where=node.name)
+            self.smm_total_ns[node.name] = float(node.smm.stats.total_ns)
+            self.misplacements[node.name] = len(
+                timeline.select(kind="sched.misplace", where=node.name))
+        finishes = []
+        for r, obs in self.ranks.items():
+            task = self._tasks[r]
+            obs.started_ns = task.started_ns
+            obs.finished_ns = task.finished_ns
+            obs.kernel_ns = task.acct.kernel_ns
+            obs.true_ns = task.acct.true_ns
+            obs.stolen_ns = task.acct.stolen_ns
+            obs.segments = task.acct.segments
+            if task.finished_ns is not None:
+                finishes.append(task.finished_ns)
+        self.t_end_ns = max(finishes) if finishes else cluster.engine.now
+        if result is not None:
+            self.elapsed_app_s = getattr(result, "elapsed_s", None)
+            self.wall_s = getattr(result, "wall_s", None)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "attr.captures", "attribution captures finalized").inc()
+            self.metrics.counter(
+                "attr.waits", "blocking waits recorded").inc(len(self.waits))
+            self.metrics.counter(
+                "attr.sends", "messages recorded").inc(len(self.sends))

@@ -1,0 +1,124 @@
+"""Critical-path extraction over the inter-rank dependency graph.
+
+The walk runs *backward* from the job's terminal rank at its finish
+time.  On the current rank it alternates compute spans (the gaps
+between blocking waits) and wait spans; at a wait that blocked on a
+message (late-sender, or an imbalanced collective step) the path jumps
+to the sending rank at the message's injection time — the classic
+zigzag that explains how one frozen node stalls the whole job: the
+path repeatedly routes *through* whichever node was last in SMM.
+
+Each path segment is charged against ground truth:
+
+* compute segments overlapping the segment rank's own node's SMM
+  windows are **direct theft on the critical path**;
+* wait segments overlapping the *peer's* node's SMM windows are
+  **theft behind waits** — SMI time propagated through the dependency
+  graph rather than suffered locally.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.obs.attr.profile import LATE_RECEIVER, RunProfile
+from repro.simx.timeline import Timeline
+
+__all__ = ["CPSegment", "CriticalPath", "critical_path"]
+
+
+@dataclass
+class CPSegment:
+    """One span of the (backward-constructed, forward-ordered) path."""
+
+    rank: int
+    t0_ns: int
+    t1_ns: int
+    kind: str                 # "compute" | "wait"
+    peer: Optional[int] = None
+    op: Optional[str] = None
+
+    @property
+    def dur_ns(self) -> int:
+        return self.t1_ns - self.t0_ns
+
+
+@dataclass
+class CriticalPath:
+    segments: List[CPSegment] = field(default_factory=list)
+    compute_ns: int = 0
+    wait_ns: int = 0
+    direct_theft_ns: int = 0
+    theft_behind_waits_ns: int = 0
+
+    @property
+    def ranks_visited(self) -> int:
+        return len({s.rank for s in self.segments})
+
+    def nodes_visited(self, profile: RunProfile) -> int:
+        return len({profile.node_of(s.rank) for s in self.segments})
+
+
+def critical_path(profile: RunProfile) -> CriticalPath:
+    """Walk the dependency graph backward from the terminal rank."""
+    cp = CriticalPath()
+    rank = profile.terminal_rank
+    t = profile.ranks[rank].finished_ns
+    if t is None:
+        return cp
+    t0 = profile.t0_ns
+    # Per-rank wait end times for bisection (waits are end-sorted).
+    ends = {r: [w.end_ns for w in ws] for r, ws in profile.waits.items()}
+    segs: List[CPSegment] = []
+    guard = sum(len(ws) for ws in profile.waits.values()) * 2 + 16
+    while t > t0 and guard > 0:
+        guard -= 1
+        ws = profile.waits.get(rank, ())
+        i = bisect_right(ends.get(rank, []), t) - 1
+        w = None
+        # Skip non-blocking waits: a late-receiver wait costs no time and
+        # carries no dependency the path needs to follow.
+        while i >= 0:
+            cand = ws[i]
+            if cand.dur_ns > 0 and cand.cls != LATE_RECEIVER:
+                w = cand
+                break
+            i -= 1
+        if w is None:
+            segs.append(CPSegment(rank, max(t0, t0), t, "compute"))
+            break
+        if w.end_ns < t:
+            segs.append(CPSegment(rank, w.end_ns, t, "compute"))
+        begin = max(t0, w.begin_ns)
+        segs.append(CPSegment(
+            rank, begin, min(t, w.end_ns), "wait", peer=w.peer, op=w.op))
+        send = profile.sends.get(w.seq) if w.seq is not None else None
+        if w.peer is not None and w.peer != rank and send is not None:
+            # Jump to the sender at injection time: everything before the
+            # injection constrains the wait through the sender's timeline.
+            nxt = min(w.begin_ns, max(t0, send.inject_ns))
+            if nxt >= t:
+                break  # cannot make progress; bail out rather than loop
+            rank, t = w.peer, nxt
+        else:
+            if w.begin_ns >= t:
+                break
+            t = w.begin_ns
+    segs.reverse()
+    cp.segments = segs
+    for s in segs:
+        own = profile.smm.get(profile.node_of(s.rank), ())
+        if s.kind == "compute":
+            cp.compute_ns += s.dur_ns
+            cp.direct_theft_ns += Timeline.total_overlap(own, s.t0_ns, s.t1_ns)
+        else:
+            cp.wait_ns += s.dur_ns
+            peer_node = (profile.node_of(s.peer)
+                         if s.peer is not None and s.peer in profile.ranks
+                         else profile.node_of(s.rank))
+            peer_smm = profile.smm.get(peer_node, ())
+            cp.theft_behind_waits_ns += Timeline.total_overlap(
+                peer_smm, s.t0_ns, s.t1_ns)
+    return cp

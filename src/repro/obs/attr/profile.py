@@ -1,0 +1,228 @@
+"""Wait-state classification: raw capture → per-rank run profile.
+
+The taxonomy follows the Scalasca wait-state vocabulary adapted to this
+simulator's ground truth (we know every message's injection, NIC
+queueing, physical arrival, and gate-delayed *visibility* exactly):
+
+* **late_sender** — a point-to-point wait that blocked because the
+  matching message had not yet become visible when the receiver started
+  waiting (the receiver was early; the time is induced by the peer).
+* **late_receiver** — the message was already visible when the wait
+  began (the receiver was late; the wait costs ~nothing, but the count
+  measures buffered/eager slack).
+* **collective** — a wait issued inside a collective region (tags ≥
+  ``COLL_TAG_BASE``); imbalance inside the algorithm's tree/butterfly
+  shows up here, labeled with the operation name.
+
+Each wait also carries its **NIC-queueing share**: the part of the
+blocked span the matching message spent waiting behind earlier traffic
+on the sender's NIC (contention, not sender lateness), plus its
+**gate share**: visibility delay past physical arrival (the receiver's
+own SMM freeze holding delivered bytes hostage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.attr.capture import AttrCapture, SendRec, WaitRec
+
+__all__ = ["ClassifiedWait", "RankProfile", "RunProfile", "build_profile"]
+
+LATE_SENDER = "late_sender"
+LATE_RECEIVER = "late_receiver"
+COLLECTIVE = "collective"
+
+
+@dataclass
+class ClassifiedWait:
+    """One wait with its class and cost split."""
+
+    rank: int
+    begin_ns: int
+    end_ns: int
+    cls: str
+    op: Optional[str] = None       # collective operation name
+    peer: Optional[int] = None     # matched sender rank
+    seq: Optional[int] = None
+    queue_ns: int = 0              # NIC-queueing share of the blocked span
+    gate_ns: int = 0               # receiver-gate (own-SMM) share
+
+    @property
+    def dur_ns(self) -> int:
+        return self.end_ns - self.begin_ns
+
+
+@dataclass
+class RankProfile:
+    """Per-rank totals over the whole job."""
+
+    rank: int
+    node: str
+    lrank: int
+    started_ns: Optional[int]
+    finished_ns: Optional[int]
+    kernel_ns: float
+    true_ns: float
+    stolen_ns: float
+    n_waits: int = 0
+    wait_ns: int = 0
+    late_sender_ns: int = 0
+    late_receiver_ns: int = 0
+    collective_ns: int = 0
+    queue_ns: int = 0
+    gate_ns: int = 0
+    #: own-node SMM residency overlapping this rank's blocked spans — the
+    #: freeze time the rank absorbed *while waiting* (no stolen CPU is
+    #: charged for it, but it is direct theft all the same).
+    smm_wait_ns: int = 0
+    coll_by_op: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class RunProfile:
+    """Everything the decomposition and the critical-path walk consume."""
+
+    t0_ns: int
+    end_ns: int
+    terminal_rank: int
+    elapsed_app_s: Optional[float]
+    wall_s: Optional[float]
+    ranks: Dict[int, RankProfile]
+    waits: Dict[int, List[ClassifiedWait]]
+    sends: Dict[int, SendRec]
+    smm: Dict[str, List[tuple]]
+    smm_total_ns: Dict[str, float]
+    misplacements: Dict[str, int]
+
+    @property
+    def span_ns(self) -> int:
+        return max(1, self.end_ns - self.t0_ns)
+
+    def duty_measured(self) -> float:
+        """Mean measured SMM duty cycle across nodes over the job span."""
+        if not self.smm_total_ns:
+            return 0.0
+        return (sum(self.smm_total_ns.values())
+                / (len(self.smm_total_ns) * self.span_ns))
+
+    def node_of(self, rank: int) -> str:
+        return self.ranks[rank].node
+
+
+def _overlap(a0: int, a1: int, b0: int, b1: int) -> int:
+    lo, hi = max(a0, b0), min(a1, b1)
+    return hi - lo if hi > lo else 0
+
+
+def _classify(w: WaitRec, sends: Dict[int, SendRec]) -> ClassifiedWait:
+    send = sends.get(w.seq) if w.seq is not None else None
+    dur = w.end_ns - w.begin_ns
+    if w.coll is not None:
+        cls = COLLECTIVE
+    elif send is None or send.visible_ns is None:
+        # No matched message (timeout/fault path) — the wait blocked on
+        # something that never became visible; call it late_sender.
+        cls = LATE_SENDER
+    elif dur <= 0 or send.visible_ns <= w.begin_ns:
+        cls = LATE_RECEIVER
+    else:
+        cls = LATE_SENDER
+    out = ClassifiedWait(
+        rank=w.rank, begin_ns=w.begin_ns, end_ns=w.end_ns, cls=cls,
+        op=w.coll, peer=w.msg_src, seq=w.seq,
+    )
+    if send is not None and dur > 0:
+        # NIC-queueing share: the queueing interval clipped to the wait.
+        out.queue_ns = _overlap(
+            send.inject_ns, send.inject_ns + send.queue_ns,
+            w.begin_ns, w.end_ns)
+        if send.eta_ns is not None and send.visible_ns is not None:
+            # Gate share: physically arrived but invisible (receiver SMM).
+            out.gate_ns = _overlap(
+                send.eta_ns, send.visible_ns, w.begin_ns, w.end_ns)
+    return out
+
+
+def build_profile(capture: AttrCapture) -> RunProfile:
+    """Classify every wait and summarize per rank."""
+    if capture.t0_ns is None:
+        raise ValueError("capture saw no communicator; was it attached?")
+    if not capture._finalized:
+        raise ValueError("capture not finalized; run the job first")
+    waits: Dict[int, List[ClassifiedWait]] = {r: [] for r in capture.ranks}
+    ranks: Dict[int, RankProfile] = {}
+    for r, obs in capture.ranks.items():
+        ranks[r] = RankProfile(
+            rank=r, node=obs.node, lrank=obs.lrank,
+            started_ns=obs.started_ns, finished_ns=obs.finished_ns,
+            kernel_ns=obs.kernel_ns, true_ns=obs.true_ns,
+            stolen_ns=obs.stolen_ns,
+        )
+    from repro.simx.timeline import Timeline
+
+    for w in capture.waits:
+        cw = _classify(w, capture.sends)
+        waits[w.rank].append(cw)
+        rp = ranks[w.rank]
+        rp.n_waits += 1
+        rp.wait_ns += cw.dur_ns
+        rp.queue_ns += cw.queue_ns
+        rp.gate_ns += cw.gate_ns
+        if cw.dur_ns > 0:
+            own = capture.smm.get(rp.node)
+            if own:
+                rp.smm_wait_ns += Timeline.total_overlap(
+                    own, cw.begin_ns, cw.end_ns)
+        if cw.cls == COLLECTIVE:
+            rp.collective_ns += cw.dur_ns
+            op = cw.op or "?"
+            rp.coll_by_op[op] = rp.coll_by_op.get(op, 0) + cw.dur_ns
+        elif cw.cls == LATE_SENDER:
+            rp.late_sender_ns += cw.dur_ns
+        else:
+            rp.late_receiver_ns += cw.dur_ns
+    for lst in waits.values():
+        lst.sort(key=lambda cw: (cw.end_ns, cw.begin_ns))
+    finishes = {
+        r: rp.finished_ns for r, rp in ranks.items()
+        if rp.finished_ns is not None
+    }
+    if finishes:
+        end_ns = max(finishes.values())
+        terminal = min(r for r, f in finishes.items() if f == end_ns)
+    else:
+        end_ns = capture.t_end_ns or capture.t0_ns
+        terminal = 0
+    prof = RunProfile(
+        t0_ns=capture.t0_ns,
+        end_ns=end_ns,
+        terminal_rank=terminal,
+        elapsed_app_s=capture.elapsed_app_s,
+        wall_s=capture.wall_s,
+        ranks=ranks,
+        waits=waits,
+        sends=capture.sends,
+        smm=capture.smm,
+        smm_total_ns=capture.smm_total_ns,
+        misplacements=capture.misplacements,
+    )
+    m = capture.metrics
+    if m is not None:
+        ls = sum(rp.late_sender_ns for rp in ranks.values())
+        co = sum(rp.collective_ns for rp in ranks.values())
+        m.counter("attr.wait.late_sender_ns",
+                  "blocked time classified late-sender").inc(ls)
+        m.counter("attr.wait.collective_ns",
+                  "blocked time inside collective regions").inc(co)
+        m.counter("attr.wait.late_receiver",
+                  "waits whose message was already visible").inc(
+            sum(1 for lst in waits.values()
+                for cw in lst if cw.cls == LATE_RECEIVER))
+        h = m.histogram("attr.wait_ns", "blocking-wait durations")
+        for lst in waits.values():
+            for cw in lst:
+                if cw.dur_ns > 0:
+                    h.observe(cw.dur_ns)
+    return prof

@@ -217,6 +217,61 @@ class MetricsRegistry:
                 raise ValueError(
                     f"cannot merge snapshot entry {name!r} of type {kind!r}")
 
+    def render_prom(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition format (textfile-collector ready).
+
+        Dotted names are mangled to underscores under ``prefix``
+        (``attr.wait.late_sender_ns`` → ``repro_attr_wait_late_sender_ns``).
+        Counters gain the conventional ``_total`` suffix; gauges emit
+        their level plus a ``_high`` companion for the high-water mark;
+        histograms emit cumulative ``_bucket{le="..."}`` series ending in
+        ``+Inf`` plus ``_sum``/``_count``.  Instruments render in sorted
+        name order and the only label (``le``) is emitted in bucket
+        order, so output for equal registry contents is byte-stable —
+        diffs of two scrapes show only value changes.
+        """
+
+        def mangle(name: str) -> str:
+            base = "".join(
+                ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+            return f"{prefix}_{base}"
+
+        def fmt(v: Number) -> str:
+            if isinstance(v, int):
+                return str(v)
+            f = float(v)
+            return str(int(f)) if f.is_integer() else repr(f)
+
+        lines: List[str] = []
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            m = mangle(name)
+            help_text = getattr(inst, "help", "") or name
+            help_text = help_text.replace("\\", r"\\").replace("\n", r"\n")
+            if isinstance(inst, Counter):
+                lines.append(f"# HELP {m}_total {help_text}")
+                lines.append(f"# TYPE {m}_total counter")
+                lines.append(f"{m}_total {fmt(inst.value)}")
+            elif isinstance(inst, Gauge):
+                lines.append(f"# HELP {m} {help_text}")
+                lines.append(f"# TYPE {m} gauge")
+                lines.append(f"{m} {fmt(inst.value)}")
+                lines.append(f"# HELP {m}_high high-water mark of {name}")
+                lines.append(f"# TYPE {m}_high gauge")
+                lines.append(f"{m}_high {fmt(inst.high)}")
+            else:
+                h: Histogram = inst  # type: ignore[assignment]
+                lines.append(f"# HELP {m} {help_text}")
+                lines.append(f"# TYPE {m} histogram")
+                cum = 0
+                for b, c in zip(h.buckets, h.counts):
+                    cum += c
+                    lines.append(f'{m}_bucket{{le="{b:g}"}} {cum}')
+                lines.append(f'{m}_bucket{{le="+Inf"}} {h.count}')
+                lines.append(f"{m}_sum {fmt(h.sum)}")
+                lines.append(f"{m}_count {h.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
     def render(self) -> str:
         """Human-readable dump (one instrument per line; histograms show
         count/mean and the occupied buckets)."""

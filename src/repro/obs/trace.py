@@ -17,9 +17,14 @@ Track layout (viewable in Perfetto / ``chrome://tracing``):
 * thread 3: network activity — each message is an ``X`` slice on the
   sender spanning injection→delivery, connected to a delivery marker on
   the receiver by a flow arrow (``s``/``f``);
+* thread 7: counter tracks (``"ph": "C"``) — cumulative per-node SMM
+  residency (so Perfetto plots the duty cycle directly) and cumulative
+  per-rank MPI wait time;
 * threads 10+cpu: task compute-segment placements as duration events
   (recorded only when placement tracing is switched on, see
-  :attr:`repro.sched.scheduler.Scheduler.trace_placements`).
+  :attr:`repro.sched.scheduler.Scheduler.trace_placements`);
+* threads 40+lrank: per-rank blocking-wait spans (``mpi.wait`` records,
+  emitted when wait tracing is on — ``repro-smm trace``/``explain``).
 
 The JSONL writer is the compact archival form: one timeline record per
 line, suitable for ``grep``/``jq`` and for streaming out of long runs.
@@ -39,13 +44,16 @@ TID_SMM = 0
 TID_IRQ = 1
 TID_SCHED = 2
 TID_NET = 3
+TID_CTR = 7
 TID_CPU_BASE = 10
+TID_WAIT_BASE = 40
 
 _THREAD_NAMES = {
     TID_SMM: "SMM",
     TID_IRQ: "irq",
     TID_SCHED: "sched",
     TID_NET: "net",
+    TID_CTR: "counters",
 }
 
 
@@ -79,6 +87,7 @@ def chrome_trace_events(
 
     events: List[Dict] = []
     used_tids: Dict[int, set] = {}
+    tid_labels: Dict[tuple, str] = {}
 
     def mark(pid: int, tid: int) -> None:
         used_tids.setdefault(pid, set()).add(tid)
@@ -86,6 +95,9 @@ def chrome_trace_events(
     # Open SMM windows and in-flight task segments, keyed for pairing.
     smm_open: Dict[str, TraceRecord] = {}
     seg_open: Dict[tuple, TraceRecord] = {}
+    # Running totals behind the counter tracks.
+    smm_cum: Dict[str, int] = {}
+    wait_cum: Dict[tuple, int] = {}
 
     for rec in timeline:
         pid = pid_of(rec.where)
@@ -115,6 +127,51 @@ def chrome_trace_events(
                     "exit_ns": rec.time,
                     "duration_ns": span_ns,
                 },
+            })
+            smm_cum[rec.where] = smm_cum.get(rec.where, 0) + span_ns
+            mark(pid, TID_CTR)
+            events.append({
+                "name": "SMM residency (ms)",
+                "cat": "counter",
+                "ph": "C",
+                "ts": _us(rec.time),
+                "pid": pid,
+                "tid": TID_CTR,
+                "args": {"ms": smm_cum[rec.where] / 1e6},
+            })
+        elif rec.kind == "mpi.wait":
+            rank = rec.data.get("rank", 0)
+            lrank = rec.data.get("lrank", 0)
+            dur_ns = rec.data.get("dur_ns", 0)
+            begin_ns = rec.data.get("begin_ns", rec.time - dur_ns)
+            tid = TID_WAIT_BASE + lrank
+            mark(pid, tid)
+            tid_labels[(pid, tid)] = f"rank {rank} wait"
+            events.append({
+                "name": f"wait:{rec.data.get('cls', 'p2p')}",
+                "cat": "mpi",
+                "ph": "X",
+                "ts": _us(begin_ns),
+                "dur": _us(dur_ns),
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "end_ns": begin_ns + dur_ns,
+                    "duration_ns": dur_ns,
+                    **rec.data,
+                },
+            })
+            key = (pid, rank)
+            wait_cum[key] = wait_cum.get(key, 0) + dur_ns
+            mark(pid, TID_CTR)
+            events.append({
+                "name": f"MPI wait r{rank} (ms)",
+                "cat": "counter",
+                "ph": "C",
+                "ts": _us(rec.time),
+                "pid": pid,
+                "tid": TID_CTR,
+                "args": {"ms": wait_cum[key] / 1e6},
             })
         elif rec.kind == "irq.deliver":
             mark(pid, TID_IRQ)
@@ -233,7 +290,8 @@ def chrome_trace_events(
             "args": {"name": where},
         })
         for tid in sorted(used_tids.get(pid, ())):
-            label = _THREAD_NAMES.get(tid, f"cpu{tid - TID_CPU_BASE}")
+            label = tid_labels.get((pid, tid)) or _THREAD_NAMES.get(
+                tid, f"cpu{tid - TID_CPU_BASE}")
             meta.append({
                 "name": "thread_name",
                 "ph": "M",

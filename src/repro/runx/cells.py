@@ -36,7 +36,15 @@ def nas_cell(params: Dict, seed: int, metrics=None) -> Dict:
     seeded :class:`~repro.faults.FaultInjector` each, and a run killed by
     its faults raises :class:`~repro.faults.FaultedRunError` so the runner
     records the cell ``failed-in-sim``.  Without faults this is exactly
-    the legacy path."""
+    the legacy path.
+
+    When the spec carries ``params["attr"]`` (the harness's ``--attr``
+    rewrite) each noisy cell additionally runs the attribution engine on
+    its first repetition's seed and attaches the resulting ``attribution``
+    report to the payload — omitted for infeasible and zero-SMI cells.
+    The attribution runs are separate capture-enabled replays, so the
+    averaged ``values`` stay bit-identical to a sweep without ``--attr``.
+    """
     from repro.apps.nas.params import NasClass
     from repro.apps.nas.study import NasConfig, run_nas_config
 
@@ -53,7 +61,19 @@ def nas_cell(params: Dict, seed: int, metrics=None) -> Dict:
         reps=params["reps"],
         base_seed=seed,
     )
-    return {"values": m.values if m is not None else None}
+    payload: Dict[str, Any] = {"values": m.values if m is not None else None}
+    if params.get("attr") and params["smm"] and m is not None:
+        from repro.obs.attr import attribute_cell
+
+        a = attribute_cell(
+            params["bench"], cls=params["cls"], nodes=params["nodes"],
+            rpn=params["rpn"], smm=params["smm"],
+            seed=rep_seed(seed, 0), htt=params.get("htt", False),
+            metrics=metrics,
+        )
+        if a is not None:
+            payload["attribution"] = a.report
+    return payload
 
 
 def _nas_cell_faulted(cfg, params: Dict, seed: int, metrics, fault_rules) -> Dict:

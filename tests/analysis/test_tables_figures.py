@@ -77,3 +77,23 @@ def test_ascii_chart_renders_all_series_marks():
 
 def test_ascii_chart_empty():
     assert "empty" in ascii_chart([])
+
+
+def test_ascii_chart_interior_tick_labels():
+    s = Series("one", [(0, 0.0), (10, 8.0)])
+    text = ascii_chart([s], width=40, height=9)
+    # ends plus the quarter lines: 8, 6, 4, 2, 0
+    for label in ("8 ┤", "6 ┤", "4 ┤", "2 ┤", "0 ┤"):
+        assert label in text, f"missing y tick {label!r}"
+
+
+def test_ascii_chart_shared_scale_clamps():
+    lo = Series("lo", [(0, 0.0), (1, 1.0)])
+    hi = Series("hi", [(0, 0.0), (1, 10.0)])
+    # Shared y range across two charts: same header/footer labels.
+    a = ascii_chart([lo], height=8, y_min=0.0, y_max=10.0)
+    b = ascii_chart([hi], height=8, y_min=0.0, y_max=10.0)
+    assert a.splitlines()[0].split("┤")[0] == b.splitlines()[0].split("┤")[0]
+    # Points above the pinned range clamp to the top row, not crash.
+    clipped = ascii_chart([hi], height=8, y_min=0.0, y_max=5.0)
+    assert clipped.splitlines()[0].strip().startswith("5")

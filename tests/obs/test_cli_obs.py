@@ -72,3 +72,36 @@ def test_package_root_has_null_handler():
 
     handlers = logging.getLogger("repro").handlers
     assert any(isinstance(h, logging.NullHandler) for h in handlers)
+
+
+def test_cli_explain_quick(tmp_path, capsys):
+    report = tmp_path / "r.json"
+    trace = tmp_path / "t.trace.json"
+    assert main(["explain", "--quick", "--report", str(report),
+                 "--trace", str(trace)]) == 0
+    printed = capsys.readouterr().out
+    assert "noise attribution" in printed
+    assert "direct SMI theft" in printed
+    assert "-> OK" in printed
+    r = json.loads(report.read_text())
+    assert r["bench"] == "EP" and r["conservation"]["ok"]
+    doc = json.loads(trace.read_text())
+    assert any(e.get("cat") == "mpi" for e in doc["traceEvents"])
+    assert any(e.get("ph") == "C" for e in doc["traceEvents"])
+
+
+def test_cli_explain_rejects_smm0(capsys):
+    assert main(["explain", "--quick", "--smm", "0"]) == 2
+
+
+def test_cli_explain_infeasible_config(capsys):
+    # BT needs a square rank count: 2 nodes × 1 rank is infeasible.
+    assert main(["explain", "--bench", "BT", "--nodes", "2"]) == 2
+
+
+def test_cli_metrics_format_prom(capsys):
+    assert main(["explain", "--quick", "--metrics",
+                 "--metrics-format", "prom"]) == 0
+    printed = capsys.readouterr().out
+    assert "# TYPE repro_attr_cells_total counter" in printed
+    assert "repro_attr_cells_total 1" in printed

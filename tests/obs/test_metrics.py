@@ -138,3 +138,48 @@ def test_engine_instrument_counts_exact():
     assert reg.get("engine.events.scheduled").value == 5
     assert reg.get("engine.events.fired").value == 5
     assert reg.get("engine.heap.depth").high >= 1
+
+
+def test_render_prom_counters_gauges():
+    reg = MetricsRegistry()
+    reg.counter("attr.cells", "cells attributed").inc(3)
+    g = reg.gauge("sched.runnable", "segments resident")
+    g.set(5)
+    g.set(2)
+    text = reg.render_prom()
+    assert "# HELP repro_attr_cells_total cells attributed" in text
+    assert "# TYPE repro_attr_cells_total counter" in text
+    assert "repro_attr_cells_total 3" in text
+    assert "repro_sched_runnable 2" in text
+    assert "repro_sched_runnable_high 5" in text
+    assert text.endswith("\n")
+
+
+def test_render_prom_histogram_is_cumulative():
+    reg = MetricsRegistry()
+    h = reg.histogram("net.delay_ns", "delays", buckets=(10, 100, 1000))
+    for v in (5, 5, 50, 5000):
+        h.observe(v)
+    text = reg.render_prom()
+    assert '# TYPE repro_net_delay_ns histogram' in text
+    assert 'repro_net_delay_ns_bucket{le="10"} 2' in text
+    assert 'repro_net_delay_ns_bucket{le="100"} 3' in text
+    assert 'repro_net_delay_ns_bucket{le="1000"} 3' in text
+    assert 'repro_net_delay_ns_bucket{le="+Inf"} 4' in text
+    assert "repro_net_delay_ns_sum 5060" in text
+    assert "repro_net_delay_ns_count 4" in text
+
+
+def test_render_prom_is_byte_stable():
+    def build():
+        reg = MetricsRegistry()
+        reg.counter("b.second").inc(2)
+        reg.counter("a.first").inc(1)
+        reg.histogram("c.h", buckets=(1, 2)).observe(1.5)
+        return reg.render_prom()
+
+    one, two = build(), build()
+    assert one == two
+    # sorted by mangled name regardless of registration order
+    lines = [ln for ln in one.splitlines() if not ln.startswith("#")]
+    assert lines[0].startswith("repro_a_first_total")

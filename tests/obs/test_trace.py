@@ -7,8 +7,10 @@ from repro.analysis.traces import smm_residency
 from repro.apps.nas.params import NasClass
 from repro.apps.nas.study import NasConfig, run_nas_config
 from repro.obs.trace import (
+    TID_CTR,
     TID_NET,
     TID_SMM,
+    TID_WAIT_BASE,
     chrome_trace_events,
     write_chrome_trace,
     write_jsonl,
@@ -133,3 +135,41 @@ def test_write_jsonl_round_trip_and_kind_filter():
         json.loads(l)["kind"].startswith("smm.")
         for l in buf2.getvalue().splitlines()
     )
+
+
+def test_wait_slices_and_counter_tracks():
+    tl = Timeline()
+    tl.record(100, "smm.enter", "node0")
+    tl.record(300, "smm.exit", "node0")
+    tl.record(500, "mpi.wait", "node0", rank=0, lrank=0,
+              begin_ns=200, dur_ns=300, cls="p2p", src=1)
+    tl.record(900, "mpi.wait", "node0", rank=0, lrank=0,
+              begin_ns=700, dur_ns=200, cls="coll", src=-1)
+    evs = chrome_trace_events(tl)
+    waits = [e for e in evs if e.get("cat") == "mpi"]
+    assert [e["name"] for e in waits] == ["wait:p2p", "wait:coll"]
+    assert waits[0]["tid"] == TID_WAIT_BASE
+    assert waits[0]["ts"] == 0.2 and waits[0]["dur"] == 0.3
+    assert waits[0]["args"]["duration_ns"] == 300
+    # Counter tracks: cumulative SMM residency and per-rank wait time.
+    ctrs = [e for e in evs if e.get("ph") == "C"]
+    assert all(e["tid"] == TID_CTR for e in ctrs)
+    by_name = {}
+    for e in ctrs:
+        by_name.setdefault(e["name"], []).append(e["args"]["ms"])
+    assert by_name["SMM residency (ms)"] == [200 / 1e6]
+    assert by_name["MPI wait r0 (ms)"] == [300 / 1e6, 500 / 1e6]
+    # The wait track is labeled with its rank.
+    labels = {e["args"]["name"] for e in evs if e.get("name") == "thread_name"}
+    assert "rank 0 wait" in labels and "counters" in labels
+
+
+def test_traced_run_carries_wait_slices():
+    tl = _traced_quick_run(smm=2)
+    evs = chrome_trace_events(tl)
+    waits = [e for e in evs if e.get("cat") == "mpi"]
+    assert waits, "trace=True runs must record mpi.wait spans"
+    # Every slice re-encodes its exact span and lands on a wait track.
+    for e in waits:
+        assert e["tid"] >= TID_WAIT_BASE
+        assert e["args"]["duration_ns"] == e["args"]["dur_ns"]
