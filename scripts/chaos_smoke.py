@@ -20,7 +20,14 @@ must kill exactly the matched cell in simulation — exit 1, a
 ``failed-in-sim`` manifest row rendered as "-", a resumable journal that
 reproduces the same deterministic failure on --resume.
 
-Usage: chaos_smoke.py [WORKDIR] [--faults]
+With ``--serve`` it runs the same kill/hang/corrupt/flake chaos plans
+against the *serve daemon's* long-lived workers instead (drill 5): the
+plan rides into the daemon via ``$REPRO_CHAOS_PLAN``, each fault class
+wrecks one cell's first attempt, and the supervised pool must recover
+every one of them (watchdog for hangs, respawn for kills, protocol
+validation for corruption) with attempts=2 and correct values.
+
+Usage: chaos_smoke.py [WORKDIR] [--faults | --serve]
 """
 
 import json
@@ -90,6 +97,72 @@ def main_faults(work):
     return 0
 
 
+def main_serve(work):
+    """Drill 5 (wired into the CI ``serve-smoke`` job): every chaos fault
+    class thrown at the daemon's supervised workers is recovered."""
+    here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = os.path.join(here, "src")
+    if os.path.isdir(os.path.join(src, "repro")):
+        sys.path.insert(0, src)
+    from repro.runx import CellSpec
+    from repro.runx.cells import run_cell
+    from repro.serve import ServeClient, ServeError
+
+    cells = {
+        fault: CellSpec(id=f"chaos {fault}", fn="synthetic",
+                        params={"value": float(i)}, base_seed=40 + i)
+        for i, fault in enumerate(("kill", "hang", "corrupt", "flake"))
+    }
+    plan = os.path.join(work, "serve-plan.json")
+    with open(plan, "w") as fp:
+        json.dump([{"match": spec.id, "fault": fault, "attempts": [0],
+                    "hang_s": 3600.0}
+                   for fault, spec in cells.items()], fp)
+
+    print("== drill 5: kill/hang/corrupt/flake against daemon workers ==")
+    state = os.path.join(work, "serve-state")
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--state-dir", state,
+         "--workers", "2", "--timeout", "5", "--hb-timeout", "10"],
+        env=_env(REPRO_CHAOS_PLAN=plan), cwd=work,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    client = ServeClient(socket_path=os.path.join(state, "serve.sock"),
+                         timeout_s=120)
+    deadline = time.monotonic() + 120
+    while True:
+        try:
+            client.status()
+            break
+        except ServeError:
+            assert daemon.poll() is None, "daemon died at boot"
+            assert time.monotonic() < deadline, "daemon never answered"
+            time.sleep(0.1)
+    try:
+        rep = client.submit([s.to_record() for s in cells.values()])
+        by_id = {c["id"]: c for c in rep["cells"]}
+        for fault, spec in cells.items():
+            cell = by_id[spec.id]
+            assert cell["status"] == "ok", (fault, cell)
+            assert cell["attempts"] == 2, \
+                f"{fault}: expected exactly one chaos-eaten attempt: {cell}"
+            assert cell["value"] == run_cell(
+                spec.fn, spec.params, spec.base_seed), \
+                f"{fault}: recovered value drifted"
+        c = client.status()["counters"]
+        assert c["serve.jobs.requeued"] == 4, c
+        assert c["serve.jobs.timeouts"] >= 1, c       # the hang
+        assert c["serve.workers.restarts"] >= 3, c    # kill/corrupt/flake
+        assert c["serve.protocol.garbage"] >= 1, c    # the corrupt fault
+        assert c["serve.jobs.quarantined"] == 0, c
+    finally:
+        if daemon.poll() is None:
+            daemon.send_signal(signal.SIGTERM)
+            daemon.wait(timeout=60)
+    print("ok: all four chaos fault classes recovered by the pool "
+          "(one retry each, values identical to clean runs)")
+    return 0
+
+
 def main(argv):
     flags = [a for a in argv[1:] if a.startswith("--")]
     positional = [a for a in argv[1:] if not a.startswith("--")]
@@ -98,6 +171,8 @@ def main(argv):
     os.makedirs(work, exist_ok=True)
     if "--faults" in flags:
         return main_faults(work)
+    if "--serve" in flags:
+        return main_serve(work)
     base = ["table2", "--quick"]
 
     print("== clean baseline ==")

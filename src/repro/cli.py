@@ -13,6 +13,11 @@ Subcommands regenerate the paper's artifacts or run the tools:
   paper's numbers.  Exits 3 if the conservation check fails.
 * ``detect`` — run the hwlat-style gap detector on the *host*.
 * ``calibrate`` — print the calibration derivation.
+* ``serve`` — run the sweep-serving daemon (`repro.serve`): durable job
+  queue, supervised worker pool, content-addressed result cache.
+* ``submit`` — send a table/figure sweep to a running daemon and render
+  the result (repeat submissions are served from cache).
+* ``status`` — query a running daemon (queue depth, workers, cache).
 
 Use ``--quick`` everywhere for a reduced matrix (class A, 1 repetition);
 output is the paper-layout text table (add ``--csv`` for CSV).
@@ -49,6 +54,10 @@ checkpoint journal, and graceful degradation — failed cells render as
   cell: each cell's manifest record gains an ``attribution`` block
   (slowdown decomposition, wait-state census, critical-path summary)
   computed from a capture-enabled replay of the cell's first repetition.
+
+SIGINT/SIGTERM during a resilient sweep drains gracefully: in-flight
+cells finish and are journaled, then the command exits 130 with the
+``--resume`` hint — never a torn sweep.  A second signal aborts hard.
 """
 
 from __future__ import annotations
@@ -268,11 +277,13 @@ def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
     stays behind for ``--resume`` and the exit code is 1.
     """
     import os
+    import signal
 
     from repro.obs import MetricsRegistry, RunManifest
     from repro.runx import (
         FAILED_IN_SIM,
         Journal,
+        LockHeldError,
         SweepRunner,
         load_resume,
         part_path,
@@ -354,17 +365,6 @@ def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
         manifest.plan_cell(id=spec.id, fn=spec.fn,
                            base_seed=spec.base_seed, **spec.params)
     journal = Journal(manifest_path)
-    if not os.path.exists(part_path(manifest_path)):
-        header = {"command": args.cmd, "quick": quick, "reps": reps,
-                  "seed": seed}
-        if fault_plan_path:
-            header["fault_plan"] = fault_plan_path
-        if attr:
-            header["attr"] = True
-        journal.write_header(header)
-        for prior in completed.values():
-            journal.append(prior)
-
     registry = MetricsRegistry() if args.metrics else None
     progress = (
         (lambda msg: print(msg, file=sys.stderr)) if args.verbose else None)
@@ -373,7 +373,46 @@ def _resilient_run(args: argparse.Namespace, specs_fn, render_fn,
         metrics=registry, manifest=manifest, journal=journal,
         progress=progress,
     )
-    results = runner.run(specs, completed=completed)
+
+    resume_hint = f"repro-smm {args.cmd} --resume {manifest_path}"
+
+    def _on_signal(signum, frame):
+        if runner.draining:
+            raise KeyboardInterrupt  # second signal: abort hard
+        runner.request_drain()
+        name = signal.Signals(signum).name
+        print(f"{name}: draining — in-flight cells will finish and be "
+              f"journaled (send again to abort)", file=sys.stderr)
+
+    previous_handlers = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous_handlers[signum] = signal.signal(signum, _on_signal)
+        except ValueError:  # pragma: no cover — not the main thread
+            pass
+    try:
+        if not os.path.exists(part_path(manifest_path)):
+            header = {"command": args.cmd, "quick": quick, "reps": reps,
+                      "seed": seed}
+            if fault_plan_path:
+                header["fault_plan"] = fault_plan_path
+            if attr:
+                header["attr"] = True
+            journal.write_header(header)
+            for prior in completed.values():
+                journal.append(prior)
+        results = runner.run(specs, completed=completed)
+    except LockHeldError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+        journal.close()  # the flock must not outlive the run
+    if runner.draining:
+        print(f"sweep drained: {len(results)}/{len(specs)} cells complete "
+              f"and journaled\nresume with: {resume_hint}", file=sys.stderr)
+        return 130
     print(render_fn(quick, results))
     if registry is not None:
         _print_metrics(args, registry)
@@ -608,6 +647,236 @@ def _explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_builders(what: str, csv: bool):
+    """``(specs_fn, render_fn)`` for a submittable sweep name — the same
+    builders the table/figure subcommands use, so a served sweep renders
+    byte-identically to a local one."""
+    mpi = {"table1": "BT", "table2": "EP", "table3": "FT"}
+    htt = {"table4": "EP", "table5": "FT"}
+    if what in mpi:
+        from repro.harness.mpi_tables import (
+            assemble_table, render, table_cell_specs)
+
+        bench = mpi[what]
+        return (
+            lambda quick, reps, seed: table_cell_specs(
+                bench, quick, reps, seed),
+            lambda quick, results: render(
+                bench, assemble_table(bench, quick, results), csv=csv),
+        )
+    if what in htt:
+        from repro.harness.htt_tables import (
+            assemble_htt_table, htt_cell_specs, render_htt)
+
+        bench = htt[what]
+        return (
+            lambda quick, reps, seed: htt_cell_specs(
+                bench, quick, reps, seed),
+            lambda quick, results: render_htt(
+                bench, assemble_htt_table(bench, quick, results)),
+        )
+    if what == "figure1":
+        from repro.harness.figure1 import assemble_figure1, figure1_cell_specs
+
+        return (
+            lambda quick, reps, seed: figure1_cell_specs(quick, seed),
+            lambda quick, results: __import__(
+                "repro.harness.figure1", fromlist=["render_figure1"],
+            ).render_figure1(assemble_figure1(quick, results), csv=csv),
+        )
+    if what == "figure2":
+        from repro.harness.figure2 import assemble_figure2, figure2_cell_specs
+
+        return (
+            lambda quick, reps, seed: figure2_cell_specs(quick, seed),
+            lambda quick, results: __import__(
+                "repro.harness.figure2", fromlist=["render_figure2"],
+            ).render_figure2(assemble_figure2(quick, results), csv=csv),
+        )
+    raise ValueError(f"unknown sweep {what!r}")
+
+
+def _parse_hostport(text: str):
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _client_from_args(args: argparse.Namespace):
+    from repro.serve import ServeClient
+
+    if getattr(args, "tcp", None):
+        return ServeClient(tcp=args.tcp, timeout_s=args.wait_timeout)
+    return ServeClient(socket_path=args.socket, timeout_s=args.wait_timeout)
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """Run the sweep-serving daemon in the foreground."""
+    from repro.runx import LockHeldError
+    from repro.serve import ServeConfig
+    from repro.serve.daemon import run
+
+    config = ServeConfig(
+        state_dir=args.state_dir,
+        socket_path=args.socket,
+        tcp=args.tcp,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        hb_timeout_s=args.hb_timeout,
+        max_attempts=args.max_attempts,
+        max_pending=args.max_pending,
+    )
+    try:
+        return run(config)
+    except LockHeldError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _submit(args: argparse.Namespace) -> int:
+    """Send one sweep to a running daemon; render the served results."""
+    import json
+
+    from repro.obs import RunManifest
+    from repro.runx import FAILED, FAILED_IN_SIM, OK, CellResult
+    from repro.serve import ServeError
+
+    quick, seed = args.quick, args.seed
+    reps = args.reps if args.reps is not None else (1 if quick else 3)
+    specs_fn, render_fn = _sweep_builders(args.what, args.csv)
+    specs = specs_fn(quick, reps, seed)
+    if args.attr:
+        specs = _with_attr(specs)
+    plan, fault_plan_path, plan_err = _load_fault_plan(args.fault_plan)
+    if plan_err is not None:
+        print(f"error: {plan_err}", file=sys.stderr)
+        return 2
+    if plan is not None:
+        specs, hit = _with_faults(specs, plan)
+        print(f"fault plan {fault_plan_path}: {len(plan.rules)} rules, "
+              f"{hit}/{len(specs)} cells armed", file=sys.stderr)
+    client = _client_from_args(args)
+    try:
+        rep = client.submit([s.to_record() for s in specs], wait=True)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3 if exc.code in ("saturated", "draining") else 2
+    by_id = {e["id"]: e for e in rep.get("cells", [])}
+    results = {}
+    for spec in specs:
+        e = by_id.get(spec.id)
+        if e is None:
+            continue
+        status = e.get("status")
+        if status == "ok":
+            results[spec.id] = CellResult(
+                id=spec.id, status=OK, value=e.get("value"),
+                attempts=e.get("attempts", 1), seed=spec.base_seed,
+                digest=e.get("digest"))
+        else:
+            results[spec.id] = CellResult(
+                id=spec.id,
+                status=FAILED_IN_SIM if status == "failed-in-sim" else FAILED,
+                attempts=e.get("attempts", 1), seed=spec.base_seed,
+                error=e.get("error"), digest=e.get("digest"),
+                fault=e.get("fault"))
+    print(render_fn(quick, results))
+    stats = rep.get("stats", {})
+    print("served: "
+          f"{stats.get('cached', 0)} cached, "
+          f"{stats.get('coalesced', 0)} coalesced, "
+          f"{stats.get('submitted', 0)} computed, "
+          f"{stats.get('quarantined', 0)} quarantined", file=sys.stderr)
+    if args.out:
+        # Deterministic results document: digests + payloads only, no
+        # timestamps — two byte-identical files mean two identical runs.
+        doc = {
+            "schema": 1,
+            "what": args.what,
+            "params": {"quick": quick, "reps": reps, "seed": seed},
+            "cells": {
+                r.id: {"digest": r.digest, "status": r.status,
+                       "value": r.value}
+                for r in results.values()
+            },
+        }
+        with open(args.out, "w", encoding="utf-8") as fp:
+            json.dump(doc, fp, indent=1, sort_keys=True)
+            fp.write("\n")
+        print(f"results written to {args.out}", file=sys.stderr)
+    if args.manifest:
+        manifest = RunManifest(
+            command=args.what, mode="served",
+            params={"quick": quick, "reps": reps, "seed": seed,
+                    "endpoint": args.socket or f"{args.tcp[0]}:{args.tcp[1]}",
+                    **({"fault_plan": fault_plan_path}
+                       if fault_plan_path else {}),
+                    **({"attr": True} if args.attr else {})})
+        for spec in specs:
+            manifest.plan_cell(id=spec.id, fn=spec.fn,
+                               base_seed=spec.base_seed, **spec.params)
+        for r in results.values():
+            e = by_id.get(r.id, {})
+            manifest.add_cell(
+                r.id, **{**{k: v for k, v in r.to_record().items()
+                            if k != "kind"},
+                         "cached": bool(e.get("cached")),
+                         "coalesced": bool(e.get("coalesced"))})
+        path = args.manifest
+        if path == "auto":
+            path = f"{args.what}.served.manifest.json"
+        manifest.write(path)
+        print(f"manifest written to {path}", file=sys.stderr)
+    failed = sorted(r.id for r in results.values() if not r.ok)
+    if failed or len(results) != len(specs):
+        shown = ", ".join(failed[:8]) + (" …" if len(failed) > 8 else "")
+        print(f"{len(failed)}/{len(specs)} cells failed: {shown}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _serve_status(args: argparse.Namespace) -> int:
+    """Query a running daemon."""
+    import json
+
+    from repro.serve import ServeError
+
+    client = _client_from_args(args)
+    try:
+        if args.prom:
+            print(client.metrics(), end="")
+            return 0
+        st = client.status()
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(st, indent=2, sort_keys=True))
+        return 0
+    workers = st.get("workers", [])
+    busy = sum(1 for w in workers if w.get("state") == "busy")
+    print(f"serve: up {st.get('uptime_s', 0):.1f}s, "
+          f"{len(workers)} workers ({busy} busy), "
+          f"{st.get('inflight', 0)} in flight, "
+          f"{st.get('queued', 0)} queued, "
+          f"{st.get('quarantined', 0)} quarantined"
+          + (", DRAINING" if st.get("draining") else ""))
+    cache = st.get("cache", {})
+    print(f"cache: {cache.get('entries', 0)} entries at "
+          f"{cache.get('root', '?')}")
+    for w in workers:
+        print(f"  worker {w['slot']}: pid {w.get('pid')} {w['state']}"
+              + (f" job {w['job']}" if w.get("job") else "")
+              + f" ({w['jobs_done']} done, {w['restarts']} restarts)")
+    counters = st.get("counters", {})
+    for name in sorted(counters):
+        print(f"  {name:<32} {counters[name]:g}")
+    return 0
+
+
 def _detect(args: argparse.Namespace) -> int:
     from repro.core.detector import host_gap_scan
 
@@ -722,6 +991,65 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser("calibrate", help="print calibration derivation")
     _add_common(p)
     p.set_defaults(fn=_calibrate)
+    p = sub.add_parser(
+        "serve",
+        help="run the sweep-serving daemon (durable queue, worker pool, "
+             "content-addressed result cache)")
+    p.add_argument("--state-dir", default="serve-state",
+                   help="journal, cache, lock, and default socket live here")
+    p.add_argument("--socket", default=None,
+                   help="unix socket path (default <state-dir>/serve.sock)")
+    p.add_argument("--tcp", type=_parse_hostport, default=None,
+                   metavar="HOST:PORT", help="also listen on TCP")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--timeout", type=_positive_float, default=300.0,
+                   help="per-cell watchdog deadline in seconds")
+    p.add_argument("--hb-timeout", type=_positive_float, default=10.0,
+                   help="kill a worker whose heartbeats stop for this long")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="quarantine a cell after this many failed attempts")
+    p.add_argument("--max-pending", type=int, default=256,
+                   help="reject submissions past this many in-flight cells")
+    p.set_defaults(fn=_serve)
+    p = sub.add_parser(
+        "submit", help="send a table/figure sweep to a running daemon")
+    p.add_argument("what", choices=("table1", "table2", "table3", "table4",
+                                    "table5", "figure1", "figure2"))
+    p.add_argument("--quick", action="store_true",
+                   help="reduced grid (same shape, small classes)")
+    p.add_argument("--reps", type=int, default=None,
+                   help="repetitions per cell (default 3, 1 with --quick)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--csv", action="store_true",
+                   help="emit CSV instead of the aligned table")
+    p.add_argument("--attr", action="store_true",
+                   help="run the attribution engine alongside each NAS cell")
+    p.add_argument("--fault-plan", default=None, metavar="PATH",
+                   help="inject model-level faults from a JSON plan")
+    p.add_argument("--socket", default="serve-state/serve.sock",
+                   help="daemon unix socket")
+    p.add_argument("--tcp", type=_parse_hostport, default=None,
+                   metavar="HOST:PORT", help="reach the daemon over TCP")
+    p.add_argument("--wait-timeout", type=_positive_float, default=600.0,
+                   help="client-side reply timeout in seconds")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write a deterministic results JSON document")
+    p.add_argument("--manifest", default=None, metavar="PATH",
+                   help="also write a v2 run manifest ('auto' for a "
+                        "derived name)")
+    p.set_defaults(fn=_submit)
+    p = sub.add_parser("status", help="query a running daemon")
+    p.add_argument("--socket", default="serve-state/serve.sock",
+                   help="daemon unix socket")
+    p.add_argument("--tcp", type=_parse_hostport, default=None,
+                   metavar="HOST:PORT", help="reach the daemon over TCP")
+    p.add_argument("--wait-timeout", type=_positive_float, default=30.0,
+                   help="client-side reply timeout in seconds")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw status reply as JSON")
+    p.add_argument("--prom", action="store_true",
+                   help="print the daemon's Prometheus metrics text")
+    p.set_defaults(fn=_serve_status)
     args = parser.parse_args(argv)
     _setup_logging(args.verbose)
     return args.fn(args)

@@ -14,11 +14,20 @@ cell costs one cell — not the sweep:
   parallelism;
 * :mod:`repro.runx.journal` — fsync'd per-cell checkpoints and the atomic
   finalize/resume protocol behind ``repro-smm <cmd> --resume``;
+* :mod:`repro.runx.lock` — the advisory single-writer lock that makes two
+  concurrent writers on one output path fail fast instead of interleave;
 * :mod:`repro.runx.chaos` — the fault-injection harness (kill / hang /
   corrupt / flake plans) CI uses to prove all of the above.
 """
 
-from repro.runx.journal import Journal, load_resume, part_path
+from repro.runx.journal import (
+    Journal,
+    iter_records,
+    load_resume,
+    part_path,
+    repair_torn_tail,
+)
+from repro.runx.lock import LockHeldError, SingleWriterLock
 from repro.runx.runner import SweepRunner
 from repro.runx.spec import (
     FAILED,
@@ -34,8 +43,12 @@ __all__ = [
     "CellResult",
     "SweepRunner",
     "Journal",
+    "LockHeldError",
+    "SingleWriterLock",
     "load_resume",
     "part_path",
+    "repair_torn_tail",
+    "iter_records",
     "attempt_seed",
     "OK",
     "FAILED",

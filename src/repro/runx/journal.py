@@ -13,6 +13,13 @@ On success the complete v2 manifest is written via
 and the ``.part.jsonl`` is removed: the pair of names is a two-state
 commit protocol — a ``.part.jsonl`` on disk means "interrupted,
 resumable", a bare manifest means "finished, trustworthy".
+
+The journal is guarded by an advisory single-writer lock
+(:mod:`repro.runx.lock`): two concurrent runners — or a runner and the
+serve daemon — pointed at the same manifest path fail fast with a typed
+:class:`~repro.runx.lock.LockHeldError` instead of silently interleaving
+their records.  Readers (``--resume`` loading a journal left by a dead
+run) never take the lock.
 """
 
 from __future__ import annotations
@@ -21,12 +28,19 @@ import json
 import logging
 import os
 import threading
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.obs.atomic import fsync_append
+from repro.runx.lock import SingleWriterLock
 from repro.runx.spec import CellResult
 
-__all__ = ["Journal", "part_path", "load_resume"]
+__all__ = [
+    "Journal",
+    "part_path",
+    "load_resume",
+    "repair_torn_tail",
+    "iter_records",
+]
 
 log = logging.getLogger(__name__)
 
@@ -35,51 +49,90 @@ def part_path(manifest_path: str) -> str:
     return manifest_path + ".part.jsonl"
 
 
+def repair_torn_tail(path: str) -> bool:
+    """Terminate a torn final line left by a crash mid-append.
+
+    Without this, appending to a journal whose last line lacks its
+    newline would *merge* the next record into the torn line — losing
+    both the torn record and the first record of the resumed run.
+    Returns whether a repair was needed.  Shared by the sweep journal
+    and the serve daemon's durable job queue, which reuses its format.
+    """
+    try:
+        with open(path, "rb") as fp:
+            fp.seek(0, os.SEEK_END)
+            if fp.tell() == 0:
+                return False
+            fp.seek(-1, os.SEEK_END)
+            torn = fp.read(1) != b"\n"
+    except FileNotFoundError:
+        return False
+    if torn:
+        log.warning("journal %s: repairing torn final line", path)
+        with open(path, "a", encoding="utf-8") as fp:
+            fp.write("\n")
+    return torn
+
+
+def iter_records(path: str) -> Iterator[Dict]:
+    """Yield the parseable JSON-object records of a journal-format file.
+
+    Unparsable or non-object lines (a torn tail, bit rot) are skipped
+    with a warning — corruption costs the affected records, never the
+    file.
+    """
+    with open(path, encoding="utf-8") as fp:
+        for lineno, line in enumerate(fp, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                log.warning("journal %s: skipping unparsable line %d",
+                            path, lineno)
+                continue
+            if isinstance(rec, dict):
+                yield rec
+            else:
+                log.warning("journal %s: skipping non-record line %d",
+                            path, lineno)
+
+
 class Journal:
-    """Append-only crash log for one sweep (thread-safe)."""
+    """Append-only crash log for one sweep (thread-safe, single-writer).
+
+    The first write acquires an exclusive advisory lock on
+    ``<path>.lock``; a second live writer on the same path raises
+    :class:`~repro.runx.lock.LockHeldError` before touching the journal.
+    :meth:`finalize` and :meth:`close` release it (as does process
+    death — the lock is ``flock``-based).
+    """
 
     def __init__(self, manifest_path: str):
         self.manifest_path = manifest_path
         self.path = part_path(manifest_path)
         self._lock = threading.Lock()
         self._tail_checked = False
+        self._writer_lock = SingleWriterLock(self.path + ".lock")
 
     def write_header(self, meta: Dict) -> None:
         """Start a fresh journal (truncating any stale one)."""
         rec = {"kind": "header", **meta}
         with self._lock:
+            self._writer_lock.acquire()
             if os.path.exists(self.path):
                 os.unlink(self.path)
             self._tail_checked = True  # fresh file: nothing to repair
             fsync_append(self.path, json.dumps(rec, separators=(",", ":")))
 
-    def _repair_tail(self) -> None:
-        """Terminate a torn final line left by a crash mid-append.
-
-        Without this, resuming into a journal whose last line lacks its
-        newline would *merge* the next record into the torn line — losing
-        both the torn cell and the first cell of the resumed run.
-        """
-        try:
-            with open(self.path, "rb") as fp:
-                fp.seek(0, os.SEEK_END)
-                if fp.tell() == 0:
-                    return
-                fp.seek(-1, os.SEEK_END)
-                torn = fp.read(1) != b"\n"
-        except FileNotFoundError:
-            return
-        if torn:
-            log.warning("journal %s: repairing torn final line", self.path)
-            with open(self.path, "a", encoding="utf-8") as fp:
-                fp.write("\n")
-
     def append(self, result: CellResult) -> None:
         with self._lock:
+            self._writer_lock.acquire()
             if not self._tail_checked:
                 # First append of a resumed run (no write_header): the
                 # prior process may have died mid-append.
-                self._repair_tail()
+                repair_torn_tail(self.path)
                 self._tail_checked = True
             fsync_append(
                 self.path,
@@ -93,34 +146,30 @@ class Journal:
                 os.unlink(self.path)
             except FileNotFoundError:
                 pass
+            self._writer_lock.release()
+
+    def close(self) -> None:
+        """Release the single-writer lock without touching the journal
+        (the interrupted-run path: the ``.part.jsonl`` must stay behind
+        for ``--resume``, but the lock must not outlive the run)."""
+        with self._lock:
+            self._writer_lock.release()
 
 
 def _read_jsonl(path: str) -> Tuple[Optional[Dict], Dict[str, CellResult]]:
     header: Optional[Dict] = None
     cells: Dict[str, CellResult] = {}
-    with open(path, encoding="utf-8") as fp:
-        for lineno, line in enumerate(fp, 1):
-            line = line.strip()
-            if not line:
-                continue
+    for rec in iter_records(path):
+        if rec.get("kind") == "header":
+            header = rec
+        elif rec.get("kind") == "cell":
             try:
-                rec = json.loads(line)
-            except ValueError:
-                # A crash mid-append can leave one torn final line; any
-                # other corruption also only costs the affected cells.
-                log.warning("journal %s: skipping unparsable line %d",
-                            path, lineno)
-                continue
-            if rec.get("kind") == "header":
-                header = rec
-            elif rec.get("kind") == "cell":
-                try:
-                    cells[rec["id"]] = CellResult.from_record(rec)
-                except (KeyError, TypeError, ValueError):
-                    # Parses as JSON but is not a well-formed cell record
-                    # (e.g. a torn line that happened to stay valid JSON).
-                    log.warning("journal %s: skipping malformed cell "
-                                "record at line %d", path, lineno)
+                cells[rec["id"]] = CellResult.from_record(rec)
+            except (KeyError, TypeError, ValueError):
+                # Parses as JSON but is not a well-formed cell record
+                # (e.g. a torn line that happened to stay valid JSON).
+                log.warning("journal %s: skipping malformed cell record",
+                            path)
     return header, cells
 
 

@@ -22,6 +22,11 @@ no matter what individual cells do.  The failure model:
 * **Parallelism** — ``jobs`` worker subprocesses run concurrently; cell
   seeds are position-derived, so results are independent of scheduling
   order and ``--jobs N`` output is bit-identical to ``--jobs 1``.
+* **Graceful drain** — :meth:`SweepRunner.request_drain` (the CLI wires
+  it to SIGINT/SIGTERM) stops *launching* cells while in-flight cells
+  finish and are journaled normally; ``run()`` then returns only the
+  completed results, so the journal is never torn and ``--resume``
+  picks up exactly where the drain stopped.
 
 ``isolation="inline"`` executes cells in-process (no subprocess, no
 timeout enforcement, no chaos) — the fast path for unit tests and for
@@ -51,7 +56,7 @@ from repro.runx.spec import (
 )
 from repro.runx.worker import RESULT_SENTINEL
 
-__all__ = ["SweepRunner"]
+__all__ = ["SweepRunner", "worker_env"]
 
 log = logging.getLogger(__name__)
 
@@ -75,6 +80,11 @@ def _worker_env() -> Dict[str, str]:
         env["PYTHONPATH"] = (
             src_dir + (os.pathsep + existing if existing else ""))
     return env
+
+
+#: Public alias: the serve daemon's worker pool spawns the same kind of
+#: subprocess and needs the same importable-repro environment.
+worker_env = _worker_env
 
 
 class SweepRunner:
@@ -108,6 +118,7 @@ class SweepRunner:
         self.journal = journal
         self.progress = progress
         self._lock = threading.Lock()
+        self._drain = threading.Event()
         self._done = 0
         self._total = 0
         self._env: Optional[Dict[str, str]] = None  # built on first attempt
@@ -171,7 +182,9 @@ class SweepRunner:
                 todo.append(spec)
         if self.jobs == 1 or len(todo) <= 1:
             for spec in todo:
-                results[spec.id] = self._run_cell(spec)
+                res = self._run_cell(spec)
+                if res is not None:
+                    results[spec.id] = res
         else:
             pool = self._pool
             if pool is None:
@@ -181,8 +194,19 @@ class SweepRunner:
                 self._pool = pool = ThreadPoolExecutor(
                     max_workers=self.jobs, thread_name_prefix="sweep")
             for spec, res in zip(todo, pool.map(self._run_cell, todo)):
-                results[spec.id] = res
+                if res is not None:
+                    results[spec.id] = res
         return results
+
+    # -- graceful drain -------------------------------------------------------
+    def request_drain(self) -> None:
+        """Stop launching new cells; in-flight cells finish and are
+        journaled.  Thread- and signal-safe (sets an Event)."""
+        self._drain.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
 
     def close(self) -> None:
         """Release the worker thread pool (idempotent)."""
@@ -197,7 +221,11 @@ class SweepRunner:
         self.close()
 
     # -- one cell, all attempts -----------------------------------------------
-    def _run_cell(self, spec: CellSpec) -> CellResult:
+    def _run_cell(self, spec: CellSpec) -> Optional[CellResult]:
+        if self._drain.is_set():
+            # Draining: the cell is neither run nor journaled, so a later
+            # --resume sees it as missing work and re-runs it.
+            return None
         if self._c_started is not None:
             with self._lock:
                 self._c_started.inc()

@@ -1,0 +1,47 @@
+"""repro.serve — sweep-as-a-service.
+
+The paper's tables are deterministic functions of a
+:class:`~repro.runx.spec.CellSpec`: same executor, params, and seed ⇒
+bit-identical payload.  That makes serving them at scale a caching
+problem, not a compute problem — identical requests from a million users
+cost one simulation.  This package turns the one-shot ``repro-smm`` CLI
+into a long-lived daemon built for exactly that, with robustness as the
+headline feature:
+
+* :mod:`repro.serve.protocol` — the line-delimited JSON wire format
+  (unix socket + optional TCP) and its typed error replies, including
+  HTTP-429-style ``retry_after`` backpressure;
+* :mod:`repro.serve.cache` — a persistent content-addressed result
+  cache keyed by ``CellSpec.digest()``; entries are written atomically
+  and **re-verified on read** (payload checksum + spec digest +
+  calibration provenance), so truncated or bit-flipped payloads are
+  detected, evicted, and recomputed — never served;
+* :mod:`repro.serve.queue` — a durable fsync'd job journal in the
+  `repro.runx.journal` record format: ``kill -9`` of the daemon loses no
+  accepted job, and a restart replays exactly the unfinished work;
+* :mod:`repro.serve.workproc` — the long-lived worker subprocess
+  (heartbeats while executing, chaos-plan hooks for drills);
+* :mod:`repro.serve.pool` — asyncio worker supervision: heartbeat
+  monitoring, per-cell watchdog timeouts, bounded exponential-backoff
+  restarts;
+* :mod:`repro.serve.daemon` — the daemon itself: in-flight request
+  coalescing, a circuit breaker that quarantines poisoned cells instead
+  of crash-looping the pool, bounded queues, graceful drain on SIGTERM;
+* :mod:`repro.serve.client` — the blocking client the CLI
+  (``repro-smm serve | submit | status``) and tests use.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.queue import DurableQueue, QueueState
+
+__all__ = [
+    "ResultCache",
+    "ServeClient",
+    "ServeError",
+    "ServeConfig",
+    "ServeDaemon",
+    "DurableQueue",
+    "QueueState",
+]

@@ -1,0 +1,97 @@
+"""Blocking client for the serve daemon (CLI, scripts, tests).
+
+One request per connection keeps the client trivially correct: connect,
+write one line, read one line, close.  Submission replies can be large
+(a full table's payloads), but ``makefile`` framing handles any length.
+Typed daemon errors surface as :class:`ServeError` carrying the machine
+code and the ``retry_after`` hint, so callers can distinguish "back off"
+from "give up" without parsing prose.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve import protocol
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A typed failure reply (or transport failure) from the daemon."""
+
+    def __init__(self, code: str, message: str,
+                 retry_after: Optional[float] = None):
+        self.code = code
+        self.retry_after = retry_after
+        hint = f" (retry_after {retry_after:g}s)" if retry_after else ""
+        super().__init__(f"{code}: {message}{hint}")
+
+
+class ServeClient:
+    """Talk to one daemon over its unix socket or TCP endpoint."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 tcp: Optional[Tuple[str, int]] = None,
+                 timeout_s: Optional[float] = 600.0):
+        if (socket_path is None) == (tcp is None):
+            raise ValueError("pass exactly one of socket_path or tcp")
+        self.socket_path = socket_path
+        self.tcp = tcp
+        self.timeout_s = timeout_s
+
+    # -- transport ------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            target: Any = self.socket_path
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            target = self.tcp
+        sock.settimeout(self.timeout_s)
+        sock.connect(target)
+        return sock
+
+    def request(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """One round trip; raises :class:`ServeError` on any failure."""
+        try:
+            with self._connect() as sock:
+                sock.sendall(protocol.encode(req))
+                with sock.makefile("rb") as fp:
+                    line = fp.readline()
+        except socket.timeout as exc:
+            raise ServeError("timeout", f"daemon did not reply: {exc}") \
+                from exc
+        except OSError as exc:
+            raise ServeError(
+                "unreachable",
+                f"cannot reach daemon at "
+                f"{self.socket_path or self.tcp}: {exc}") from exc
+        if not line:
+            raise ServeError(
+                "disconnected", "daemon closed the connection mid-request "
+                "(killed or draining?)")
+        try:
+            rep = protocol.decode(line)
+        except ValueError as exc:
+            raise ServeError("garbled", f"unparsable reply: {exc}") from exc
+        if not rep.get("ok"):
+            raise ServeError(
+                str(rep.get("error", "error")),
+                str(rep.get("message", "")), rep.get("retry_after"))
+        return rep
+
+    # -- ops ------------------------------------------------------------------
+    def submit(self, cells: List[Dict[str, Any]],
+               wait: bool = True) -> Dict[str, Any]:
+        return self.request({"op": "submit", "cells": cells, "wait": wait})
+
+    def status(self) -> Dict[str, Any]:
+        return self.request({"op": "status"})
+
+    def metrics(self) -> str:
+        return self.request({"op": "metrics"})["prom"]
+
+    def drain(self) -> Dict[str, Any]:
+        return self.request({"op": "drain"})

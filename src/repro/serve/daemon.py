@@ -1,0 +1,475 @@
+"""The sweep-serving daemon: accept, dedup, shard, cache, survive.
+
+``ServeDaemon`` is the long-lived composition of the package's parts:
+an asyncio server (unix socket + optional TCP) feeding a supervised
+worker pool through a durable queue, with a content-addressed cache in
+front.  The life of a submitted cell:
+
+1. **Quarantine check** — a digest the circuit breaker has tripped on
+   answers immediately with its quarantine record; it never reaches the
+   pool again until the operator clears the state directory.
+2. **Cache probe** — a verified cache entry answers immediately
+   (``cached: true``); corruption is evicted and falls through to 4.
+3. **Coalesce** — if the digest is already in flight, the submission
+   becomes one more waiter on the existing job (``coalesced: true``):
+   a thousand identical requests cost one simulation.
+4. **Accept** — the job is fsync'd to the durable queue *before* the
+   client hears "accepted", then enqueued to the pool.  If accepting
+   would push outstanding work past ``max_pending``, the whole submit
+   is refused with ``saturated`` + ``retry_after`` instead (bounded
+   queues: the daemon sheds load, it does not fall over).
+
+Results flow back through :meth:`_on_result`: success writes the cache
+entry, then the ``done`` record (write-then-ack: a crash between the
+two replays the job, finds the cache entry, and completes it without
+recompute — at-least-once execution, exactly-once effect).  An
+infrastructure failure (worker death, watchdog, lost heartbeat)
+requeues the attempt with the *same seed* — cells are deterministic, so
+a retried kill is byte-identical to an uninterrupted run.  A cell that
+keeps poisoning workers trips the circuit breaker after
+``max_attempts`` and is durably quarantined rather than allowed to
+crash-loop the pool.
+
+``kill -9`` of the daemon is a designed-for event, not an error path:
+the lock dies with the process, the next boot replays the queue journal,
+completes anything the cache already holds, and re-runs the rest.
+SIGTERM instead drains gracefully: stop accepting, finish in-flight
+work, compact the journal, release everything.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+import signal
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.runx.lock import SingleWriterLock
+from repro.runx.spec import CellSpec
+from repro.serve import protocol
+from repro.serve.cache import ResultCache
+from repro.serve.pool import Outcome, WorkOrder, WorkerPool
+from repro.serve.queue import DurableQueue
+
+__all__ = ["ServeConfig", "ServeDaemon", "run"]
+
+log = logging.getLogger(__name__)
+
+
+@dataclass
+class ServeConfig:
+    """Everything the daemon needs to know, CLI-shaped."""
+
+    state_dir: str = "serve-state"
+    socket_path: Optional[str] = None  # default: <state_dir>/serve.sock
+    tcp: Optional[Tuple[str, int]] = None
+    workers: int = 2
+    timeout_s: Optional[float] = 300.0
+    hb_timeout_s: float = 10.0
+    max_attempts: int = 3
+    max_pending: int = 256
+    restart_backoff_s: float = 0.1
+    max_backoff_s: float = 5.0
+    #: crude per-cell cost estimate behind ``retry_after`` hints.
+    est_cell_s: float = 2.0
+
+    def resolved_socket(self) -> str:
+        return self.socket_path or os.path.join(self.state_dir, "serve.sock")
+
+
+class _Job:
+    """One in-flight digest and everyone waiting on it."""
+
+    __slots__ = ("digest", "spec", "failures", "waiters", "order")
+
+    def __init__(self, digest: str, spec: CellSpec):
+        self.digest = digest
+        self.spec = spec
+        self.failures = 0  # infra-failed attempts so far
+        self.waiters: List[asyncio.Future] = []
+        self.order: Optional[WorkOrder] = None
+
+
+class ServeDaemon:
+    """See the module docstring; one instance per state directory."""
+
+    def __init__(self, config: ServeConfig,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = SingleWriterLock(
+            os.path.join(config.state_dir, "daemon.lock"))
+        self.cache: Optional[ResultCache] = None
+        self.queue_journal: Optional[DurableQueue] = None
+        self.pool: Optional[WorkerPool] = None
+        self._jobs_q: "asyncio.Queue[WorkOrder]" = asyncio.Queue()
+        self._inflight: Dict[str, _Job] = {}
+        self._quarantined: Dict[str, Dict[str, Any]] = {}
+        self._servers: List[asyncio.AbstractServer] = []
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopped = asyncio.Event()
+        self._started_monotonic = 0.0
+        m = self.metrics
+        self._c_submits = m.counter(
+            "serve.submits", "submit requests handled")
+        self._c_accepted = m.counter(
+            "serve.jobs.accepted", "jobs durably accepted")
+        self._c_completed = m.counter(
+            "serve.jobs.completed", "jobs completed ok")
+        self._c_failed = m.counter(
+            "serve.jobs.failed", "jobs terminally failed (e.g. in-sim)")
+        self._c_quarantined = m.counter(
+            "serve.jobs.quarantined", "jobs circuit-broken after "
+            "poisoning the pool repeatedly")
+        self._c_requeued = m.counter(
+            "serve.jobs.requeued", "attempts requeued after an "
+            "infrastructure failure")
+        self._c_replayed = m.counter(
+            "serve.jobs.replayed", "jobs recovered from the durable "
+            "queue at boot")
+        self._c_coalesced = m.counter(
+            "serve.coalesced", "submissions folded onto an in-flight "
+            "identical job")
+        self._c_saturated = m.counter(
+            "serve.rejected.saturated", "submits refused with retry_after "
+            "because the queue was full")
+        self._c_rej_drain = m.counter(
+            "serve.rejected.draining", "submits refused during drain")
+        self._c_conns = m.counter(
+            "serve.connections", "client connections accepted")
+
+    # -- lifecycle ------------------------------------------------------------
+    async def start(self) -> None:
+        cfg = self.config
+        os.makedirs(cfg.state_dir, exist_ok=True)
+        self._lock.acquire()  # LockHeldError if another daemon owns the dir
+        self.cache = ResultCache(
+            os.path.join(cfg.state_dir, "cache"), metrics=self.metrics)
+        self.queue_journal = DurableQueue(
+            os.path.join(cfg.state_dir, "queue.jsonl"))
+        state = self.queue_journal.replay()
+        self._quarantined = dict(state.quarantined)
+        self.queue_journal.compact(state)
+        self.pool = WorkerPool(
+            self._jobs_q, self._on_result, size=cfg.workers,
+            timeout_s=cfg.timeout_s, hb_timeout_s=cfg.hb_timeout_s,
+            restart_backoff_s=cfg.restart_backoff_s,
+            max_backoff_s=cfg.max_backoff_s, metrics=self.metrics,
+        )
+        self._replay_pending(state.pending)
+        await self.pool.start()
+        sock = cfg.resolved_socket()
+        if os.path.exists(sock):
+            # We hold the state-dir lock, so a leftover socket is from a
+            # dead daemon: safe to clear.
+            os.unlink(sock)
+        self._servers.append(
+            await asyncio.start_unix_server(
+                self._handle_conn, path=sock, limit=protocol.MAX_LINE))
+        if cfg.tcp is not None:
+            host, port = cfg.tcp
+            self._servers.append(
+                await asyncio.start_server(
+                    self._handle_conn, host=host, port=port,
+                    limit=protocol.MAX_LINE))
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(self.drain()))
+        self._started_monotonic = time.monotonic()
+        log.info("serving on %s (%d workers, %d jobs replayed)",
+                 sock, cfg.workers, len(state.pending))
+
+    def _replay_pending(self, pending: Dict[str, Dict[str, Any]]) -> None:
+        """Boot-time recovery: every accepted-but-unfinished job either
+        completes from the cache (the crash hit between cache write and
+        journal ack) or re-enters the queue."""
+        assert self.cache is not None and self.queue_journal is not None
+        for digest, spec_rec in pending.items():
+            try:
+                spec = CellSpec.from_record(spec_rec)
+            except (KeyError, TypeError, ValueError):
+                log.warning("replay: dropping malformed job %s", digest)
+                self.queue_journal.record_failed(
+                    digest, "malformed spec in queue journal")
+                continue
+            if self.cache.get(spec) is not None:
+                self.queue_journal.record_done(digest)
+                continue
+            job = _Job(digest, spec)
+            job.order = WorkOrder(digest, spec.to_record(), spec.base_seed)
+            self._inflight[digest] = job
+            self._idle.clear()
+            self._jobs_q.put_nowait(job.order)
+            self._c_replayed.inc()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new work, finish what is accepted,
+        compact, release.  Idempotent; SIGTERM/SIGINT and the ``drain``
+        op all land here."""
+        if self._draining:
+            return
+        self._draining = True
+        log.info("drain: %d jobs in flight", len(self._inflight))
+        await self._idle.wait()
+        if self.pool is not None:
+            await self.pool.stop()
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers = []
+        if self.queue_journal is not None:
+            state = self.queue_journal.replay()
+            self.queue_journal.compact(state)
+        sock = self.config.resolved_socket()
+        try:
+            os.unlink(sock)
+        except OSError:
+            pass
+        self._lock.release()
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    # -- connection handling --------------------------------------------------
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        self._c_conns.inc()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._reply(writer, protocol.error_reply(
+                        protocol.E_TOO_LARGE,
+                        f"request line exceeds {protocol.MAX_LINE} bytes"))
+                    break
+                if not line:
+                    break
+                try:
+                    req = protocol.decode(line)
+                except ValueError as exc:
+                    await self._reply(writer, protocol.error_reply(
+                        protocol.E_BAD_REQUEST, f"unparsable request: {exc}"))
+                    continue
+                await self._reply(writer, await self._dispatch(req))
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; nothing owed
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    @staticmethod
+    async def _reply(writer: asyncio.StreamWriter, rep: Dict) -> None:
+        writer.write(protocol.encode(rep))
+        await writer.drain()
+
+    async def _dispatch(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        op = req.get("op")
+        if op == "submit":
+            return await self._op_submit(req)
+        if op == "status":
+            return self._op_status()
+        if op == "metrics":
+            return {"ok": True, "prom": self.metrics.render_prom()}
+        if op == "drain":
+            asyncio.ensure_future(self.drain())
+            return {"ok": True, "draining": True}
+        return protocol.error_reply(
+            protocol.E_BAD_REQUEST, f"unknown op {op!r}")
+
+    # -- submit ---------------------------------------------------------------
+    async def _op_submit(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        self._c_submits.inc()
+        if self._draining:
+            self._c_rej_drain.inc()
+            return protocol.error_reply(
+                protocol.E_DRAINING, "daemon is draining; resubmit to its "
+                "successor")
+        raw_cells = req.get("cells")
+        if not isinstance(raw_cells, list) or not raw_cells:
+            return protocol.error_reply(
+                protocol.E_BAD_REQUEST, "submit needs a non-empty 'cells' "
+                "list of CellSpec records")
+        try:
+            specs = [CellSpec.from_record(rec) for rec in raw_cells]
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            return protocol.error_reply(
+                protocol.E_BAD_REQUEST, f"malformed cell spec: {exc}")
+        assert self.cache is not None and self.queue_journal is not None
+
+        # Classify every cell before accepting any: backpressure is
+        # all-or-nothing so a refused submit has no side effects.
+        entries: List[Dict[str, Any]] = []
+        to_wait: List[Tuple[Dict[str, Any], asyncio.Future]] = []
+        new_jobs: List[Tuple[CellSpec, str]] = []
+        seen_new: Dict[str, _Job] = {}
+        stats = {"cached": 0, "coalesced": 0, "submitted": 0,
+                 "quarantined": 0}
+        for spec in specs:
+            digest = spec.digest()
+            entry: Dict[str, Any] = {"id": spec.id, "digest": digest}
+            if digest in self._quarantined:
+                qrec = self._quarantined[digest]
+                entry.update(status="quarantined",
+                             error=qrec.get("error", "quarantined"),
+                             attempts=qrec.get("attempts"))
+                stats["quarantined"] += 1
+                entries.append(entry)
+                continue
+            job = self._inflight.get(digest) or seen_new.get(digest)
+            if job is None:
+                value = self.cache.get(spec)
+                if value is not None:
+                    entry.update(status="ok", value=value, cached=True)
+                    stats["cached"] += 1
+                    entries.append(entry)
+                    continue
+                job = _Job(digest, spec)
+                seen_new[digest] = job
+                new_jobs.append((spec, digest))
+                stats["submitted"] += 1
+            else:
+                entry["coalesced"] = True
+                stats["coalesced"] += 1
+                self._c_coalesced.inc()
+            if req.get("wait", True):
+                fut = asyncio.get_running_loop().create_future()
+                job.waiters.append(fut)
+                to_wait.append((entry, fut))
+            entries.append(entry)
+
+        outstanding = len(self._inflight) + len(new_jobs)
+        if new_jobs and outstanding > self.config.max_pending:
+            self._c_saturated.inc()
+            retry = (outstanding * self.config.est_cell_s
+                     / max(1, self.config.workers))
+            return protocol.error_reply(
+                protocol.E_SATURATED,
+                f"{len(self._inflight)} jobs outstanding (max "
+                f"{self.config.max_pending}); retry later",
+                retry_after=retry)
+
+        for spec, digest in new_jobs:
+            job = seen_new[digest]
+            # Durability first: the journal record is fsync'd before the
+            # job exists anywhere volatile.
+            self.queue_journal.record_job(digest, spec.to_record())
+            job.order = WorkOrder(digest, spec.to_record(), spec.base_seed)
+            self._inflight[digest] = job
+            self._idle.clear()
+            self._jobs_q.put_nowait(job.order)
+            self._c_accepted.inc()
+
+        if not req.get("wait", True):
+            return {"ok": True, "stats": stats,
+                    "pending": len(self._inflight)}
+        for entry, fut in to_wait:
+            entry.update(await fut)
+        return {"ok": True, "cells": entries, "stats": stats}
+
+    # -- result flow ----------------------------------------------------------
+    async def _on_result(self, order: WorkOrder, outcome: Outcome) -> None:
+        job = self._inflight.get(order.digest)
+        if job is None or job.order is not order:
+            return  # already terminal (e.g. quarantine raced a kill)
+        assert self.cache is not None and self.queue_journal is not None
+        if outcome.ok:
+            # Cache write *then* journal ack: a crash between the two
+            # replays the job and completes it from the cache.
+            self.cache.put(job.spec, outcome.value,
+                           provenance={"attempts": job.failures + 1})
+            self.queue_journal.record_done(order.digest)
+            self._c_completed.inc()
+            self._resolve(job, {"status": "ok", "value": outcome.value,
+                                "cached": False,
+                                "attempts": job.failures + 1})
+            return
+        if outcome.failed_in_sim:
+            self.queue_journal.record_failed(order.digest, outcome.error or "")
+            self._c_failed.inc()
+            res = {"status": "failed-in-sim", "error": outcome.error,
+                   "attempts": job.failures + 1}
+            if outcome.fault is not None:
+                res["fault"] = outcome.fault
+            self._resolve(job, res)
+            return
+        job.failures += 1
+        if job.failures >= self.config.max_attempts:
+            self.queue_journal.record_quarantine(
+                order.digest, job.failures, outcome.error or "")
+            self._quarantined[order.digest] = {
+                "kind": "quarantine", "id": order.digest,
+                "attempts": job.failures, "error": outcome.error or ""}
+            self._c_quarantined.inc()
+            log.warning("quarantined %s after %d poisoned attempts: %s",
+                        order.digest, job.failures, outcome.error)
+            self._resolve(job, {"status": "quarantined",
+                                "error": outcome.error,
+                                "attempts": job.failures})
+            return
+        # Infrastructure failure: requeue with the SAME seed — cells are
+        # deterministic, so the eventual value is byte-identical to a
+        # run that was never interrupted.
+        order.attempt = job.failures
+        self._c_requeued.inc()
+        log.info("requeue %s (attempt %d): %s",
+                 order.digest, order.attempt, outcome.error)
+        self._jobs_q.put_nowait(order)
+
+    def _resolve(self, job: _Job, result: Dict[str, Any]) -> None:
+        self._inflight.pop(job.digest, None)
+        if job.order is not None:
+            job.order.dead = True
+        for fut in job.waiters:
+            if not fut.done():
+                fut.set_result(result)
+        job.waiters = []
+        if not self._inflight:
+            self._idle.set()
+
+    # -- status ---------------------------------------------------------------
+    def _op_status(self) -> Dict[str, Any]:
+        assert self.cache is not None
+        counters = {
+            name: inst.value
+            for name, inst in (
+                (n, self.metrics.get(n)) for n in self.metrics.names())
+            if name.startswith("serve.") and hasattr(inst, "value")
+        }
+        return {
+            "ok": True,
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "draining": self._draining,
+            "inflight": len(self._inflight),
+            "queued": self._jobs_q.qsize(),
+            "quarantined": len(self._quarantined),
+            "workers": self.pool.snapshot() if self.pool is not None else [],
+            "cache": {"entries": len(self.cache), "root": self.cache.root},
+            "counters": counters,
+        }
+
+
+def run(config: ServeConfig) -> int:
+    """Blocking entry point behind ``repro-smm serve``."""
+
+    async def _amain() -> None:
+        daemon = ServeDaemon(config)
+        await daemon.start()
+        print(f"serve: listening on {config.resolved_socket()}",
+              file=sys.stderr, flush=True)
+        await daemon.wait_stopped()
+
+    asyncio.run(_amain())
+    return 0

@@ -1,0 +1,74 @@
+"""The serve wire format: one JSON object per line, both directions.
+
+Line-delimited JSON keeps every layer inspectable with ``nc``/``socat``
+and keeps framing trivial: a request is one line, its reply is one line.
+Requests carry an ``op``; replies always carry ``ok``.  Error replies
+are *typed* — a machine-readable ``error`` code plus a human ``message``
+— so clients can distinguish "back off and retry" from "this will never
+work":
+
+* ``saturated`` — the daemon's bounded queue is full; the reply carries
+  ``retry_after`` seconds (HTTP-429 semantics).
+* ``draining`` — the daemon is shutting down gracefully; resubmit to
+  its successor.
+* ``bad-request`` — malformed line or unknown op; never retry.
+* ``too-large`` — request line exceeded :data:`MAX_LINE`; never retry.
+
+Ops:
+
+* ``submit`` — ``{"op": "submit", "cells": [specrec...], "wait": bool}``.
+  With ``wait`` the reply arrives when every cell is terminal and
+  carries per-cell ``status``/``value``/``cached``/``attempts``;
+  without, it acknowledges acceptance counts immediately.
+* ``status`` — queue depth, worker states, cache and counter snapshot.
+* ``metrics`` — the daemon's registry in Prometheus exposition text.
+* ``drain`` — begin graceful shutdown (same path as SIGTERM).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "MAX_LINE",
+    "E_SATURATED",
+    "E_DRAINING",
+    "E_BAD_REQUEST",
+    "E_TOO_LARGE",
+    "encode",
+    "decode",
+    "error_reply",
+]
+
+#: Hard cap on one protocol line (requests *and* replies).  Big enough
+#: for a full-table submit or a reply carrying attribution blocks, small
+#: enough that a misbehaving client cannot balloon daemon memory.
+MAX_LINE = 32 * 1024 * 1024
+
+E_SATURATED = "saturated"
+E_DRAINING = "draining"
+E_BAD_REQUEST = "bad-request"
+E_TOO_LARGE = "too-large"
+
+
+def encode(obj: Dict[str, Any]) -> bytes:
+    """One protocol line, newline-terminated."""
+    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    """Parse one protocol line; raises ``ValueError`` on anything that
+    is not a JSON object."""
+    obj = json.loads(line.decode("utf-8"))
+    if not isinstance(obj, dict):
+        raise ValueError("protocol line is not a JSON object")
+    return obj
+
+
+def error_reply(code: str, message: str,
+                retry_after: Optional[float] = None) -> Dict[str, Any]:
+    rep: Dict[str, Any] = {"ok": False, "error": code, "message": message}
+    if retry_after is not None:
+        rep["retry_after"] = round(float(retry_after), 3)
+    return rep

@@ -1,0 +1,140 @@
+"""The long-lived serve worker: ``python -m repro.serve.workproc``.
+
+Where `repro.runx.worker` is one-shot (one subprocess per cell attempt),
+a serve worker is a loop: the supervising pool keeps it alive across
+jobs and only pays interpreter start-up on (re)spawn.  The protocol is
+line-delimited JSON, mirroring the daemon's own wire format:
+
+stdin  ← ``{"kind": "job", "id": ..., "spec": {...CellSpec...},
+            "seed": ..., "attempt": ...}``
+stdout → ``{"kind": "ready", "pid": ...}`` once at start,
+         ``{"kind": "hb", "id": ...}`` every beat *while a job runs*,
+         ``{"kind": "result", "id": ..., "ok": ...}`` per job.
+
+Heartbeats are the supervisor's liveness signal: a worker that stops
+beating mid-job is frozen (not merely slow — slow cells keep beating)
+and gets killed and respawned.  EOF on stdin is the graceful-shutdown
+signal; the worker finishes nothing (the pool only closes stdin when
+the worker is idle) and exits 0.
+
+Chaos composes here exactly as it does for runx workers: each job
+consults ``$REPRO_CHAOS_PLAN`` before executing, so the same
+kill/hang/corrupt/flake drills that prove the sweep runner prove the
+daemon's supervision (``scripts/chaos_smoke.py --serve``).  A fault
+that kills or wedges the process is *supposed* to — surviving that is
+the pool's job, not ours.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import traceback
+from typing import Any, Dict, Optional
+
+__all__ = ["HEARTBEAT_S", "main"]
+
+#: Seconds between heartbeats while a job is executing.  The pool's
+#: heartbeat timeout must be a comfortable multiple of this.
+HEARTBEAT_S = 0.5
+
+
+class _Emitter:
+    """Serialized line writer: heartbeat thread and main loop share
+    stdout, so every line must go out whole."""
+
+    def __init__(self, stream):
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def emit(self, rec: Dict[str, Any]) -> None:
+        line = json.dumps(rec, separators=(",", ":")) + "\n"
+        with self._lock:
+            self._stream.write(line)
+            self._stream.flush()
+
+
+def _heartbeat(emitter: _Emitter, active: Dict[str, Optional[str]],
+               stop: threading.Event, interval_s: float) -> None:
+    while not stop.wait(interval_s):
+        job_id = active.get("id")
+        if job_id is not None:
+            try:
+                emitter.emit({"kind": "hb", "id": job_id})
+            except (OSError, ValueError):  # pragma: no cover — pipe gone
+                return
+
+
+def _run_job(req: Dict[str, Any], emitter: _Emitter) -> None:
+    job_id = req.get("id", "?")
+    spec = req.get("spec") or {}
+    try:
+        seed = int(req["seed"])
+        attempt = int(req.get("attempt", 0))
+        fn = spec["fn"]
+    except (KeyError, TypeError, ValueError) as exc:
+        emitter.emit({"kind": "result", "id": job_id, "ok": False,
+                      "error": f"bad job request: {exc}"})
+        return
+
+    from repro.runx.chaos import FaultPlan, apply_fault
+
+    plan = FaultPlan.from_env()
+    if plan is not None:
+        rule = plan.fault_for(spec.get("id", job_id), attempt)
+        if rule is not None:
+            apply_fault(rule)  # kill never returns; others raise SystemExit
+
+    from repro.faults import FaultedRunError
+    from repro.runx.cells import run_cell
+
+    try:
+        value = run_cell(fn, spec.get("params", {}), seed)
+        emitter.emit({"kind": "result", "id": job_id, "ok": True,
+                      "value": value})
+    except FaultedRunError as exc:
+        # Deterministic in-sim death: terminal, never worth a retry.
+        emitter.emit({"kind": "result", "id": job_id, "ok": False,
+                      "failed_in_sim": True, "error": str(exc),
+                      "fault": {"events": exc.events}})
+    except Exception:
+        emitter.emit({"kind": "result", "id": job_id, "ok": False,
+                      "error": traceback.format_exc(limit=8)})
+
+
+def main() -> int:
+    emitter = _Emitter(sys.stdout)
+    active: Dict[str, Optional[str]] = {"id": None}
+    stop = threading.Event()
+    interval = float(os.environ.get("REPRO_SERVE_HB", HEARTBEAT_S))
+    beater = threading.Thread(
+        target=_heartbeat, args=(emitter, active, stop, interval),
+        name="serve-hb", daemon=True)
+    beater.start()
+    emitter.emit({"kind": "ready", "pid": os.getpid()})
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            req = json.loads(line)
+        except ValueError:
+            print("serve worker: unparsable job line", file=sys.stderr)
+            continue
+        if req.get("kind") == "shutdown":
+            break
+        if req.get("kind") != "job":
+            continue
+        active["id"] = str(req.get("id", "?"))
+        try:
+            _run_job(req, emitter)
+        finally:
+            active["id"] = None
+    stop.set()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via subprocess
+    sys.exit(main())

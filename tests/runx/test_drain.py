@@ -1,0 +1,112 @@
+"""Graceful drain: SIGINT/SIGTERM finish in-flight cells, keep the
+journal whole, and leave a resumable run behind (exit 130)."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.runx import Journal, SweepRunner, load_resume
+from repro.runx.spec import CellSpec
+
+SYN = [
+    CellSpec(id=f"syn {i}", fn="synthetic",
+             params={"value": float(i), "reps": 2}, base_seed=100 + i)
+    for i in range(6)
+]
+
+
+def _env():
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    from repro.runx.chaos import PLAN_ENV
+
+    env.pop(PLAN_ENV, None)
+    return env
+
+
+def test_drain_mid_sweep_returns_partial_results(tmp_path):
+    man = str(tmp_path / "run.json")
+    journal = Journal(man)
+    journal.write_header({"command": "t"})
+    runner = SweepRunner(isolation="inline", journal=journal)
+    fired = []
+
+    def drain_after_two(msg):
+        fired.append(msg)
+        if len(fired) == 2:
+            runner.request_drain()
+
+    runner.progress = drain_after_two
+    results = runner.run(SYN)
+    journal.close()
+    assert runner.draining
+    assert len(results) == 2
+    # every returned cell is journaled; no torn or half-run cells
+    _, cells = load_resume(man)
+    assert set(cells) == set(results)
+
+
+def test_drained_run_resumes_to_completion(tmp_path):
+    man = str(tmp_path / "run.json")
+    journal = Journal(man)
+    journal.write_header({"command": "t"})
+    runner = SweepRunner(isolation="inline", journal=journal)
+    runner.progress = lambda msg: runner.request_drain()
+    partial = runner.run(SYN)
+    journal.close()
+    assert 0 < len(partial) < len(SYN)
+
+    _, completed = load_resume(man)
+    resumed = SweepRunner(isolation="inline").run(SYN, completed=completed)
+    assert set(resumed) == {s.id for s in SYN}
+    clean = SweepRunner(isolation="inline").run(SYN)
+    assert {k: v.value for k, v in resumed.items()} \
+        == {k: v.value for k, v in clean.items()}
+
+
+def test_drain_before_start_runs_nothing(tmp_path):
+    runner = SweepRunner(isolation="inline")
+    runner.request_drain()
+    assert runner.run(SYN) == {}
+
+
+def test_sigint_drains_cli_sweep_with_resume_hint(tmp_path):
+    """The satellite end-to-end: SIGINT a real sweep, get exit 130, an
+    intact journal, a resume hint, and a resume that completes."""
+    man = str(tmp_path / "sig.json")
+    part = man + ".part.jsonl"
+    sweep = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "table2", "--quick",
+         "--jobs", "2", "--manifest", man],
+        env=_env(), cwd=str(tmp_path),
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+    )
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        if os.path.exists(part) and sum(1 for _ in open(part)) >= 3:
+            break
+        time.sleep(0.05)
+        assert sweep.poll() is None, "sweep finished before the signal"
+    sweep.send_signal(signal.SIGINT)
+    _, err = sweep.communicate(timeout=120)
+    assert sweep.returncode == 130, err
+    assert "draining" in err
+    assert f"--resume {man}" in err
+    assert os.path.exists(part), "journal must survive the drain"
+    assert not os.path.exists(man), "a drained run has no final manifest"
+    header, cells = load_resume(man)
+    assert header["command"] == "table2"
+    assert cells, "the drain must have preserved completed cells"
+
+    resumed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "table2", "--quick",
+         "--resume", man],
+        env=_env(), cwd=str(tmp_path), capture_output=True, text=True,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert os.path.exists(man) and not os.path.exists(part)

@@ -89,6 +89,7 @@ def test_resume_append_repairs_torn_final_line(tmp_path):
     # Simulate a crash mid-append: a torn, newline-less final line.
     with open(journal.path, "a", encoding="utf-8") as fp:
         fp.write('{"kind":"cell","id":"b","sta')
+    journal.close()  # a crashed process drops its flock with it
     resumed = Journal(manifest)  # fresh process: no write_header
     resumed.append(CellResult(id="c", status="ok", value={"v": 3}))
     header, cells = load_resume(manifest)

@@ -1,0 +1,129 @@
+"""Cache integrity: every read re-verifies, every failure heals.
+
+The ISSUE's acceptance bar for the cache is explicit: truncated,
+bit-flipped, and schema-mismatched payloads must be *detected* on read
+(digest re-verification), *counted* (``serve.cache.corrupt``),
+*evicted*, and transparently *recomputed*.  These tests damage real
+entries on disk in each of those ways and assert all four behaviours.
+"""
+
+import json
+import os
+
+from repro.obs import MetricsRegistry
+from repro.runx import CellSpec
+from repro.serve.cache import (
+    CACHE_SCHEMA, ResultCache, calibration_sha256, value_sha256)
+
+SPEC = CellSpec(id="syn-0", fn="synthetic", params={"value": 3}, base_seed=7)
+VALUE = {"values": [1.0, 2.0], "mean": 1.5}
+
+
+def _cache(tmp_path):
+    metrics = MetricsRegistry()
+    return ResultCache(str(tmp_path / "cache"), metrics=metrics), metrics
+
+
+def _counter(metrics, name):
+    return metrics.counter(name, "").value
+
+
+def test_round_trip_and_hit_counting(tmp_path):
+    cache, metrics = _cache(tmp_path)
+    assert cache.get(SPEC) is None
+    path = cache.put(SPEC, VALUE)
+    assert os.path.exists(path)
+    assert cache.get(SPEC) == VALUE
+    assert len(cache) == 1
+    assert _counter(metrics, "serve.cache.hits") == 1
+    assert _counter(metrics, "serve.cache.misses") == 1
+    assert _counter(metrics, "serve.cache.writes") == 1
+
+
+def test_provenance_recorded(tmp_path):
+    cache, _ = _cache(tmp_path)
+    cache.put(SPEC, VALUE, provenance={"attempts": 2})
+    value, prov = cache.get_with_provenance(SPEC)
+    assert value == VALUE
+    assert prov["attempts"] == 2
+    assert "version" in prov and "created_unix" in prov
+
+
+def test_truncated_entry_detected_evicted_recomputed(tmp_path):
+    cache, metrics = _cache(tmp_path)
+    path = cache.put(SPEC, VALUE)
+    blob = open(path, encoding="utf-8").read()
+    with open(path, "w", encoding="utf-8") as fp:
+        fp.write(blob[: len(blob) // 2])  # torn mid-envelope
+    assert cache.get(SPEC) is None
+    assert not os.path.exists(path), "corrupt entry must be evicted"
+    assert _counter(metrics, "serve.cache.corrupt") == 1
+    # the recompute's put heals the cache
+    cache.put(SPEC, VALUE)
+    assert cache.get(SPEC) == VALUE
+
+
+def test_bit_flip_in_payload_detected(tmp_path):
+    cache, metrics = _cache(tmp_path)
+    path = cache.put(SPEC, VALUE)
+    env = json.load(open(path, encoding="utf-8"))
+    env["value"]["mean"] = 99.0  # flipped bits, checksum now wrong
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(env, fp)
+    assert cache.get(SPEC) is None
+    assert not os.path.exists(path)
+    assert _counter(metrics, "serve.cache.corrupt") == 1
+
+
+def test_schema_mismatch_detected(tmp_path):
+    cache, metrics = _cache(tmp_path)
+    path = cache.put(SPEC, VALUE)
+    env = json.load(open(path, encoding="utf-8"))
+    env["schema"] = CACHE_SCHEMA + 1
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(env, fp)
+    assert cache.get(SPEC) is None
+    assert _counter(metrics, "serve.cache.corrupt") == 1
+
+
+def test_mislabeled_spec_detected(tmp_path):
+    """An envelope whose spec re-digests to a different filename is
+    somebody else's result wearing our name — never serve it."""
+    cache, metrics = _cache(tmp_path)
+    path = cache.put(SPEC, VALUE)
+    env = json.load(open(path, encoding="utf-8"))
+    env["spec"]["params"] = {"value": 4}  # digest no longer matches
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(env, fp)
+    assert cache.get(SPEC) is None
+    assert _counter(metrics, "serve.cache.corrupt") == 1
+
+
+def test_calibration_drift_is_stale_not_corrupt(tmp_path):
+    cache, metrics = _cache(tmp_path)
+    path = cache.put(SPEC, VALUE)
+    env = json.load(open(path, encoding="utf-8"))
+    env["calibration_sha256"] = "0" * 64
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(env, fp)
+    assert cache.get(SPEC) is None
+    assert not os.path.exists(path)
+    assert _counter(metrics, "serve.cache.stale") == 1
+    assert _counter(metrics, "serve.cache.corrupt") == 0
+
+
+def test_value_sha256_is_order_insensitive():
+    assert value_sha256({"a": 1, "b": 2}) == value_sha256({"b": 2, "a": 1})
+    assert value_sha256({"a": 1}) != value_sha256({"a": 2})
+
+
+def test_calibration_sha256_stable():
+    assert calibration_sha256() == calibration_sha256()
+    assert len(calibration_sha256()) == 64
+
+
+def test_cache_sharded_by_digest_prefix(tmp_path):
+    cache, _ = _cache(tmp_path)
+    digest = SPEC.digest()
+    assert cache.path_for(digest).endswith(
+        os.path.join(digest[:2], digest + ".json"))

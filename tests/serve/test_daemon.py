@@ -1,0 +1,343 @@
+"""End-to-end daemon behaviour over a real unix socket and real worker
+subprocesses: caching, coalescing, retry-on-kill, quarantine, replay,
+backpressure, drain, and the single-daemon lock.
+
+Cells are ``synthetic`` (pure function of params + seed, no simulation),
+so every test's assertion about byte-identity is exact, and chaos plans
+(``$REPRO_CHAOS_PLAN``) inject the infrastructure failures.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.runx import CellSpec, LockHeldError
+from repro.runx.cells import run_cell
+from repro.runx.chaos import PLAN_ENV, FaultPlan, FaultRule
+from repro.serve import ServeClient, ServeConfig, ServeError
+from repro.serve.daemon import ServeDaemon
+from repro.serve.queue import DurableQueue
+
+
+def _spec(i=0, **params):
+    return CellSpec(id=f"syn-{i}", fn="synthetic",
+                    params={"value": float(i), **params}, base_seed=100 + i)
+
+
+def _cfg(tmp_path, **kw):
+    kw.setdefault("workers", 1)
+    kw.setdefault("timeout_s", 60.0)
+    kw.setdefault("hb_timeout_s", 10.0)
+    kw.setdefault("restart_backoff_s", 0.05)
+    return ServeConfig(state_dir=str(tmp_path / "state"), **kw)
+
+
+async def _call(client, fn, *args, **kw):
+    """Run a blocking client call off the event loop thread."""
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, lambda: fn(*args, **kw))
+
+
+def _submit_records(specs):
+    return [s.to_record() for s in specs]
+
+
+def _counter(daemon, name):
+    return daemon.metrics.counter(name).value
+
+
+def test_submit_computes_then_serves_from_cache(tmp_path):
+    cfg = _cfg(tmp_path, workers=2)
+    specs = [_spec(i, reps=2) for i in range(4)]
+
+    async def scenario():
+        daemon = ServeDaemon(cfg)
+        await daemon.start()
+        client = ServeClient(socket_path=cfg.resolved_socket())
+        rep1 = await _call(client, client.submit, _submit_records(specs))
+        assert rep1["stats"] == {"cached": 0, "coalesced": 0,
+                                 "submitted": 4, "quarantined": 0}
+        assert all(c["status"] == "ok" for c in rep1["cells"])
+        # the values are exactly what an in-process run produces
+        for spec, cell in zip(specs, rep1["cells"]):
+            assert cell["value"] == run_cell(
+                spec.fn, spec.params, spec.base_seed)
+        completed = _counter(daemon, "serve.jobs.completed")
+        rep2 = await _call(client, client.submit, _submit_records(specs))
+        assert rep2["stats"]["cached"] == 4
+        assert _counter(daemon, "serve.jobs.completed") == completed, \
+            "a fully cached resubmission must not recompute anything"
+        assert ([c["value"] for c in rep1["cells"]]
+                == [c["value"] for c in rep2["cells"]])
+        await daemon.drain()
+
+    asyncio.run(scenario())
+
+
+def test_identical_inflight_submissions_coalesce(tmp_path):
+    cfg = _cfg(tmp_path)
+    spec = _spec(0, sleep_s=0.8)
+
+    async def scenario():
+        daemon = ServeDaemon(cfg)
+        await daemon.start()
+        client = ServeClient(socket_path=cfg.resolved_socket())
+        a = asyncio.ensure_future(
+            _call(client, client.submit, _submit_records([spec])))
+        # second identical submission lands while the first computes
+        await asyncio.sleep(0.2)
+        b = asyncio.ensure_future(
+            _call(client, client.submit, _submit_records([spec])))
+        rep_a, rep_b = await asyncio.gather(a, b)
+        stats = [rep_a["stats"], rep_b["stats"]]
+        assert sorted(s["submitted"] for s in stats) == [0, 1]
+        assert sorted(s["coalesced"] for s in stats) == [0, 1]
+        assert rep_a["cells"][0]["value"] == rep_b["cells"][0]["value"]
+        assert _counter(daemon, "serve.jobs.completed") == 1
+        await daemon.drain()
+
+    asyncio.run(scenario())
+
+
+def test_killed_worker_retried_same_seed_byte_identical(tmp_path, monkeypatch):
+    """Chaos SIGKILLs the worker on attempt 0; the retry must succeed
+    and — because serve retries reuse the same seed — produce exactly
+    the value an uninterrupted run would have."""
+    spec = _spec(0, reps=3)
+    plan = tmp_path / "plan.json"
+    FaultPlan([FaultRule(match=spec.id, fault="kill",
+                         attempts=(0,))]).write(str(plan))
+    monkeypatch.setenv(PLAN_ENV, str(plan))
+    cfg = _cfg(tmp_path)
+
+    async def scenario():
+        daemon = ServeDaemon(cfg)
+        await daemon.start()
+        client = ServeClient(socket_path=cfg.resolved_socket())
+        rep = await _call(client, client.submit, _submit_records([spec]))
+        cell = rep["cells"][0]
+        assert cell["status"] == "ok"
+        assert cell["attempts"] == 2
+        assert cell["value"] == run_cell(spec.fn, spec.params, spec.base_seed)
+        assert _counter(daemon, "serve.jobs.requeued") == 1
+        assert _counter(daemon, "serve.workers.restarts") >= 1
+        await daemon.drain()
+
+    asyncio.run(scenario())
+
+
+def test_hung_cell_killed_by_watchdog_then_retried(tmp_path, monkeypatch):
+    plan = tmp_path / "plan.json"
+    spec = _spec(0)
+    FaultPlan([FaultRule(match=spec.id, fault="hang", attempts=(0,),
+                         hang_s=60.0)]).write(str(plan))
+    monkeypatch.setenv(PLAN_ENV, str(plan))
+    cfg = _cfg(tmp_path, timeout_s=2.0, hb_timeout_s=5.0)
+
+    async def scenario():
+        daemon = ServeDaemon(cfg)
+        await daemon.start()
+        client = ServeClient(socket_path=cfg.resolved_socket())
+        rep = await _call(client, client.submit, _submit_records([spec]))
+        assert rep["cells"][0]["status"] == "ok"
+        assert rep["cells"][0]["attempts"] == 2
+        assert _counter(daemon, "serve.jobs.timeouts") == 1
+        await daemon.drain()
+
+    asyncio.run(scenario())
+
+
+def test_poisoned_cell_quarantined_without_killing_the_pool(tmp_path):
+    cfg = _cfg(tmp_path, max_attempts=2)
+    bad = CellSpec(id="bad", fn="synthetic",
+                   params={"raise": "boom"}, base_seed=1)
+    good = _spec(1)
+
+    async def scenario():
+        daemon = ServeDaemon(cfg)
+        await daemon.start()
+        client = ServeClient(socket_path=cfg.resolved_socket())
+        rep = await _call(client, client.submit,
+                          _submit_records([bad, good]))
+        by_id = {c["id"]: c for c in rep["cells"]}
+        assert by_id["bad"]["status"] == "quarantined"
+        assert by_id["bad"]["attempts"] == 2
+        assert "boom" in by_id["bad"]["error"]
+        assert by_id["syn-1"]["status"] == "ok", \
+            "a poisoned cell must not take the pool down with it"
+        # resubmission answers from the circuit breaker, no recompute
+        requeued = _counter(daemon, "serve.jobs.requeued")
+        rep2 = await _call(client, client.submit, _submit_records([bad]))
+        assert rep2["cells"][0]["status"] == "quarantined"
+        assert rep2["stats"]["quarantined"] == 1
+        assert _counter(daemon, "serve.jobs.requeued") == requeued
+        await daemon.drain()
+        # ... and the quarantine record survives the daemon
+        state = DurableQueue(
+            os.path.join(cfg.state_dir, "queue.jsonl")).replay()
+        assert bad.digest() in state.quarantined
+
+    asyncio.run(scenario())
+
+
+def test_saturated_submit_refused_with_retry_after(tmp_path):
+    cfg = _cfg(tmp_path, max_pending=1, est_cell_s=3.0)
+
+    async def scenario():
+        daemon = ServeDaemon(cfg)
+        await daemon.start()
+        client = ServeClient(socket_path=cfg.resolved_socket())
+        slow = _spec(0, sleep_s=1.5)
+        await _call(client, client.submit, _submit_records([slow]),
+                    wait=False)
+        with pytest.raises(ServeError) as exc:
+            await _call(client, client.submit,
+                        _submit_records([_spec(1), _spec(2)]))
+        assert exc.value.code == "saturated"
+        assert exc.value.retry_after and exc.value.retry_after > 0
+        assert _counter(daemon, "serve.rejected.saturated") == 1
+        # nothing about the refused submit was accepted
+        assert len(daemon._inflight) == 1
+        await daemon.drain()
+
+    asyncio.run(scenario())
+
+
+def test_draining_daemon_refuses_new_work_then_finishes(tmp_path):
+    cfg = _cfg(tmp_path)
+
+    async def scenario():
+        daemon = ServeDaemon(cfg)
+        await daemon.start()
+        client = ServeClient(socket_path=cfg.resolved_socket())
+        slow = _spec(0, sleep_s=1.2)
+        await _call(client, client.submit, _submit_records([slow]),
+                    wait=False)
+        rep = await _call(client, client.drain)
+        assert rep["draining"] is True
+        with pytest.raises(ServeError) as exc:
+            await _call(client, client.submit, _submit_records([_spec(1)]))
+        assert exc.value.code == "draining"
+        await daemon.wait_stopped()
+        # the in-flight cell was finished, cached, and acked
+        assert daemon.cache.get(slow) is not None
+        state = DurableQueue(
+            os.path.join(cfg.state_dir, "queue.jsonl")).replay()
+        assert state.pending == {}
+
+    asyncio.run(scenario())
+
+
+def test_boot_replays_accepted_jobs_from_journal(tmp_path):
+    """Jobs fsync'd by a daemon that was kill -9'd are owed: a fresh
+    daemon on the same state dir must complete them."""
+    cfg = _cfg(tmp_path, workers=2)
+    specs = [_spec(i) for i in range(3)]
+    os.makedirs(cfg.state_dir)
+    journal = DurableQueue(os.path.join(cfg.state_dir, "queue.jsonl"))
+    for s in specs:
+        journal.record_job(s.digest(), s.to_record())
+
+    async def scenario():
+        daemon = ServeDaemon(cfg)
+        await daemon.start()
+        assert _counter(daemon, "serve.jobs.replayed") == 3
+        # a waiting resubmission coalesces onto the replayed jobs
+        client = ServeClient(socket_path=cfg.resolved_socket())
+        rep = await _call(client, client.submit, _submit_records(specs))
+        assert all(c["status"] == "ok" for c in rep["cells"])
+        assert rep["stats"]["submitted"] == 0
+        for spec, cell in zip(specs, rep["cells"]):
+            assert cell["value"] == run_cell(
+                spec.fn, spec.params, spec.base_seed)
+        await daemon.drain()
+        state = journal.replay()
+        assert state.pending == {}
+
+    asyncio.run(scenario())
+
+
+def test_boot_replay_completes_from_cache_without_recompute(tmp_path):
+    """The write-then-ack crash window: cache entry written, done record
+    not.  Replay must ack from the cache, not recompute."""
+    cfg = _cfg(tmp_path)
+    spec = _spec(0)
+    os.makedirs(cfg.state_dir)
+    journal = DurableQueue(os.path.join(cfg.state_dir, "queue.jsonl"))
+    journal.record_job(spec.digest(), spec.to_record())
+    from repro.serve.cache import ResultCache
+
+    ResultCache(os.path.join(cfg.state_dir, "cache")).put(
+        spec, run_cell(spec.fn, spec.params, spec.base_seed))
+
+    async def scenario():
+        daemon = ServeDaemon(cfg)
+        await daemon.start()
+        assert _counter(daemon, "serve.jobs.replayed") == 0
+        assert _counter(daemon, "serve.jobs.completed") == 0
+        client = ServeClient(socket_path=cfg.resolved_socket())
+        rep = await _call(client, client.submit, _submit_records([spec]))
+        assert rep["cells"][0]["status"] == "ok"
+        assert rep["stats"]["cached"] == 1
+        await daemon.drain()
+
+    asyncio.run(scenario())
+
+
+def test_second_daemon_on_same_state_dir_fails_fast(tmp_path):
+    cfg = _cfg(tmp_path)
+
+    async def scenario():
+        first = ServeDaemon(cfg)
+        await first.start()
+        second = ServeDaemon(ServeConfig(
+            state_dir=cfg.state_dir,
+            socket_path=str(tmp_path / "other.sock")))
+        with pytest.raises(LockHeldError):
+            await second.start()
+        await first.drain()
+
+    asyncio.run(scenario())
+
+
+def test_malformed_submissions_rejected_typed(tmp_path):
+    cfg = _cfg(tmp_path)
+
+    async def scenario():
+        daemon = ServeDaemon(cfg)
+        await daemon.start()
+        client = ServeClient(socket_path=cfg.resolved_socket())
+        with pytest.raises(ServeError) as exc:
+            await _call(client, client.submit, [])
+        assert exc.value.code == "bad-request"
+        with pytest.raises(ServeError) as exc:
+            await _call(client, client.submit, [{"fn": "synthetic"}])
+        assert exc.value.code == "bad-request"
+        with pytest.raises(ServeError) as exc:
+            await _call(client, client.request, {"op": "frobnicate"})
+        assert exc.value.code == "bad-request"
+        await daemon.drain()
+
+    asyncio.run(scenario())
+
+
+def test_status_and_metrics_ops(tmp_path):
+    cfg = _cfg(tmp_path, workers=2)
+
+    async def scenario():
+        daemon = ServeDaemon(cfg)
+        await daemon.start()
+        client = ServeClient(socket_path=cfg.resolved_socket())
+        await _call(client, client.submit, _submit_records([_spec(0)]))
+        st = await _call(client, client.status)
+        assert st["inflight"] == 0 and not st["draining"]
+        assert len(st["workers"]) == 2
+        assert st["cache"]["entries"] == 1
+        assert st["counters"]["serve.jobs.completed"] == 1
+        prom = await _call(client, client.metrics)
+        assert "repro_serve_jobs_completed_total 1" in prom
+        await daemon.drain()
+
+    asyncio.run(scenario())
