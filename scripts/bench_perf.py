@@ -5,7 +5,8 @@ The perf trajectory of this repo: every run emits one JSON document
 
     {"benches": {name: {"wall_s": float, "events": int|null,
                         "events_per_s": float|null}},
-     "reps": int, "quick": bool, "python": "3.x.y"}
+     "reps": int, "quick": bool, "python": "3.x.y",
+     "numpy": "x.y.z"|null, "engine": "py"|"vec"}
 
 and, when a baseline file is available (``--baseline``, default
 ``benchmarks/results/BENCH_perf_baseline.json``), a ``"speedup"``
@@ -19,9 +20,14 @@ Benches
     sleeping, waking each other through events, and racing timeouts
     (cancellation pressure).  ``events`` is the number of heap pushes.
 ``rate_churn``
-    :class:`~repro.simx.rate.RateExecutor` reassignment throughput —
-    the freeze/unfreeze/sibling-change hot path of the CPU model.
-    ``events`` counts individual item-rate updates applied.
+    Rate-executor reassignment throughput at table-sweep occupancy (16
+    items — the scalar regime under both engines; see ``rate_vec`` for
+    the vector regime).  ``events`` counts item-rate updates applied.
+``rate_vec``
+    The same churn shape at 256 resident items — past
+    ``VecRateExecutor.VEC_MIN``, so under ``REPRO_ENGINE=vec`` the
+    numpy sync/reschedule kernels carry every pass (scalar loops under
+    ``REPRO_ENGINE=py``).  ``events`` counts item-rate updates applied.
 ``bt_cell``
     One Table-1 cell: NPB BT class A on 16 single-rank nodes under the
     long-SMI profile (the tentpole's ≥1.5× target cell).
@@ -31,9 +37,15 @@ Benches
     One Figure-1 left-panel line: Convolve cache-unfriendly on 8 CPUs,
     baseline + two SMI intervals.
 
+The cell benches report ``events`` too (engine heap pushes), measured by
+one extra *untimed* run with a metrics registry attached — the timed
+reps stay uninstrumented, so ``wall_s`` is comparable with historical
+baselines while ``events_per_s`` becomes comparable across machines.
+
 Methodology: one untimed warmup rep, then median of ``--reps`` (default
 5) timed reps.  ``--quick`` switches to 1 rep of scaled-down workloads —
-the CI smoke mode (informational artifact, not a gate).
+the CI smoke mode.  CI gates on ``engine_churn``/``rate_churn``
+regressions via ``scripts/check_perf.py``.
 """
 
 from __future__ import annotations
@@ -99,13 +111,13 @@ def engine_churn(scale: int) -> int:
 
 
 def rate_churn(scale: int) -> int:
-    """RateExecutor reassignment churn; returns item-rate updates applied."""
+    """Rate-executor reassignment churn; returns item-rate updates applied."""
     from repro.simx.engine import Engine
-    from repro.simx.rate import RateExecutor, WorkItem
+    from repro.simx.rate import WorkItem, make_rate_executor
 
     eng = Engine()
     done = []
-    ex = RateExecutor(eng, done.append)
+    ex = make_rate_executor(eng, done.append)
     n_items = 16
     items = [WorkItem(eng, demand=1e15, name=f"w{j}") for j in range(n_items)]
     for it in items:
@@ -129,33 +141,72 @@ def rate_churn(scale: int) -> int:
     return updates
 
 
-def bt_cell() -> int:
+def rate_vec(scale: int) -> int:
+    """Vector-regime churn: one executor holding 256 items (past
+    ``VecRateExecutor.VEC_MIN``), full positional reassignment each
+    burst; returns item-rate updates applied."""
+    from repro.simx.engine import Engine
+    from repro.simx.rate import WorkItem, make_rate_executor
+
+    eng = Engine()
+    done = []
+    ex = make_rate_executor(eng, done.append)
+    n_items = 256
+    for j in range(n_items):
+        ex.add(WorkItem(eng, demand=1e15, name=f"v{j}"))
+    updates = 0
+
+    def churner():
+        nonlocal updates
+        for r in range(scale):
+            ex.set_rates_seq(
+                [0.5 + ((r + j) % 5) for j in range(n_items)])
+            updates += n_items
+            yield 50  # ns between reassignment bursts
+
+    eng.process(churner(), name="vchurn")
+    eng.run()
+    return updates
+
+
+def bt_cell(metrics=None) -> int:
     from repro.apps.nas.params import NasClass
     from repro.apps.nas.study import NasConfig, run_nas_config
 
     cfg = NasConfig("BT", NasClass("A"), nodes=16, ranks_per_node=1)
-    run_nas_config(cfg, smm=2, seed=1)
+    run_nas_config(cfg, smm=2, seed=1, metrics=metrics)
     return 0
 
 
-def ft_cell() -> int:
+def ft_cell(metrics=None) -> int:
     from repro.apps.nas.params import NasClass
     from repro.apps.nas.study import NasConfig, run_nas_config
 
     cfg = NasConfig("FT", NasClass("A"), nodes=4, ranks_per_node=4)
-    run_nas_config(cfg, smm=2, seed=1)
+    run_nas_config(cfg, smm=2, seed=1, metrics=metrics)
     return 0
 
 
-def figure1_line(quick: bool) -> int:
+def figure1_line(quick: bool, metrics=None) -> int:
     from repro.runx.cells import convolve_line_cell
 
     intervals = [50] if quick else [16, 50]
     convolve_line_cell(
         {"config": "CacheUnfriendly", "cpus": 8, "intervals_ms": intervals},
-        seed=1,
+        seed=1, metrics=metrics,
     )
     return 0
+
+
+def _scheduled_events(fn: Callable[..., int]) -> int:
+    """Engine heap pushes of one deterministic cell run, via one extra
+    instrumented (and untimed) execution."""
+    from repro.obs.metrics import MetricsRegistry
+
+    reg = MetricsRegistry()
+    fn(metrics=reg)
+    inst = reg.get("engine.events.scheduled")
+    return int(inst.value) if inst is not None else 0
 
 
 # -- harness ------------------------------------------------------------------
@@ -168,6 +219,7 @@ def _time_one(fn: Callable[[], int]) -> Tuple[float, int]:
 
 def run_bench(
     name: str, fn: Callable[[], int], reps: int,
+    events_fn: Optional[Callable[[], int]] = None,
 ) -> Dict[str, Optional[float]]:
     _time_one(fn)  # warmup (imports, allocator, branch caches)
     walls = []
@@ -175,6 +227,8 @@ def run_bench(
     for _ in range(reps):
         w, events = _time_one(fn)
         walls.append(w)
+    if events_fn is not None:
+        events = events_fn()  # untimed instrumented run
     wall = statistics.median(walls)
     return {
         "wall_s": round(wall, 6),
@@ -199,12 +253,17 @@ def main(argv=None) -> int:
 
     reps = 1 if args.quick else args.reps
     scale = 2_000 if args.quick else 20_000
-    benches: Dict[str, Callable[[], int]] = {
-        "engine_churn": lambda: engine_churn(scale),
-        "rate_churn": lambda: rate_churn(scale),
-        "bt_cell": bt_cell,
-        "ft_cell": ft_cell,
-        "figure1_line": lambda: figure1_line(args.quick),
+    vec_scale = max(1, scale // 4)  # 256 items/burst: same update budget
+    benches: Dict[str, Tuple[Callable[[], int], Optional[Callable[[], int]]]] = {
+        "engine_churn": (lambda: engine_churn(scale), None),
+        "rate_churn": (lambda: rate_churn(scale), None),
+        "rate_vec": (lambda: rate_vec(vec_scale), None),
+        "bt_cell": (bt_cell, lambda: _scheduled_events(bt_cell)),
+        "ft_cell": (ft_cell, lambda: _scheduled_events(ft_cell)),
+        "figure1_line": (
+            lambda: figure1_line(args.quick),
+            lambda: _scheduled_events(
+                lambda metrics=None: figure1_line(args.quick, metrics))),
     }
     if args.only:
         unknown = set(args.only) - set(benches)
@@ -213,18 +272,26 @@ def main(argv=None) -> int:
         benches = {k: v for k, v in benches.items() if k in args.only}
 
     results: Dict[str, Dict] = {}
-    for name, fn in benches.items():
+    for name, (fn, events_fn) in benches.items():
         print(f"[bench] {name} ...", flush=True)
-        results[name] = run_bench(name, fn, reps)
+        results[name] = run_bench(name, fn, reps, events_fn)
         r = results[name]
         eps = f", {r['events_per_s']:,.0f} ev/s" if r["events_per_s"] else ""
         print(f"[bench] {name}: {r['wall_s']:.4f}s{eps}", flush=True)
 
+    try:
+        import numpy
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    from repro.simx.rate import current_engine
     doc = {
         "benches": results,
         "reps": reps,
         "quick": bool(args.quick),
         "python": platform.python_version(),
+        "numpy": numpy_version,
+        "engine": current_engine(),
     }
     if args.baseline and os.path.exists(args.baseline):
         with open(args.baseline, encoding="utf-8") as fp:

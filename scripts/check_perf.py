@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Perf gate: fail CI when the simulator's hot loops regress.
+
+Compares a fresh ``BENCH_perf.json`` (from ``scripts/bench_perf.py``)
+against the committed baseline
+(``benchmarks/results/BENCH_perf_baseline.json``) and exits nonzero if
+any gated bench's wall clock regressed more than the allowed fraction
+(default 20%).  Only the pure-simulator churn benches are gated by
+default — ``engine_churn`` and ``rate_churn`` are deterministic,
+allocation-light, and dominated by the interpreter, so a >20% move on a
+warm runner is a real code regression, not scheduling noise.  The cell
+benches stay informational (they are noisier and already covered by the
+golden-cell identity tests).
+
+The two documents must be comparable: same ``quick`` flag (quick mode
+scales the workloads down 10×) — mismatches are an error, not a pass.
+
+Usage::
+
+    python scripts/bench_perf.py --reps 3 --only engine_churn \
+        --only rate_churn -o BENCH_gate.json
+    python scripts/check_perf.py BENCH_gate.json
+
+Exit codes: 0 within budget, 1 regression, 2 unusable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    "benchmarks", "results", "BENCH_perf_baseline.json")
+DEFAULT_GATED = ("engine_churn", "rate_churn")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="BENCH_perf.json to check")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--max-regression", type=float,
+                    default=float(os.environ.get(
+                        "REPRO_PERF_MAX_REGRESSION", "0.20")),
+                    help="allowed fractional wall-clock regression "
+                         "(default 0.20; env REPRO_PERF_MAX_REGRESSION)")
+    ap.add_argument("--bench", action="append", default=None,
+                    help="gate this bench (repeatable; default "
+                         f"{', '.join(DEFAULT_GATED)})")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.current, encoding="utf-8") as fp:
+            cur = json.load(fp)
+        with open(args.baseline, encoding="utf-8") as fp:
+            base = json.load(fp)
+    except (OSError, ValueError) as exc:
+        print(f"check_perf: cannot read inputs: {exc}", file=sys.stderr)
+        return 2
+    if bool(cur.get("quick")) != bool(base.get("quick")):
+        print("check_perf: quick/full mismatch between current "
+              f"(quick={cur.get('quick')}) and baseline "
+              f"(quick={base.get('quick')}); workloads are not comparable",
+              file=sys.stderr)
+        return 2
+
+    gated = args.bench or list(DEFAULT_GATED)
+    failures = []
+    for name in gated:
+        c = cur.get("benches", {}).get(name)
+        b = base.get("benches", {}).get(name)
+        if not c or not c.get("wall_s"):
+            print(f"check_perf: bench {name!r} missing from {args.current}",
+                  file=sys.stderr)
+            return 2
+        if not b or not b.get("wall_s"):
+            print(f"check_perf: bench {name!r} missing from baseline "
+                  f"{args.baseline}", file=sys.stderr)
+            return 2
+        ratio = c["wall_s"] / b["wall_s"]
+        verdict = "OK"
+        if ratio > 1.0 + args.max_regression:
+            verdict = "REGRESSION"
+            failures.append(name)
+        print(f"check_perf: {name:<14} {b['wall_s']:.4f}s -> "
+              f"{c['wall_s']:.4f}s  ({ratio:.3f}x baseline)  {verdict}")
+    if failures:
+        print(f"check_perf: FAIL — {', '.join(failures)} regressed more "
+              f"than {100 * args.max_regression:.0f}% vs {args.baseline}",
+              file=sys.stderr)
+        return 1
+    print(f"check_perf: all gated benches within "
+          f"{100 * args.max_regression:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -867,6 +867,12 @@ def _serve_status(args: argparse.Namespace) -> int:
     cache = st.get("cache", {})
     print(f"cache: {cache.get('entries', 0)} entries at "
           f"{cache.get('root', '?')}")
+    engine = st.get("engine", {})
+    if engine:
+        bl = engine.get("baseline_cache", {})
+        print(f"engine: {engine.get('name', '?')}, baseline cache "
+              f"{bl.get('entries', 0)} entries "
+              f"({bl.get('hits', 0)} hits, {bl.get('misses', 0)} misses)")
     for w in workers:
         print(f"  worker {w['slot']}: pid {w.get('pid')} {w['state']}"
               + (f" job {w['job']}" if w.get("job") else "")

@@ -136,6 +136,47 @@ class CacheHierarchy:
             self._eff_cache[key] = eff
         return eff
 
+    def efficiency_solo(self, profile: WorkloadProfile) -> float:
+        """:meth:`efficiency` for a profile that is alone at both sharing
+        levels — the steady state of one-rank-per-node sweeps.  The
+        context sums collapse to the profile's own working set, so the
+        memo key is ``(profile, ws, ws)``: the same key (and the same
+        float) the general path produces for this configuration."""
+        ws = profile.working_set_bytes
+        key = (profile, ws, ws)
+        eff = self._eff_cache.get(key)
+        if eff is None:
+            extra_dram, extra_mid = self._contention_ws(profile, ws, ws)
+            eff = 1.0 / profile.cost_per_op(extra_dram, extra_mid)
+            self._eff_cache[key] = eff
+        return eff
+
+    def efficiencies(
+        self,
+        profiles: Sequence[WorkloadProfile],
+        core_coresidents: Iterable[WorkloadProfile],
+        socket_coresidents: Iterable[WorkloadProfile],
+    ) -> list:
+        """:meth:`efficiency` for every profile of one CPU's resident
+        set, sharing one context.  The working-set sums — identical for
+        every item on the CPU — are folded once instead of once per item
+        (same left-to-right ``sum`` order, so each returned float is the
+        exact value :meth:`efficiency` computes)."""
+        core_ws = sum(p.working_set_bytes for p in core_coresidents)
+        socket_ws = sum(p.working_set_bytes for p in socket_coresidents)
+        cache = self._eff_cache
+        out = []
+        for profile in profiles:
+            key = (profile, core_ws, socket_ws)
+            eff = cache.get(key)
+            if eff is None:
+                extra_dram, extra_mid = self._contention_ws(
+                    profile, core_ws, socket_ws)
+                eff = 1.0 / profile.cost_per_op(extra_dram, extra_mid)
+                cache[key] = eff
+            out.append(eff)
+        return out
+
 
 def nehalem_hierarchy(l1_kb: int = 32, l2_kb: int = 256, l3_mb: int = 8) -> CacheHierarchy:
     """A realistic Nehalem-generation hierarchy (E5520/E5620 family):

@@ -26,10 +26,10 @@ fluid model (DESIGN.md §5.1) is exact between transitions.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, List, Optional, TYPE_CHECKING
 
 from repro.simx.engine import Engine
-from repro.simx.rate import RateExecutor, WorkItem
+from repro.simx.rate import WorkItem, make_rate_executor
 from repro.machine.profile import WorkloadProfile
 from repro.machine.topology import LogicalCpuState
 
@@ -46,7 +46,8 @@ class LogicalCpu:
         self.node = node
         self.state = state
         self.engine: Engine = node.engine
-        self.executor = RateExecutor(self.engine, self._on_item_complete)
+        self.executor = make_rate_executor(
+            self.engine, self._on_item_complete, self._busy_changed)
         #: callback(work_item) invoked when a segment finishes (set by scheduler)
         self.on_segment_done: Optional[Callable[[WorkItem], None]] = None
         #: persistent rate multiplier in (0, 1]; < 1 models a straggler
@@ -95,6 +96,11 @@ class LogicalCpu:
         if self.on_segment_done is not None:
             self.on_segment_done(item)
 
+    def _busy_changed(self, busy: bool) -> None:
+        # Executor 0↔nonzero membership transition: keep the node's
+        # busy-CPU list current (the basis of every O(busy) rate pass).
+        self.node._cpu_busy_changed(self, busy)
+
     # -- fault injection ----------------------------------------------------
     def degrade(self, factor: float) -> None:
         """Persistently scale this CPU's deliverable rate by ``factor``
@@ -123,21 +129,23 @@ class LogicalCpu:
         combined_yield = sum(p.htt_yield for p in mix) / len(mix)
         return base * combined_yield / 2.0
 
-    def compute_rates(self, ctx=None) -> Dict[WorkItem, float]:
-        """New rate (work units per *nanosecond*) for every resident segment.
+    def compute_rates(self, ctx=None) -> List[float]:
+        """New rate (work units per *nanosecond*) for every resident
+        segment, positionally aligned with ``executor.items`` (feed the
+        result to :meth:`repro.simx.rate.RateExecutor.set_rates_seq`).
 
         ``ctx`` is an optional ``(per_cpu_profiles, per_socket_profiles)``
         pair precomputed by :meth:`repro.machine.node.Node.apply_rates`;
         without it the per-CPU scans below rebuild the same lists (same
         element order, so the arithmetic is identical either way).
         """
-        items = list(self.executor.items)
+        items = self.executor.items
         if not items:
-            return {}
+            return []
         if ctx is None:
             gross = self.gross_hz()
             if gross <= 0.0:
-                return {item: 0.0 for item in items}
+                return [0.0] * len(items)
             # Cache context: co-residents at core level (this cpu + sibling)
             # and socket level (all cpus of the socket).
             core_profiles = self._core_profiles()
@@ -147,7 +155,7 @@ class LogicalCpu:
             # (their contribution to every list below is empty anyway).
             profs, socket_profs = ctx
             if self.node._frozen or not self.state.online:
-                return {item: 0.0 for item in items}
+                return [0.0] * len(items)
             sib_state = self.state.sibling
             sib_profiles = (
                 profs.get(sib_state.index)
@@ -167,33 +175,34 @@ class LogicalCpu:
                 core_profiles = list(profs[self.index])
                 gross = base
             if gross <= 0.0:
-                return {item: 0.0 for item in items}
+                return [0.0] * len(items)
             socket_profiles = socket_profs.get(self.state.core.socket, [])
         share_hz = gross / len(items)
         hier = self.node.cache_hierarchy
-        rates: Dict[WorkItem, float] = {}
-        for item in items:
-            prof: WorkloadProfile = item.meta.profile
-            eff = hier.efficiency(prof, core_profiles, socket_profiles)
-            rates[item] = share_hz * eff / 1e9
-        return rates
+        effs = hier.efficiencies(
+            [item.meta.profile for item in items], core_profiles, socket_profiles)
+        return [share_hz * eff / 1e9 for eff in effs]
 
-    def compute_rates_solo(self) -> Dict[WorkItem, float]:
+    def compute_rates_solo(self) -> List[float]:
         """Rates when this is the only busy CPU on its node: the sibling
         is necessarily idle (gross = base) and this CPU's residents are
         the entire core *and* socket profile context.  Must only be called
-        with a non-empty executor."""
-        items = list(self.executor._rates)
+        with a non-empty executor.  Positionally aligned with
+        ``executor.items``, like :meth:`compute_rates`."""
+        items = self.executor.items
         if self.node._frozen or not self.state.online:
-            return {item: 0.0 for item in items}
+            return [0.0] * len(items)
+        node = self.node
+        if len(items) == 1:
+            # One segment on the node's one busy CPU — the hot state of
+            # every one-rank-per-node sweep.  sum(ws for [p]) == p.ws
+            # exactly, so the memo key (and the rate) is unchanged.
+            eff = node.cache_hierarchy.efficiency_solo(items[0].meta.profile)
+            return [node.spec.base_hz * self.degradation * eff / 1e9]
         profiles = [item.meta.profile for item in items]
-        share_hz = self.node.spec.base_hz * self.degradation / len(items)
-        hier = self.node.cache_hierarchy
-        rates: Dict[WorkItem, float] = {}
-        for item in items:
-            eff = hier.efficiency(item.meta.profile, profiles, profiles)
-            rates[item] = share_hz * eff / 1e9
-        return rates
+        share_hz = node.spec.base_hz * self.degradation / len(items)
+        effs = node.cache_hierarchy.efficiencies(profiles, profiles, profiles)
+        return [share_hz * eff / 1e9 for eff in effs]
 
     def _core_profiles(self) -> List[WorkloadProfile]:
         out = list(self.profiles())

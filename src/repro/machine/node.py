@@ -36,6 +36,12 @@ from repro.machine.topology import MachineSpec, Topology
 __all__ = ["Node"]
 
 
+def _cpu_index(cpu: "LogicalCpu") -> int:
+    """Sort key for batch-flush ordering (module-level: no per-call
+    closure allocation on the batch exit path)."""
+    return cpu.index
+
+
 class Node:
     """One simulated machine."""
 
@@ -81,6 +87,14 @@ class Node:
         self._deferred: List[Callable[[], None]] = []
         self._unfreeze_listeners: List[Callable[[], None]] = []
         self._batch_depth = 0
+        # Busy-CPU set, maintained by executor membership callbacks and
+        # kept in ascending CPU-index order: every rate pass (sync /
+        # apply_rates / batch flush) walks exactly the CPUs that hold
+        # work, in the same order the full-topology scans they replace
+        # visited them.  On a 16-CPU node running one rank, that is 1
+        # visit instead of 16 on each of the hottest paths.
+        self._busy: List[LogicalCpu] = []
+        self._batch_flush: Optional[List[LogicalCpu]] = None
         self.topology.add_listener(self._on_hotplug)
 
     # -- basic accessors -------------------------------------------------------
@@ -112,16 +126,41 @@ class Node:
         return [c for c in self.cpus if c.state.online]
 
     # -- rate bookkeeping --------------------------------------------------
+    def _cpu_busy_changed(self, cpu: LogicalCpu, busy: bool) -> None:
+        """Executor membership callback: maintain the busy-CPU list (in
+        CPU index order) and, mid-batch, extend timer deferral to CPUs
+        that become busy after the batch opened."""
+        busy_list = self._busy
+        if busy:
+            i = len(busy_list)
+            idx = cpu.index
+            while i > 0 and busy_list[i - 1].index > idx:
+                i -= 1
+            busy_list.insert(i, cpu)
+            if self._batch_depth > 0:
+                ex = cpu.executor
+                if not ex._defer:
+                    ex._defer = True
+                    self._batch_flush.append(cpu)
+        else:
+            busy_list.remove(cpu)
+
     def sync(self) -> None:
         """Integrate all executors and the accounting up to *now* at the
         currently-assigned rates.  Must be called *before* any mutation
         that changes rates (placement, freeze, hotplug)."""
         if self.scheduler is not None:
             self.scheduler.accounting.advance()
-        for cpu in self.cpus:
-            # An empty executor has nothing to integrate, and add() syncs
-            # before admitting — its clock cannot go stale.
-            if cpu.executor._rates:
+        # Empty executors have nothing to integrate, and add() syncs
+        # before admitting — their clocks cannot go stale.  Iterate a
+        # snapshot: completions inside sync() shrink the busy list.
+        busy = self._busy
+        if not busy:
+            return
+        if len(busy) == 1:
+            busy[0].executor.sync()
+        else:
+            for cpu in busy[:]:
                 cpu.executor.sync()
 
     def begin_rate_batch(self) -> None:
@@ -129,26 +168,37 @@ class Node:
         in a ``finally``; re-entrant — nested batches are absorbed into
         the outermost one).
 
-        Inside the batch every executor defers its next-completion-timer
-        rescheduling; the outermost exit flushes dirty executors in CPU
-        index order.  Work integration (sync) stays eager, so completions
-        and their follow-up events are unaffected; the flush order equals
-        the order the legacy code issued its *final* (surviving) timer
-        pushes, so the event sequence is byte-identical.  Plain calls
-        rather than a contextmanager: the generator protocol is measurable
-        on this path (one batch per placement/completion/freeze).
+        Inside the batch every busy executor defers its
+        next-completion-timer rescheduling (CPUs that *become* busy
+        mid-batch join via :meth:`_cpu_busy_changed`); the outermost exit
+        flushes dirty executors in CPU index order.  Work integration
+        (sync) stays eager, so completions and their follow-up events are
+        unaffected; the flush order equals the order the legacy code
+        issued its *final* (surviving) timer pushes, so the event
+        sequence is byte-identical.  Plain calls rather than a
+        contextmanager: the generator protocol is measurable on this path
+        (one batch per placement/completion/freeze).
         """
         depth = self._batch_depth
         self._batch_depth = depth + 1
         if depth == 0:
-            for cpu in self.cpus:
+            flush = self._busy[:]
+            for cpu in flush:
                 cpu.executor._defer = True
+            self._batch_flush = flush
 
     def end_rate_batch(self) -> None:
         depth = self._batch_depth - 1
         self._batch_depth = depth
         if depth == 0:
-            for cpu in self.cpus:
+            flush = self._batch_flush
+            self._batch_flush = None
+            if len(flush) > 1:
+                # Mid-batch joiners append out of order; the flush (and
+                # hence surviving-timer push) order must be CPU index
+                # order to match the all-CPUs scan this replaces.
+                flush.sort(key=_cpu_index)
+            for cpu in flush:
                 ex = cpu.executor
                 ex._defer = False
                 if ex._dirty:
@@ -172,7 +222,7 @@ class Node:
         per-CPU scans they replace, so float summation order — and hence
         every computed rate — is bit-identical).
         """
-        busy = [cpu for cpu in self.cpus if cpu.executor._rates]
+        busy = self._busy
         if not busy:
             return
         if len(busy) == 1:
@@ -180,11 +230,12 @@ class Node:
             # sweeps): its sibling is idle and it alone populates its
             # socket's profile list — skip the context build entirely.
             cpu = busy[0]
-            cpu.executor.set_rates(cpu.compute_rates_solo())
+            cpu.executor.set_rates_seq(cpu.compute_rates_solo())
             return
+        busy = busy[:]  # the per-CPU installs below must see one snapshot
         profs: Dict[int, List] = {}
         for cpu in busy:
-            profs[cpu.index] = [item.meta.profile for item in cpu.executor._rates]
+            profs[cpu.index] = [item.meta.profile for item in cpu.executor.items]
         # Idle CPUs contribute nothing to a socket's profile list, so
         # accumulating over busy CPUs (still in index order) matches the
         # all-online-CPUs scan this replaces element for element.
@@ -198,7 +249,7 @@ class Node:
                 acc += profs[cpu.index]
         ctx = (profs, socket_profs)
         for cpu in busy:
-            cpu.executor.set_rates(cpu.compute_rates(ctx))
+            cpu.executor.set_rates_seq(cpu.compute_rates(ctx))
 
     def recompute(self) -> None:
         """sync + apply_rates — the one call sites use after any change."""

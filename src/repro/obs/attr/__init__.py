@@ -16,6 +16,13 @@ from repro.obs.attr.profile import RunProfile, build_profile
 from repro.obs.attr.critical import CriticalPath, critical_path
 from repro.obs.attr.decompose import Decomposition, decompose
 from repro.obs.attr.explain import CellAttribution, attribute_cell, render_explain
+from repro.obs.attr.baseline import (
+    BaselineProfile,
+    BaselineStore,
+    baseline_digest,
+    global_store,
+    reset_global_store,
+)
 
 __all__ = [
     "AttrCapture",
@@ -28,4 +35,9 @@ __all__ = [
     "CellAttribution",
     "attribute_cell",
     "render_explain",
+    "BaselineProfile",
+    "BaselineStore",
+    "baseline_digest",
+    "global_store",
+    "reset_global_store",
 ]

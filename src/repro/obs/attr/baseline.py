@@ -1,0 +1,225 @@
+"""Shared-baseline memoization for the attribution engine.
+
+Every ``--attr`` cell runs *two* simulations: the noisy one it is
+reporting on and a zero-SMI baseline to difference against
+(:func:`repro.obs.attr.explain.attribute_cell`).  Across a table sweep
+the baseline is wildly redundant: all SMI classes of one
+(bench, class, nodes, rpn, htt) configuration share the *same* SMM-0
+run — same config, same seed, same payload, byte for byte.
+
+This module memoizes that baseline.  The key is a content digest in the
+style of :meth:`repro.runx.spec.CellSpec.digest` — sha256 over the
+canonical JSON of everything that determines the baseline run — and the
+value is a :class:`BaselineProfile`: the slim, JSON-able projection of a
+baseline :class:`~repro.obs.attr.profile.RunProfile` that
+:func:`~repro.obs.attr.decompose.decompose` actually reads (per-rank
+wait/queue/SMM-wait/stolen/true totals plus the elapsed time).  Because
+the projection preserves every number exactly (ints verbatim; floats
+survive JSON round-trips bit-for-bit), a decomposition against a cached
+baseline is identical to one against a fresh run.
+
+Reuse crosses process boundaries through serialization, not shared
+memory: the sweep runner attaches its known records to each worker
+request and absorbs the records new workers produce
+(:mod:`repro.runx.runner` / :mod:`repro.runx.worker`), and the serve
+daemon does the same across its long-lived worker pool
+(:mod:`repro.serve.pool` / :mod:`repro.serve.workproc`), surfacing
+``engine.baseline_cache.{hits,misses}`` in ``repro-smm status``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "baseline_digest",
+    "BaselineRank",
+    "BaselineProfile",
+    "BaselineStore",
+    "global_store",
+    "reset_global_store",
+]
+
+
+def baseline_digest(
+    bench: str,
+    cls: str,
+    nodes: int,
+    rpn: int,
+    htt: bool,
+    seed: int,
+) -> str:
+    """Content digest of one zero-SMI baseline run: (app, class,
+    topology, seed).  The SMI class and interval deliberately are not in
+    the key — the baseline is SMM 0 regardless of which noisy class asks,
+    and a run with no SMIs never consumes the interval (or, it turns out,
+    the seed: the zero-SMI simulation is fully deterministic, which
+    ``tests/obs/test_attr_baseline.py`` pins down as the invariant this
+    memo leans on).  Seed stays in the key anyway so the store provably
+    never serves one seed's entry for another's lookup."""
+    blob = json.dumps(
+        ["attr-baseline", bench, cls, int(nodes), int(rpn), bool(htt),
+         int(seed)],
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+class BaselineRank:
+    """Per-rank baseline totals — exactly the five fields
+    :func:`~repro.obs.attr.decompose.decompose` reads from the baseline
+    side of the difference."""
+
+    __slots__ = ("rank", "wait_ns", "queue_ns", "smm_wait_ns",
+                 "stolen_ns", "true_ns")
+
+    def __init__(self, rank: int, wait_ns: int, queue_ns: int,
+                 smm_wait_ns: int, stolen_ns: float, true_ns: float):
+        self.rank = rank
+        self.wait_ns = wait_ns
+        self.queue_ns = queue_ns
+        self.smm_wait_ns = smm_wait_ns
+        self.stolen_ns = stolen_ns
+        self.true_ns = true_ns
+
+
+class BaselineProfile:
+    """The decompose-facing projection of a baseline run profile.
+
+    Duck-typed stand-in for :class:`~repro.obs.attr.profile.RunProfile`
+    on the *baseline* side of :func:`decompose` — it exposes ``ranks``,
+    ``elapsed_app_s`` and ``span_ns`` and nothing else (the noisy side
+    needs the full profile; the baseline side never did).
+    """
+
+    __slots__ = ("elapsed_app_s", "span_ns", "ranks")
+
+    def __init__(self, elapsed_app_s: Optional[float], span_ns: int,
+                 ranks: Dict[int, BaselineRank]):
+        self.elapsed_app_s = elapsed_app_s
+        self.span_ns = span_ns
+        self.ranks = ranks
+
+    @classmethod
+    def from_profile(cls, prof) -> "BaselineProfile":
+        """Project a full :class:`RunProfile` down to the baseline view."""
+        ranks = {
+            r: BaselineRank(r, rp.wait_ns, rp.queue_ns, rp.smm_wait_ns,
+                            rp.stolen_ns, rp.true_ns)
+            for r, rp in prof.ranks.items()
+        }
+        return cls(prof.elapsed_app_s, prof.span_ns, ranks)
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-able record.  Ints serialize verbatim and floats survive
+        a ``json.dumps``/``loads`` round-trip exactly (repr-based), so
+        ``from_record(to_record())`` reproduces every field bit-for-bit."""
+        return {
+            "elapsed_app_s": self.elapsed_app_s,
+            "span_ns": self.span_ns,
+            "ranks": [
+                [br.rank, br.wait_ns, br.queue_ns, br.smm_wait_ns,
+                 br.stolen_ns, br.true_ns]
+                for br in (self.ranks[r] for r in sorted(self.ranks))
+            ],
+        }
+
+    @classmethod
+    def from_record(cls, rec: Dict[str, Any]) -> "BaselineProfile":
+        ranks = {
+            int(row[0]): BaselineRank(int(row[0]), row[1], row[2], row[3],
+                                      row[4], row[5])
+            for row in rec["ranks"]
+        }
+        return cls(rec.get("elapsed_app_s"), rec["span_ns"], ranks)
+
+
+class BaselineStore:
+    """Digest-keyed baseline cache with hit/miss accounting.
+
+    Thread-safe: the sweep runner's worker threads and the attribution
+    engine may share one instance.  ``put`` tracks which digests this
+    process produced so :meth:`drain_new` can ship exactly the fresh
+    records upstream (worker reply → runner / daemon) without resending
+    what came down in the request.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._new: List[str] = []
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, digest: str) -> Optional[BaselineProfile]:
+        """Cached baseline profile, or ``None`` (counted as a miss —
+        the caller is about to run the baseline for real)."""
+        with self._lock:
+            rec = self._records.get(digest)
+            if rec is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+        return BaselineProfile.from_record(rec)
+
+    def put(self, digest: str, profile: BaselineProfile) -> None:
+        """Record a freshly computed baseline (marked for drain_new)."""
+        rec = profile.to_record()
+        with self._lock:
+            if digest not in self._records:
+                self._records[digest] = rec
+                self._new.append(digest)
+
+    def absorb(self, pairs) -> None:
+        """Merge ``[[digest, record], ...]`` from an upstream cache —
+        not counted as hits/misses and not re-exported by drain_new."""
+        with self._lock:
+            for digest, rec in pairs:
+                self._records.setdefault(digest, rec)
+
+    def export_all(self) -> List[Tuple[str, Dict[str, Any]]]:
+        """Every known ``(digest, record)`` pair — what a dispatcher
+        attaches to a worker request."""
+        with self._lock:
+            return [(d, rec) for d, rec in self._records.items()]
+
+    def drain_new(self) -> List[Tuple[str, Dict[str, Any]]]:
+        """``(digest, record)`` pairs :meth:`put` added since the last
+        drain — what a worker sends back upstream."""
+        with self._lock:
+            out = [(d, self._records[d]) for d in self._new]
+            self._new = []
+            return out
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._records)}
+
+
+_global: Optional[BaselineStore] = None
+_global_lock = threading.Lock()
+
+
+def global_store() -> BaselineStore:
+    """The process-wide store :func:`attribute_cell` defaults to."""
+    global _global
+    if _global is None:
+        with _global_lock:
+            if _global is None:
+                _global = BaselineStore()
+    return _global
+
+
+def reset_global_store() -> BaselineStore:
+    """Replace the process-wide store (tests; seed isolation checks)."""
+    global _global
+    with _global_lock:
+        _global = BaselineStore()
+    return _global

@@ -66,9 +66,18 @@ class Decomposition:
         }
 
 
-def decompose(noisy: RunProfile, base: RunProfile, tolerance: float = 0.05
+def decompose(noisy: RunProfile, base, tolerance: float = 0.05
               ) -> Decomposition:
-    """Split ``noisy - base`` along the noisy run's terminal rank."""
+    """Split ``noisy - base`` along the noisy run's terminal rank.
+
+    ``base`` is the zero-SMI reference: either a full
+    :class:`RunProfile` or any profile-like object exposing ``ranks``
+    (with per-rank ``wait_ns``/``queue_ns``/``smm_wait_ns``/
+    ``stolen_ns``/``true_ns``), ``elapsed_app_s`` and ``span_ns`` — in
+    particular the memoized
+    :class:`~repro.obs.attr.baseline.BaselineProfile` projection, which
+    preserves those fields bit-for-bit, so a decomposition against a
+    cached baseline equals one against the fresh run."""
     r = noisy.terminal_rank
     if r not in base.ranks:
         raise ValueError(

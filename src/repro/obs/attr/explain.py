@@ -38,13 +38,21 @@ def _duty_nominal(smm: int, interval_jiffies: int) -> float:
 
 @dataclass
 class CellAttribution:
-    """Everything :func:`attribute_cell` produced for one cell."""
+    """Everything :func:`attribute_cell` produced for one cell.
+
+    ``base`` is the full baseline :class:`RunProfile` when the baseline
+    was simulated in this call, or the memoized
+    :class:`~repro.obs.attr.baseline.BaselineProfile` projection when it
+    came out of the shared-baseline store (the decomposition is
+    identical either way — the projection preserves every field
+    ``decompose`` reads, bit for bit).
+    """
 
     report: Dict[str, Any]
     decomposition: Decomposition
     critical: CriticalPath
     noisy: RunProfile
-    base: RunProfile
+    base: Any
     noisy_timeline: Any = None
 
 
@@ -60,10 +68,36 @@ def attribute_cell(
     metrics=None,
     trace: bool = False,
     tolerance: float = 0.05,
+    baselines=None,
+    baseline_seed: Optional[int] = None,
+    noisy_capture: Optional[AttrCapture] = None,
+    noisy_timeline=None,
 ) -> Optional[CellAttribution]:
-    """Run + attribute one cell; None for infeasible configurations."""
+    """Run + attribute one cell; None for infeasible configurations.
+
+    ``baselines`` is the :class:`~repro.obs.attr.baseline.BaselineStore`
+    to memoize the zero-SMI run through; ``None`` uses the process-wide
+    store, so every noisy class of one configuration within a process
+    (and, via the runner/daemon wiring, across worker processes) pays
+    for exactly one baseline simulation.
+
+    ``baseline_seed`` keys (and seeds) the zero-SMI run; ``None`` uses
+    the noisy ``seed``.  The zero-SMI simulation is seed-deterministic,
+    so a sweep may point every SMI class of one configuration at a
+    canonical baseline seed — the table's SMM-0 column — and share a
+    single baseline run without changing a bit of any report
+    (:func:`repro.runx.cells.nas_cell` does exactly that).
+
+    ``noisy_capture`` (with ``noisy_timeline``) is an already-populated
+    capture of the noisy run at this exact (params, seed); when given,
+    the noisy simulation is not repeated.  The capture layer is passive,
+    so a capture taken during a sweep's first repetition is
+    byte-identical to a dedicated replay.
+    """
     from repro.apps.nas.params import NasClass
     from repro.apps.nas.study import NasConfig, run_nas_config
+    from repro.obs.attr.baseline import (
+        BaselineProfile, baseline_digest, global_store)
     from repro.simx.timeline import Timeline
 
     if smm <= 0:
@@ -72,20 +106,37 @@ def attribute_cell(
     if isinstance(cls, str):
         cls = NasClass(cls.upper())
     cfg = NasConfig(bench, cls, nodes=nodes, ranks_per_node=rpn, htt=htt)
-    base_cap = AttrCapture(metrics=metrics)
-    base_s = run_nas_config(
-        cfg, smm=0, seed=seed, interval_jiffies=interval_jiffies,
-        timeline=Timeline(), metrics=metrics, attr=base_cap,
-    )
-    if base_s is None:
-        return None
-    noisy_cap = AttrCapture(metrics=metrics)
-    noisy_tl = Timeline()
-    run_nas_config(
-        cfg, smm=smm, seed=seed, interval_jiffies=interval_jiffies,
-        timeline=noisy_tl, metrics=metrics, attr=noisy_cap, trace=trace,
-    )
-    base = build_profile(base_cap)
+    store = baselines if baselines is not None else global_store()
+    bseed = seed if baseline_seed is None else int(baseline_seed)
+    digest = baseline_digest(
+        cfg.bench, cfg.cls.value, nodes, rpn, htt, bseed)
+    base = store.get(digest)
+    if base is None:
+        base_cap = AttrCapture(metrics=metrics)
+        base_s = run_nas_config(
+            cfg, smm=0, seed=bseed, interval_jiffies=interval_jiffies,
+            timeline=Timeline(), metrics=metrics, attr=base_cap,
+        )
+        if base_s is None:
+            return None
+        base = build_profile(base_cap)
+        store.put(digest, BaselineProfile.from_profile(base))
+        if metrics is not None:
+            metrics.counter(
+                "attr.baseline.misses", "baseline runs simulated").inc()
+    elif metrics is not None:
+        metrics.counter(
+            "attr.baseline.hits",
+            "baseline runs satisfied from the shared store").inc()
+    if noisy_capture is not None:
+        noisy_cap, noisy_tl = noisy_capture, noisy_timeline
+    else:
+        noisy_cap = AttrCapture(metrics=metrics)
+        noisy_tl = Timeline()
+        run_nas_config(
+            cfg, smm=smm, seed=seed, interval_jiffies=interval_jiffies,
+            timeline=noisy_tl, metrics=metrics, attr=noisy_cap, trace=trace,
+        )
     noisy = build_profile(noisy_cap)
     dec = decompose(noisy, base, tolerance=tolerance)
     cp = critical_path(noisy)

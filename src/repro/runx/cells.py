@@ -17,7 +17,7 @@ import importlib
 import time
 from typing import Any, Callable, Dict, Optional
 
-from repro.core.experiment import rep_seed, run_repeated
+from repro.core.experiment import SMM_SEED_STRIDE, rep_seed, run_repeated
 
 __all__ = ["resolve", "run_cell", "REGISTRY"]
 
@@ -39,11 +39,12 @@ def nas_cell(params: Dict, seed: int, metrics=None) -> Dict:
     the legacy path.
 
     When the spec carries ``params["attr"]`` (the harness's ``--attr``
-    rewrite) each noisy cell additionally runs the attribution engine on
-    its first repetition's seed and attaches the resulting ``attribution``
-    report to the payload — omitted for infeasible and zero-SMI cells.
-    The attribution runs are separate capture-enabled replays, so the
-    averaged ``values`` stay bit-identical to a sweep without ``--attr``.
+    rewrite) each noisy cell additionally runs the attribution engine and
+    attaches the resulting ``attribution`` report to the payload —
+    omitted for infeasible and zero-SMI cells.  The capture layer is
+    passive, so the averaged ``values`` stay bit-identical to a sweep
+    without ``--attr``; see :func:`_nas_cell_attr` for how an attributed
+    sweep shares its zero-SMI work across cells.
     """
     from repro.apps.nas.params import NasClass
     from repro.apps.nas.study import NasConfig, run_nas_config
@@ -55,21 +56,95 @@ def nas_cell(params: Dict, seed: int, metrics=None) -> Dict:
     fault_rules = params.get("faults")
     if fault_rules:
         return _nas_cell_faulted(cfg, params, seed, metrics, fault_rules)
+    if params.get("attr"):
+        return _nas_cell_attr(cfg, params, seed, metrics)
     m = run_repeated(
         lambda s: run_nas_config(cfg, smm=params["smm"], seed=s,
                                  metrics=metrics),
         reps=params["reps"],
         base_seed=seed,
     )
-    payload: Dict[str, Any] = {"values": m.values if m is not None else None}
-    if params.get("attr") and params["smm"] and m is not None:
-        from repro.obs.attr import attribute_cell
+    return {"values": m.values if m is not None else None}
 
+
+def _nas_cell_attr(cfg, params: Dict, seed: int, metrics) -> Dict:
+    """The attributed twin of :func:`nas_cell`'s repetition loop, built
+    around the shared-baseline store (:mod:`repro.obs.attr.baseline`).
+
+    The table harnesses derive cell seeds as ``smm_cell_seed(sweep_seed,
+    smm)`` — a fixed stride per SMI class — so subtracting the stride
+    recovers the sweep's SMM-0 column seed.  That seed is the canonical
+    baseline key every SMI class of one configuration shares: the
+    zero-SMI simulation is seed-deterministic (pinned by
+    ``tests/obs/test_attr_baseline.py``), so the shared run is
+    byte-identical to the per-cell replays it replaces.  Concretely:
+
+    * an ``smm == 0`` cell runs its (identical) repetitions once, with
+      capture attached, and publishes the profile to the store;
+    * a noisy cell reuses its *first repetition* as the attribution
+      capture (the capture layer is passive) and differences against the
+      stored baseline — on a hit it runs zero extra simulations.
+
+    A quick attributed table sweep thus runs 3 simulations per
+    (class, row, rpn) group where it used to run 7.
+    """
+    from repro.apps.nas.study import run_nas_config
+    from repro.obs.attr import attribute_cell
+    from repro.obs.attr.baseline import (
+        BaselineProfile, baseline_digest, global_store)
+    from repro.obs.attr.capture import AttrCapture
+    from repro.obs.attr.profile import build_profile
+    from repro.simx.timeline import Timeline
+
+    smm = params["smm"]
+    reps = params["reps"]
+    if not smm:
+        # The SMM-0 column *is* the baseline: one capture-enabled run
+        # serves this cell's repetitions (identical by determinism) and
+        # seeds the store for every noisy class of this configuration.
+        store = global_store()
+        digest = baseline_digest(
+            cfg.bench, cfg.cls.value, cfg.nodes, cfg.ranks_per_node,
+            cfg.htt, seed)
+        prof = store.get(digest)
+        v = prof.elapsed_app_s if prof is not None else None
+        if v is None:
+            cap = AttrCapture(metrics=metrics)
+            v = run_nas_config(cfg, smm=0, seed=rep_seed(seed, 0),
+                               timeline=Timeline(), metrics=metrics,
+                               attr=cap)
+            if v is None:
+                return {"values": None}
+            store.put(digest, BaselineProfile.from_profile(
+                build_profile(cap)))
+            if metrics is not None:
+                metrics.counter(
+                    "attr.baseline.misses", "baseline runs simulated").inc()
+        elif metrics is not None:
+            metrics.counter(
+                "attr.baseline.hits",
+                "baseline runs satisfied from the shared store").inc()
+        return {"values": [v] * reps}
+
+    cap = AttrCapture(metrics=metrics)
+    timeline = Timeline()
+
+    def _rep(s: int) -> Optional[float]:
+        if s == rep_seed(seed, 0):
+            return run_nas_config(cfg, smm=smm, seed=s, metrics=metrics,
+                                  timeline=timeline, attr=cap)
+        return run_nas_config(cfg, smm=smm, seed=s, metrics=metrics)
+
+    m = run_repeated(_rep, reps=reps, base_seed=seed)
+    payload: Dict[str, Any] = {"values": m.values if m is not None else None}
+    if m is not None:
         a = attribute_cell(
             params["bench"], cls=params["cls"], nodes=params["nodes"],
-            rpn=params["rpn"], smm=params["smm"],
+            rpn=params["rpn"], smm=smm,
             seed=rep_seed(seed, 0), htt=params.get("htt", False),
             metrics=metrics,
+            baseline_seed=seed - SMM_SEED_STRIDE * smm,
+            noisy_capture=cap, noisy_timeline=timeline,
         )
         if a is not None:
             payload["attribution"] = a.report

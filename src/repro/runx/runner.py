@@ -101,6 +101,7 @@ class SweepRunner:
         manifest=None,
         journal=None,
         progress: Optional[Callable[[str], None]] = None,
+        baselines=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -117,6 +118,13 @@ class SweepRunner:
         self.manifest = manifest
         self.journal = journal
         self.progress = progress
+        #: Shared-baseline store for ``--attr`` sweeps: worker requests
+        #: carry every record the sweep has produced so far, and worker
+        #: replies feed new records back, so one zero-SMI baseline run
+        #: serves every SMI class of its configuration across the whole
+        #: sweep (and across process boundaries).  Lazily created on
+        #: first use; pass one in to share it across runners.
+        self.baselines = baselines
         self._lock = threading.Lock()
         self._drain = threading.Event()
         self._done = 0
@@ -313,15 +321,32 @@ class SweepRunner:
                         None)
         return self._attempt_process(spec, attempt, seed)
 
+    def _baseline_store(self):
+        store = self.baselines
+        if store is None:
+            with self._lock:
+                if self.baselines is None:
+                    from repro.obs.attr.baseline import BaselineStore
+
+                    self.baselines = BaselineStore()
+                store = self.baselines
+        return store
+
     def _attempt_process(
         self, spec: CellSpec, attempt: int, seed: int,
     ) -> Tuple[Optional[Dict], Optional[str], Optional[Dict]]:
-        request = json.dumps({
+        req: Dict = {
             "spec": spec.to_record(),
             "attempt": attempt,
             "seed": seed,
             "metrics": self.metrics is not None,
-        })
+        }
+        wants_baselines = bool(spec.params.get("attr"))
+        if wants_baselines:
+            known = self._baseline_store().export_all()
+            if known:
+                req["baselines"] = known
+        request = json.dumps(req)
         env = self._env
         if env is None:
             with self._lock:
@@ -358,6 +383,8 @@ class SweepRunner:
             else:
                 err = "worker produced no result record"
             return None, err + (f"; stderr: {tail}" if tail else ""), None
+        if reply.get("baselines"):
+            self._baseline_store().absorb(reply["baselines"])
         if self.metrics is not None and reply.get("metrics"):
             with self._lock:
                 self.metrics.merge_snapshot(reply["metrics"])

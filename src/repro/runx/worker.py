@@ -28,6 +28,22 @@ import traceback
 RESULT_SENTINEL = "RUNX-RESULT "
 
 
+def _attach_baselines(reply: dict) -> None:
+    """Ship freshly computed baseline records (and the hit/miss tally)
+    back to the runner.  Checked via ``sys.modules`` so cells that never
+    touched the attribution engine pay no import."""
+    mod = sys.modules.get("repro.obs.attr.baseline")
+    if mod is None:
+        return
+    store = mod.global_store()
+    new = store.drain_new()
+    if new:
+        reply["baselines"] = new
+    if store.hits or store.misses:
+        reply["baseline_stats"] = {"hits": store.hits,
+                                   "misses": store.misses}
+
+
 def main() -> int:
     try:
         req = json.load(sys.stdin)
@@ -50,12 +66,21 @@ def main() -> int:
     from repro.obs.metrics import MetricsRegistry
     from repro.runx.cells import run_cell
 
+    # Shared-baseline seeding: the runner attaches the baseline records
+    # its sweep has already produced; attr cells then skip the zero-SMI
+    # run entirely (repro.obs.attr.baseline).
+    if req.get("baselines"):
+        from repro.obs.attr.baseline import global_store
+
+        global_store().absorb(req["baselines"])
+
     registry = MetricsRegistry() if req.get("metrics") else None
     reply: dict
     try:
         value = run_cell(spec["fn"], spec.get("params", {}), seed,
                          metrics=registry)
         reply = {"ok": True, "value": value}
+        _attach_baselines(reply)
         if registry is not None:
             reply["metrics"] = registry.snapshot()
     except FaultedRunError as exc:

@@ -180,10 +180,19 @@ class Scheduler:
         ]
 
     def _pick_cpu(self, task: Task) -> Optional["LogicalCpu"]:
-        best = None
-        best_key = None
         affinity = task.affinity
         cpus = self.node.cpus
+        if affinity is None and not self.node._busy:
+            # Whole node idle (the steady state of one-rank-per-node
+            # sweeps, where this runs once per compute segment): every
+            # candidate scores (0, 0, index) — the minimum is simply the
+            # first online CPU, no 16-way key scan needed.
+            for c in cpus:
+                if c.state.online:
+                    return c
+            return None
+        best = None
+        best_key = None
         for c in cpus:
             state = c.state
             if not state.online:
@@ -194,11 +203,11 @@ class Scheduler:
             sib_busy = (
                 sibling is not None
                 and sibling.online
-                and cpus[sibling.index].executor._rates
+                and len(cpus[sibling.index].executor)
             )
             # (my load, sibling busy, index) — spread across physical
             # cores first, deterministic tie-break by cpu index.
-            key = (len(c.executor._rates), 1 if sib_busy else 0, state.index)
+            key = (len(c.executor), 1 if sib_busy else 0, state.index)
             if best_key is None or key < best_key:
                 best, best_key = c, key
         return best
@@ -216,8 +225,12 @@ class Scheduler:
         # Survivors on this CPU (and HTT siblings) now deserve a larger
         # share — recompute rates.  Deferred to +0 ns because completion
         # fires from inside an executor sync; recomputing re-entrantly
-        # would corrupt the integration in progress.
-        self.engine._post(0, self.node.recompute, (), False)
+        # would corrupt the integration in progress.  If the departure
+        # left the whole node idle there is nothing to recompute: the
+        # executor already evicted the item, so _busy is current, and a
+        # no-op recompute would only burn an event slot.
+        if self.node._busy:
+            self.engine._post(0, self.node.recompute, (), False)
         # The departure may also have left an imbalance (this CPU idle
         # while a neighbour is stacked) — idle balance.
         self._maybe_idle_balance()
@@ -244,20 +257,19 @@ class Scheduler:
             self.rebalance()
 
     def _maybe_idle_balance(self) -> None:
-        stacked = idle = False
-        for c in self.node.cpus:
-            if not c.state.online:
-                continue
-            n = len(c.executor._rates)
-            if n >= 2:
+        if self._rebalance_pending:
+            return
+        # A busy CPU is never offline (offlining with work resident
+        # raises), so "some online CPU is idle" is a pure count check
+        # and "some CPU is stacked" is a walk of the busy list only.
+        node = self.node
+        busy = node._busy
+        stacked = False
+        for c in busy:
+            if len(c.executor) >= 2:
                 stacked = True
-                if idle:
-                    break
-            elif n == 0:
-                idle = True
-                if stacked:
-                    break
-        if stacked and idle and not self._rebalance_pending:
+                break
+        if stacked and node.topology.n_online > len(busy):
             self._rebalance_pending = True
             self.engine.schedule(IDLE_BALANCE_NS, self._deferred_rebalance)
 
@@ -274,7 +286,7 @@ class Scheduler:
         if self._m_rebalances is not None:
             self._m_rebalances.value += 1
         items: List[WorkItem] = []
-        for cpu in self.node.cpus:
+        for cpu in self.node._busy:
             items.extend(cpu.executor.items)
         if not items:
             return

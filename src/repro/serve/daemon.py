@@ -61,6 +61,17 @@ __all__ = ["ServeConfig", "ServeDaemon", "run"]
 log = logging.getLogger(__name__)
 
 
+def _engine_name() -> str:
+    """The rate engine workers will run (``py``/``vec``), for status
+    output; an unusable ``$REPRO_ENGINE`` is reported, not raised."""
+    from repro.simx.rate import SimulationError, current_engine
+
+    try:
+        return current_engine()
+    except SimulationError as exc:
+        return f"invalid ({exc})"
+
+
 @dataclass
 class ServeConfig:
     """Everything the daemon needs to know, CLI-shaped."""
@@ -100,8 +111,18 @@ class ServeDaemon:
 
     def __init__(self, config: ServeConfig,
                  metrics: Optional[MetricsRegistry] = None):
+        from repro.obs.attr.baseline import BaselineStore
+
         self.config = config
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Daemon-lifetime pool of zero-SMI baseline profiles.  Workers
+        #: return every baseline they compute (Outcome.baselines); the
+        #: daemon ships the accumulated set back out with each
+        #: attribution job, so one (bench, class, shape, seed) config
+        #: pays for its baseline once per daemon, not once per cell.
+        self.baselines = BaselineStore()
+        self._baseline_hits = 0
+        self._baseline_misses = 0
         self._lock = SingleWriterLock(
             os.path.join(config.state_dir, "daemon.lock"))
         self.cache: Optional[ResultCache] = None
@@ -162,6 +183,7 @@ class ServeDaemon:
             timeout_s=cfg.timeout_s, hb_timeout_s=cfg.hb_timeout_s,
             restart_backoff_s=cfg.restart_backoff_s,
             max_backoff_s=cfg.max_backoff_s, metrics=self.metrics,
+            baseline_source=self._baselines_for,
         )
         self._replay_pending(state.pending)
         await self.pool.start()
@@ -379,8 +401,25 @@ class ServeDaemon:
             entry.update(await fut)
         return {"ok": True, "cells": entries, "stats": stats}
 
+    def _baselines_for(self, spec_rec: Dict[str, Any]) -> Optional[list]:
+        """Pool dispatch hook: seed an attribution job with every
+        baseline record the daemon has accumulated.  Non-attr cells get
+        nothing — they could not use the records and the job line stays
+        small."""
+        if not (spec_rec.get("params") or {}).get("attr"):
+            return None
+        return self.baselines.export_all() or None
+
     # -- result flow ----------------------------------------------------------
     async def _on_result(self, order: WorkOrder, outcome: Outcome) -> None:
+        # Harvest baselines before any terminal-state checks: even a
+        # result that raced a quarantine carries profiles worth keeping.
+        if outcome.baselines:
+            self.baselines.absorb(outcome.baselines)
+        if outcome.baseline_stats:
+            self._baseline_hits += int(outcome.baseline_stats.get("hits", 0))
+            self._baseline_misses += int(
+                outcome.baseline_stats.get("misses", 0))
         job = self._inflight.get(order.digest)
         if job is None or job.order is not order:
             return  # already terminal (e.g. quarantine raced a kill)
@@ -457,6 +496,14 @@ class ServeDaemon:
             "quarantined": len(self._quarantined),
             "workers": self.pool.snapshot() if self.pool is not None else [],
             "cache": {"entries": len(self.cache), "root": self.cache.root},
+            "engine": {
+                "name": _engine_name(),
+                "baseline_cache": {
+                    "entries": len(self.baselines),
+                    "hits": self._baseline_hits,
+                    "misses": self._baseline_misses,
+                },
+            },
             "counters": counters,
         }
 

@@ -60,11 +60,14 @@ class WorkOrder:
 class Outcome:
     """What happened to one attempt."""
 
-    __slots__ = ("ok", "value", "error", "failed_in_sim", "fault", "infra")
+    __slots__ = ("ok", "value", "error", "failed_in_sim", "fault", "infra",
+                 "baselines", "baseline_stats")
 
     def __init__(self, ok: bool = False, value: Optional[Dict] = None,
                  error: Optional[str] = None, failed_in_sim: bool = False,
-                 fault: Optional[Dict] = None, infra: bool = False):
+                 fault: Optional[Dict] = None, infra: bool = False,
+                 baselines: Optional[list] = None,
+                 baseline_stats: Optional[Dict] = None):
         self.ok = ok
         self.value = value
         self.error = error
@@ -73,6 +76,11 @@ class Outcome:
         #: True when the *infrastructure* failed (worker death, watchdog,
         #: lost heartbeat) rather than the cell itself raising in-band.
         self.infra = infra
+        #: fresh shared-baseline records the worker produced, and its
+        #: hit/miss tally for this job (attr cells only; see
+        #: repro.obs.attr.baseline).
+        self.baselines = baselines
+        self.baseline_stats = baseline_stats
 
 
 class _Slot:
@@ -100,6 +108,8 @@ class WorkerPool:
         restart_backoff_s: float = 0.1,
         max_backoff_s: float = 5.0,
         metrics=None,
+        baseline_source: Optional[Callable[[Dict[str, Any]],
+                                           Optional[list]]] = None,
     ):
         if size < 1:
             raise ValueError("pool size must be >= 1")
@@ -114,6 +124,11 @@ class WorkerPool:
         self._tasks: List[asyncio.Task] = []
         self._stopping = False
         self._env = worker_env()
+        #: Called with the spec record as a job is dispatched; returns the
+        #: ``[[digest, record], ...]`` baseline seed to attach, or None.
+        #: Evaluated at dispatch (not enqueue) time so a job queued behind
+        #: the cell that produces its baseline still benefits from it.
+        self._baseline_source = baseline_source
         if metrics is not None:
             self._c_spawned = metrics.counter(
                 "serve.workers.spawned", "worker subprocesses started")
@@ -236,10 +251,14 @@ class WorkerPool:
         self, proc: asyncio.subprocess.Process, order: WorkOrder,
     ) -> tuple:
         """Returns ``(outcome, worker_still_alive)``."""
-        req = json.dumps(
-            {"kind": "job", "id": order.digest, "spec": order.spec_rec,
-             "seed": order.seed, "attempt": order.attempt},
-            separators=(",", ":")) + "\n"
+        job: Dict[str, Any] = {
+            "kind": "job", "id": order.digest, "spec": order.spec_rec,
+            "seed": order.seed, "attempt": order.attempt}
+        if self._baseline_source is not None:
+            known = self._baseline_source(order.spec_rec)
+            if known:
+                job["baselines"] = known
+        req = json.dumps(job, separators=(",", ":")) + "\n"
         try:
             proc.stdin.write(req.encode())
             await proc.stdin.drain()
@@ -298,7 +317,10 @@ class WorkerPool:
                 continue
             if kind == "result" and rec.get("id") == order.digest:
                 if rec.get("ok"):
-                    return Outcome(ok=True, value=rec.get("value")), True
+                    return Outcome(
+                        ok=True, value=rec.get("value"),
+                        baselines=rec.get("baselines"),
+                        baseline_stats=rec.get("baseline_stats")), True
                 return Outcome(
                     error=str(rec.get("error", "?")),
                     failed_in_sim=bool(rec.get("failed_in_sim")),

@@ -67,6 +67,32 @@ def _heartbeat(emitter: _Emitter, active: Dict[str, Optional[str]],
                 return
 
 
+def _baseline_stats() -> tuple:
+    """Current (hits, misses) of the process-wide baseline store, without
+    importing it into jobs that never touch attribution."""
+    mod = sys.modules.get("repro.obs.attr.baseline")
+    if mod is None:
+        return 0, 0
+    store = mod.global_store()
+    return store.hits, store.misses
+
+
+def _attach_baselines(result: Dict[str, Any], h0: int, m0: int) -> None:
+    """Add freshly computed baseline records and this job's hit/miss
+    delta (the store is long-lived here, unlike a one-shot runx worker,
+    so the tally must be differenced per job)."""
+    mod = sys.modules.get("repro.obs.attr.baseline")
+    if mod is None:
+        return
+    store = mod.global_store()
+    new = store.drain_new()
+    if new:
+        result["baselines"] = new
+    dh, dm = store.hits - h0, store.misses - m0
+    if dh or dm:
+        result["baseline_stats"] = {"hits": dh, "misses": dm}
+
+
 def _run_job(req: Dict[str, Any], emitter: _Emitter) -> None:
     job_id = req.get("id", "?")
     spec = req.get("spec") or {}
@@ -90,10 +116,22 @@ def _run_job(req: Dict[str, Any], emitter: _Emitter) -> None:
     from repro.faults import FaultedRunError
     from repro.runx.cells import run_cell
 
+    # Shared-baseline seeding: the daemon attaches every baseline record
+    # its sweep history holds; attr cells then skip the zero-SMI replay
+    # (repro.obs.attr.baseline).  New records and the hit/miss tally ride
+    # back on the result line.
+    if req.get("baselines"):
+        from repro.obs.attr.baseline import global_store
+
+        global_store().absorb(req["baselines"])
+    h0, m0 = _baseline_stats()
+
     try:
         value = run_cell(fn, spec.get("params", {}), seed)
-        emitter.emit({"kind": "result", "id": job_id, "ok": True,
-                      "value": value})
+        result = {"kind": "result", "id": job_id, "ok": True,
+                  "value": value}
+        _attach_baselines(result, h0, m0)
+        emitter.emit(result)
     except FaultedRunError as exc:
         # Deterministic in-sim death: terminal, never worth a retry.
         emitter.emit({"kind": "result", "id": job_id, "ok": False,

@@ -23,6 +23,36 @@ Invariants (property-tested in ``tests/simx/test_rate.py``):
 * *Exact completion*: an item completes exactly when its integrated rate
   reaches its demand (to within one nanosecond of timer quantization).
 
+Structure-of-arrays core and the two engines (DESIGN.md §3)
+-----------------------------------------------------------
+Items are stored as parallel arrays — an insertion-ordered item list
+plus a rate column — so ``sync``/``set_rates``/``_reschedule`` are
+single indexed passes over contiguous storage instead of dict
+iterations.  Two interchangeable engines share this layout:
+
+* :class:`RateExecutor` — the pure-Python scalar engine
+  (``REPRO_ENGINE=py``).  No third-party dependencies.
+* :class:`VecRateExecutor` — the vector engine (``REPRO_ENGINE=vec``,
+  the default when numpy is importable).  Below
+  :data:`VecRateExecutor.VEC_MIN` resident items it runs the *same*
+  scalar kernels — the size check is a class-level threshold the scalar
+  engine parks at an unreachable sentinel, so neither engine pays any
+  dispatch overhead on the small executors real workloads live on.  At
+  or above the threshold, ``sync`` and ``_reschedule`` become numpy
+  passes over a lazily-materialized float64 mirror of the
+  remaining-work column (see :class:`VecRateExecutor`).
+
+Both engines are **byte-identical** in observable behaviour: the vector
+kernels perform the exact same IEEE-754 operations per element
+(``rate*dt``, the completion test against ``_EPS_WORK``, the ETA
+``remaining/rate + 0.999999``), accumulate ``total_work_served`` by the
+same left-to-right fold (never ``np.sum``, whose pairwise reduction
+associates differently), and complete simultaneous finishers in
+insertion order.  The golden-cell suite pins this contract.
+
+Use :func:`make_rate_executor` to construct whichever engine
+``$REPRO_ENGINE`` selects (resolved per call, so tests can flip it).
+
 Rate-update coalescing (DESIGN.md §3 "Performance")
 ---------------------------------------------------
 A freeze/unfreeze or placement change used to trigger one full
@@ -43,16 +73,35 @@ mechanisms remove that churn while keeping event order **identical**:
   was pushed (``timer seq == engine seq``).  Re-pushing would then yield
   the adjacent sequence number with no intervening events, so keeping
   the entry is observationally identical.
+
+One hygiene rule on top (the stale-ETA fix): whenever the executor goes
+empty — the last item removed (even inside a deferred-reschedule
+window) or sync completing everything it held — the live timer is
+cancelled *immediately*.  Cancellation is a tombstone (no new event, no
+sequence number), so the event stream is unchanged, but ``_on_timer``
+can no longer fire for an item that is already dead.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import os
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.simx.engine import Engine, Event
 from repro.simx.errors import SimulationError
 
-__all__ = ["WorkItem", "RateExecutor"]
+try:  # numpy is an optional dependency: the scalar engine never needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover — exercised on numpy-free installs
+    _np = None
+
+__all__ = [
+    "WorkItem",
+    "RateExecutor",
+    "VecRateExecutor",
+    "make_rate_executor",
+    "current_engine",
+]
 
 # Completion slack: float rounding can leave a vanishing residue of work;
 # anything below this fraction of a unit counts as done.
@@ -62,6 +111,33 @@ _EPS_WORK = 1e-6
 # assigned rate is effectively zero (denormal floats); schedule nothing and
 # wait for the next rate change instead of overflowing the clock.
 _ETA_CAP = float(1 << 62)
+
+
+def current_engine() -> str:
+    """Resolve ``$REPRO_ENGINE`` to the engine in effect: ``"py"`` or
+    ``"vec"``.  Unset/``auto`` picks ``vec`` when numpy is importable."""
+    kind = os.environ.get("REPRO_ENGINE", "auto").strip().lower() or "auto"
+    if kind == "auto":
+        return "vec" if _np is not None else "py"
+    if kind == "vec":
+        if _np is None:
+            raise SimulationError("REPRO_ENGINE=vec requires numpy")
+        return "vec"
+    if kind == "py":
+        return "py"
+    raise SimulationError(f"unknown REPRO_ENGINE {kind!r} (want py|vec|auto)")
+
+
+def make_rate_executor(
+    engine: Engine,
+    on_complete: Callable[["WorkItem"], None],
+    on_busy_change: Optional[Callable[[bool], None]] = None,
+) -> "RateExecutor":
+    """Construct the executor class ``$REPRO_ENGINE`` selects.  The
+    environment is read per call, so a test can flip engines without
+    re-importing anything."""
+    cls = VecRateExecutor if current_engine() == "vec" else RateExecutor
+    return cls(engine, on_complete, on_busy_change)
 
 
 class WorkItem:
@@ -92,7 +168,9 @@ class WorkItem:
 
 
 class RateExecutor:
-    """Serves :class:`WorkItem`\\ s at externally-assigned rates.
+    """Serves :class:`WorkItem`\\ s at externally-assigned rates (the
+    pure-Python scalar engine; see the module docstring for the engine
+    contract).
 
     The owner (a :class:`repro.machine.cpu.LogicalCpu`) is responsible for
     calling :meth:`set_rates` with a full rate assignment whenever anything
@@ -105,12 +183,28 @@ class RateExecutor:
 
     Completion order among simultaneous finishers follows insertion order
     (deterministic).
+
+    ``on_busy_change(busy)`` — optional — fires on every 0↔nonzero
+    membership transition (the node uses it to maintain its busy-CPU
+    set), *after* the transitioning add/remove mutated storage but
+    before the associated reschedule.
     """
+
+    # Resident-set size at which sync/ETA switch to the numpy kernels.
+    # The scalar engine parks this at an unreachable sentinel so the
+    # size check below compiles down to one always-false comparison;
+    # VecRateExecutor lowers it to VEC_MIN.
+    _vec_min: int = 1 << 62
 
     __slots__ = (
         "engine",
         "on_complete",
-        "_rates",
+        "on_busy_change",
+        "_items",
+        "_index",
+        "_rate",
+        "_rem_np",
+        "_rem_clean_n",
         "_last_sync",
         "_timer",
         "_timer_time",
@@ -120,10 +214,25 @@ class RateExecutor:
         "pre_sync",
     )
 
-    def __init__(self, engine: Engine, on_complete: Callable[[WorkItem], None]):
+    def __init__(
+        self,
+        engine: Engine,
+        on_complete: Callable[[WorkItem], None],
+        on_busy_change: Optional[Callable[[bool], None]] = None,
+    ):
         self.engine = engine
         self.on_complete = on_complete
-        self._rates: Dict[WorkItem, float] = {}  # units per ns
+        self.on_busy_change = on_busy_change
+        # Structure-of-arrays storage: _items[i] runs at _rate[i] units/ns.
+        # _index maps item -> slot; slots shift down on removal so the
+        # array order always equals insertion order (the completion
+        # tie-break contract).  Remaining work lives on the items; the
+        # vector engine mirrors it into a numpy column on demand.
+        self._items: List[WorkItem] = []
+        self._index: Dict[WorkItem, int] = {}
+        self._rate: List[float] = []
+        self._rem_np = None     # float64 mirror of [it.remaining for it in items]
+        self._rem_clean_n = -1  # mirror length when valid; -1 = stale
         self._last_sync = engine.now
         self._timer: Optional[list] = None  # raw engine heap entry
         self._timer_time = 0  # absolute fire time of the live timer
@@ -139,28 +248,59 @@ class RateExecutor:
 
     # -- membership --------------------------------------------------------
     @property
-    def items(self):
-        return self._rates.keys()
+    def items(self) -> List[WorkItem]:
+        """Resident items in insertion order (the live list — don't
+        mutate; callers that remove while iterating must copy first)."""
+        return self._items
 
     def __len__(self) -> int:
-        return len(self._rates)
+        return len(self._items)
 
     def add(self, item: WorkItem, rate: float = 0.0) -> None:
         """Admit an item (initially at ``rate``).  Caller normally follows
         with :meth:`set_rates` to rebalance everyone."""
-        if item in self._rates:
+        if item in self._index:
             raise SimulationError("work item already admitted")
         self.sync()
         if item.started_at is None:
             item.started_at = self.engine.now
-        self._rates[item] = float(rate)
+        items = self._items
+        self._index[item] = len(items)
+        items.append(item)
+        self._rate.append(float(rate))
+        self._rem_clean_n = -1
+        if len(items) == 1 and self.on_busy_change is not None:
+            self.on_busy_change(True)
         self._reschedule()
 
     def remove(self, item: WorkItem) -> None:
         """Evict an item (e.g. the task migrated to another CPU)."""
         self.sync()
-        self._rates.pop(item, None)
+        i = self._index.pop(item, None)
+        if i is not None:
+            self._evict_slot(i)
+            if not self._items:
+                self._cancel_timer()
+                if self.on_busy_change is not None:
+                    self.on_busy_change(False)
         self._reschedule()
+
+    def _evict_slot(self, i: int) -> None:
+        items = self._items
+        del items[i]
+        del self._rate[i]
+        self._rem_clean_n = -1
+        index = self._index
+        for j in range(i, len(items)):
+            index[items[j]] = j
+
+    def _cancel_timer(self) -> None:
+        # Tombstone the live timer (no event, no sequence number): an
+        # empty executor must never fire _on_timer — the stale-ETA rule.
+        timer = self._timer
+        if timer is not None:
+            self.engine._cancel_entry(timer)
+            self._timer = None
 
     # -- rate control ---------------------------------------------------------
     def sync(self) -> None:
@@ -171,14 +311,26 @@ class RateExecutor:
         if dt <= 0:
             return
         self._last_sync = now
-        rates = self._rates
-        if not rates:
+        items = self._items
+        n = len(items)
+        if n == 0:
             return
         if self.pre_sync is not None:
             self.pre_sync(dt)
+        if n >= self._vec_min:
+            self._sync_vec(n, dt)
+            return
+        # The scalar kernel.  It leaves the vector engine's remaining
+        # mirror untouched: validity is keyed on n, and any transition
+        # back into the vector regime requires a membership change,
+        # which invalidates the mirror anyway.
         finished = None
         total = self.total_work_served
-        for item, rate in rates.items():
+        rate_s = self._rate
+        i = 0
+        for item in items:
+            rate = rate_s[i]
+            i += 1
             if rate <= 0.0:
                 continue
             served = rate * dt
@@ -193,8 +345,13 @@ class RateExecutor:
             total += served
         self.total_work_served = total
         if finished is not None:
-            for item in finished:
-                self._complete(item)
+            self._finish_batch(finished)
+
+    def _finish_batch(self, finished: List[WorkItem]) -> None:
+        for item in finished:
+            self._complete(item)
+        if not self._items:
+            self._cancel_timer()
 
     def set_rates(self, rates: Dict[WorkItem, float]) -> None:
         """Assign new rates.  Items not mentioned keep their old rate;
@@ -202,17 +359,37 @@ class RateExecutor:
         :meth:`sync` must already have been called by the code path that
         changed conditions — ``set_rates`` calls it defensively anyway."""
         self.sync()
-        current = self._rates
+        index = self._index
+        rate_s = self._rate
         for item, rate in rates.items():
-            if item not in current:
+            i = index.get(item)
+            if i is None:
                 raise SimulationError("set_rates for unadmitted item")
             if rate < 0:
                 raise ValueError("negative rate")
-            current[item] = float(rate)
+            rate_s[i] = float(rate)
+        self._reschedule()
+
+    def set_rates_seq(self, rates: Sequence[float]) -> None:
+        """Assign new rates positionally: ``rates[i]`` goes to the i-th
+        resident item (insertion order — the order :attr:`items` yields
+        and :meth:`repro.machine.cpu.LogicalCpu.compute_rates` returns).
+        The fast path for full reassignment: no per-item hashing."""
+        self.sync()
+        if len(rates) != len(self._items):
+            raise SimulationError(
+                f"set_rates_seq length {len(rates)} != {len(self._items)} items")
+        rate_s = self._rate
+        i = 0
+        for rate in rates:
+            if rate < 0:
+                raise ValueError("negative rate")
+            rate_s[i] = float(rate)
+            i += 1
         self._reschedule()
 
     def rate_of(self, item: WorkItem) -> float:
-        return self._rates[item]
+        return self._rate[self._index[item]]
 
     # -- coalescing --------------------------------------------------------
     def defer_reschedule(self) -> None:
@@ -231,19 +408,29 @@ class RateExecutor:
 
     # -- internals -------------------------------------------------------------
     def _complete(self, item: WorkItem) -> None:
-        del self._rates[item]
+        i = self._index.pop(item)
+        self._evict_slot(i)
         item.remaining = 0.0
         item.finished_at = self.engine._now
+        if not self._items and self.on_busy_change is not None:
+            self.on_busy_change(False)
         self.on_complete(item)
         if item.done._ok is None:
             item.done.succeed(item)
 
-    def _reschedule(self) -> None:
-        if self._defer:
-            self._dirty = True
-            return
+    def _soonest_eta(self) -> Optional[int]:
+        """Nanoseconds until the earliest completion at current rates
+        (``None``: nothing can complete until rates change)."""
+        items = self._items
+        n = len(items)
+        if n >= self._vec_min:
+            return self._soonest_eta_vec(n)
         soonest: Optional[int] = None
-        for item, rate in self._rates.items():
+        rate_s = self._rate
+        i = 0
+        for item in items:
+            rate = rate_s[i]
+            i += 1
             if rate <= 0.0:
                 continue
             remaining = item.remaining
@@ -261,6 +448,13 @@ class RateExecutor:
                     eta = 1
             if soonest is None or eta < soonest:
                 soonest = eta
+        return soonest
+
+    def _reschedule(self) -> None:
+        if self._defer:
+            self._dirty = True
+            return
+        soonest = self._soonest_eta()
         engine = self.engine
         timer = self._timer
         if soonest is None:
@@ -285,9 +479,115 @@ class RateExecutor:
         self.sync()
         # sync() completed whoever finished; if rounding left stragglers
         # within epsilon, finish them too.
-        leftovers = [
-            it for it, r in self._rates.items() if r > 0 and it.remaining <= _EPS_WORK
-        ]
-        for it in leftovers:
-            self._complete(it)
+        leftovers = None
+        rate_s = self._rate
+        i = 0
+        for item in self._items:
+            rate = rate_s[i]
+            i += 1
+            if rate > 0.0 and item.remaining <= _EPS_WORK:
+                if leftovers is None:
+                    leftovers = [item]
+                else:
+                    leftovers.append(item)
+        if leftovers is not None:
+            self._finish_batch(leftovers)
         self._reschedule()
+
+    # -- vector kernels (reached only when n >= _vec_min, i.e. never on
+    # -- the scalar engine; numpy is guaranteed importable then) -----------
+    def _rem_mirror(self, n: int):
+        rem = self._rem_np
+        if self._rem_clean_n != n:
+            rem = self._rem_np = _np.array(
+                [item.remaining for item in self._items])
+            self._rem_clean_n = n
+        return rem
+
+    def _sync_vec(self, n: int, dt: int) -> None:
+        np = _np
+        rate = np.array(self._rate)
+        rem = self._rem_mirror(n)
+        active = rate > 0.0
+        served = rate * dt
+        served[~active] = 0.0
+        fin_mask = active & (served >= rem - _EPS_WORK)
+        np.copyto(served, rem, where=fin_mask)
+        rem -= served  # in place: the mirror stays valid across syncs
+        # total_work_served is a left-to-right fold in item order — the
+        # scalar contract.  np.sum's pairwise reduction associates
+        # differently and would break byte-identity; adding the 0.0 of
+        # inactive items is an exact identity, so folding the full
+        # column matches the scalar skip-if-idle loop bit for bit.
+        total = self.total_work_served
+        for served_i in served.tolist():
+            total += served_i
+        self.total_work_served = total
+        items = self._items
+        rem_list = rem.tolist()
+        i = 0
+        for item in items:
+            item.remaining = rem_list[i]
+            i += 1
+        if fin_mask.any():
+            # _complete evictions below invalidate the mirror (slots
+            # shift) via _evict_slot — ordering is already correct.
+            finished = [items[i] for i in np.nonzero(fin_mask)[0].tolist()]
+            self._finish_batch(finished)
+
+    def _soonest_eta_vec(self, n: int) -> Optional[int]:
+        np = _np
+        rate = np.array(self._rate)
+        active = rate > 0.0
+        if not active.any():
+            return None
+        rem = self._rem_mirror(n)
+        if bool((active & (rem <= _EPS_WORK)).any()):
+            return 0  # a degenerate zero-demand item completes now
+        # Same per-element arithmetic as the scalar loop; inactive slots
+        # are parked at the cap so they never win the min.
+        eta_f = np.full(n, _ETA_CAP)
+        np.divide(rem, rate, out=eta_f, where=active)
+        eta_f += 0.999999
+        best = float(eta_f.min())
+        if best >= _ETA_CAP:
+            return None
+        eta = int(best)  # floor(min) == min(floor): floor is monotone
+        return eta if eta >= 1 else 1
+
+
+class VecRateExecutor(RateExecutor):
+    """The vector engine: same observable behaviour as the scalar
+    :class:`RateExecutor`, numpy passes for ``sync``/``_reschedule`` once
+    ``len() >= VEC_MIN``.
+
+    Below the threshold it *is* the scalar engine — the kernels live in
+    the base class behind a single size comparison, so the hot
+    real-world executors (one rank per CPU, a handful of stacked
+    threads) pay zero dispatch overhead.  At or above the threshold,
+    sync and ETA passes run as numpy array operations over a
+    lazily-materialized float64 mirror of the remaining-work column:
+    the mirror is rebuilt (one bulk gather) only after membership
+    mutations invalidate it, and vector syncs update it in place, so
+    steady large-n operation pays one ``np.array(rate_list)`` per pass
+    and no gathers.  ``item.remaining`` is written back on every vector
+    sync, so external observers see exactly what the scalar engine
+    shows at the same instants.
+    """
+
+    #: Resident-set size at which the numpy kernels take over; below it,
+    #: numpy call overhead loses to the scalar loop.
+    VEC_MIN = 32
+    _vec_min = VEC_MIN
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        engine: Engine,
+        on_complete: Callable[[WorkItem], None],
+        on_busy_change: Optional[Callable[[bool], None]] = None,
+    ):
+        if _np is None:  # pragma: no cover — guarded by make_rate_executor
+            raise SimulationError("VecRateExecutor requires numpy")
+        super().__init__(engine, on_complete, on_busy_change)

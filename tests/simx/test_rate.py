@@ -212,6 +212,100 @@ def test_float_residue_demand_completes_at_exact_nanosecond():
     assert item.remaining == 0.0
 
 
+class _TimerSpy(RateExecutor):
+    """Records every ``_on_timer`` firing time (the bound method is
+    captured at post time, so the override sees all completion timers)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.fired = []
+
+    def _on_timer(self):
+        self.fired.append(self.engine.now)
+        super()._on_timer()
+
+
+def test_remove_last_item_cancels_completion_timer():
+    """Regression: removing the only in-flight item must cancel its armed
+    completion timer.  A leaked timer is a *foreground* heap entry — it
+    keeps the engine alive, advances the clock to the dead item's old
+    ETA, and fires ``_on_timer`` for an executor with no items."""
+    eng = Engine()
+    done = []
+    ex = _TimerSpy(eng, done.append)
+    item = WorkItem(eng, demand=1000.0)
+    ex.add(item)
+    ex.set_rates({item: 1.0})  # ETA armed for t=1000
+
+    def evict():
+        ex.remove(item)
+        assert ex._timer is None  # cancelled eagerly, not at next flush
+
+    eng.schedule(400, evict)
+    eng.run()
+    assert done == []
+    assert ex.fired == []  # the dead item's timer never fired
+    assert eng.now == 400  # engine halted at eviction, not the stale ETA
+
+
+def test_remove_inside_defer_window_cancels_stale_timer():
+    """Regression: same eviction inside a defer_reschedule window.  The
+    deferred pass only runs at flush, so ``remove`` itself must tear the
+    timer down — otherwise the stale ETA entry survives the window and
+    fires ``_on_timer`` for the dead item."""
+    eng = Engine()
+    done = []
+    ex = _TimerSpy(eng, done.append)
+    item = WorkItem(eng, demand=1000.0)
+    ex.add(item)
+    ex.set_rates({item: 1.0})
+
+    def evict_batched():
+        ex.defer_reschedule()
+        try:
+            ex.remove(item)
+            # Eager cancellation must not wait for the flush.
+            assert ex._timer is None
+        finally:
+            ex.flush_reschedule()
+        assert ex._timer is None
+
+    eng.schedule(400, evict_batched)
+    eng.run()
+    assert done == []
+    assert ex.fired == []
+    assert eng.now == 400
+    assert item.remaining == pytest.approx(600.0)
+
+
+def test_remove_soonest_item_in_defer_window_retargets_timer():
+    """Evicting the item that owns the armed ETA (while a survivor keeps
+    running) must re-aim the timer at the survivor, and the dead item
+    must never complete."""
+    eng = Engine()
+    done = []
+    ex = RateExecutor(eng, done.append)
+    fast = WorkItem(eng, demand=100.0, name="fast")
+    slow = WorkItem(eng, demand=1000.0, name="slow")
+    ex.add(fast)
+    ex.add(slow)
+    ex.set_rates({fast: 1.0, slow: 1.0})  # timer armed for fast at t=100
+
+    def evict_fast():
+        ex.defer_reschedule()
+        try:
+            ex.remove(fast)
+        finally:
+            ex.flush_reschedule()
+
+    eng.schedule(50, evict_fast)
+    eng.run()
+    assert done == [slow]
+    assert slow.finished_at == 1000
+    assert fast.finished_at is None
+    assert fast.remaining == pytest.approx(50.0)
+
+
 def test_exact_completion_survives_same_instant_rate_churn():
     """A same-instant freeze/unfreeze pair (rate -> 0 -> restore at one
     timestamp, as SMM does) must not shift the completion nanosecond."""
