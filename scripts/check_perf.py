@@ -4,21 +4,34 @@
 Compares a fresh ``BENCH_perf.json`` (from ``scripts/bench_perf.py``)
 against the committed baseline
 (``benchmarks/results/BENCH_perf_baseline.json``) and exits nonzero if
-any gated bench's wall clock regressed more than the allowed fraction
-(default 20%).  Only the pure-simulator churn benches are gated by
-default — ``engine_churn`` and ``rate_churn`` are deterministic,
-allocation-light, and dominated by the interpreter, so a >20% move on a
-warm runner is a real code regression, not scheduling noise.  The cell
-benches stay informational (they are noisier and already covered by the
-golden-cell identity tests).
+any gated bench's wall clock regressed more than the allowed fraction.
+Three kinds of gate:
+
+* **Churn benches** (``engine_churn``, ``rate_churn``; default budget
+  20%) — deterministic, allocation-light, dominated by the interpreter,
+  so a >20% move on a warm runner is a real code regression, not
+  scheduling noise.
+
+* **Cell benches** (``bt_cell``, ``ft_cell``; default budget 35% via
+  ``--max-cell-regression``) — full Table-1/3 cells.  Noisier (imports,
+  allocator pressure, real heap churn), hence the looser tolerance;
+  their *correctness* is already pinned by the golden-cell identity
+  tests, this gate only catches a hot-path collapse.
+
+* **Speedup floors** (``--min-speedup``, default ``fork_sweep=1.5``) —
+  benches whose whole point is to beat the baseline: the committed
+  ``fork_sweep`` baseline entry was recorded with ``REPRO_SNAPSHOT=off``
+  (every interval cold), so the current run must clear the floor for
+  the warmup-prefix fork path to be pulling its weight.  A floor is
+  skipped with a note when either side lacks the bench (pre-fork
+  baselines stay usable).
 
 The two documents must be comparable: same ``quick`` flag (quick mode
 scales the workloads down 10×) — mismatches are an error, not a pass.
 
 Usage::
 
-    python scripts/bench_perf.py --reps 3 --only engine_churn \
-        --only rate_churn -o BENCH_gate.json
+    python scripts/bench_perf.py --reps 3 -o BENCH_gate.json
     python scripts/check_perf.py BENCH_gate.json
 
 Exit codes: 0 within budget, 1 regression, 2 unusable input.
@@ -34,6 +47,16 @@ import sys
 DEFAULT_BASELINE = os.path.join(
     "benchmarks", "results", "BENCH_perf_baseline.json")
 DEFAULT_GATED = ("engine_churn", "rate_churn")
+DEFAULT_CELL_GATED = ("bt_cell", "ft_cell")
+DEFAULT_MIN_SPEEDUP = ("fork_sweep=1.5",)
+
+
+def _parse_floors(entries) -> dict:
+    floors = {}
+    for e in entries:
+        name, _, ratio = e.partition("=")
+        floors[name.strip()] = float(ratio) if ratio else 1.0
+    return floors
 
 
 def main(argv=None) -> int:
@@ -43,11 +66,27 @@ def main(argv=None) -> int:
     ap.add_argument("--max-regression", type=float,
                     default=float(os.environ.get(
                         "REPRO_PERF_MAX_REGRESSION", "0.20")),
-                    help="allowed fractional wall-clock regression "
-                         "(default 0.20; env REPRO_PERF_MAX_REGRESSION)")
+                    help="allowed fractional wall-clock regression for "
+                         "churn benches (default 0.20; env "
+                         "REPRO_PERF_MAX_REGRESSION)")
+    ap.add_argument("--max-cell-regression", type=float,
+                    default=float(os.environ.get(
+                        "REPRO_PERF_MAX_CELL_REGRESSION", "0.35")),
+                    help="allowed fractional regression for the noisier "
+                         "cell benches (default 0.35; env "
+                         "REPRO_PERF_MAX_CELL_REGRESSION)")
     ap.add_argument("--bench", action="append", default=None,
-                    help="gate this bench (repeatable; default "
+                    help="gate this churn bench (repeatable; default "
                          f"{', '.join(DEFAULT_GATED)})")
+    ap.add_argument("--cell-bench", action="append", default=None,
+                    help="gate this cell bench at the looser tolerance "
+                         "(repeatable; default "
+                         f"{', '.join(DEFAULT_CELL_GATED)})")
+    ap.add_argument("--min-speedup", action="append", default=None,
+                    metavar="NAME=RATIO",
+                    help="require current to be RATIO× faster than the "
+                         "baseline for NAME (repeatable; default "
+                         f"{', '.join(DEFAULT_MIN_SPEEDUP)})")
     args = ap.parse_args(argv)
 
     try:
@@ -65,9 +104,12 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
 
-    gated = args.bench or list(DEFAULT_GATED)
+    gated = [(n, args.max_regression)
+             for n in (args.bench or list(DEFAULT_GATED))]
+    gated += [(n, args.max_cell_regression)
+              for n in (args.cell_bench or list(DEFAULT_CELL_GATED))]
     failures = []
-    for name in gated:
+    for name, budget in gated:
         c = cur.get("benches", {}).get(name)
         b = base.get("benches", {}).get(name)
         if not c or not c.get("wall_s"):
@@ -80,18 +122,35 @@ def main(argv=None) -> int:
             return 2
         ratio = c["wall_s"] / b["wall_s"]
         verdict = "OK"
-        if ratio > 1.0 + args.max_regression:
+        if ratio > 1.0 + budget:
             verdict = "REGRESSION"
             failures.append(name)
         print(f"check_perf: {name:<14} {b['wall_s']:.4f}s -> "
-              f"{c['wall_s']:.4f}s  ({ratio:.3f}x baseline)  {verdict}")
+              f"{c['wall_s']:.4f}s  ({ratio:.3f}x baseline, "
+              f"budget {100 * budget:.0f}%)  {verdict}")
+
+    floors = _parse_floors(args.min_speedup or list(DEFAULT_MIN_SPEEDUP))
+    for name, floor in sorted(floors.items()):
+        c = cur.get("benches", {}).get(name)
+        b = base.get("benches", {}).get(name)
+        if not c or not c.get("wall_s") or not b or not b.get("wall_s"):
+            print(f"check_perf: {name:<14} speedup floor {floor:.2f}x "
+                  "skipped (bench absent on one side)")
+            continue
+        speedup = b["wall_s"] / c["wall_s"]
+        verdict = "OK"
+        if speedup < floor:
+            verdict = "BELOW FLOOR"
+            failures.append(name)
+        print(f"check_perf: {name:<14} {b['wall_s']:.4f}s -> "
+              f"{c['wall_s']:.4f}s  ({speedup:.2f}x speedup, "
+              f"floor {floor:.2f}x)  {verdict}")
+
     if failures:
-        print(f"check_perf: FAIL — {', '.join(failures)} regressed more "
-              f"than {100 * args.max_regression:.0f}% vs {args.baseline}",
-              file=sys.stderr)
+        print(f"check_perf: FAIL — {', '.join(failures)} outside budget "
+              f"vs {args.baseline}", file=sys.stderr)
         return 1
-    print(f"check_perf: all gated benches within "
-          f"{100 * args.max_regression:.0f}% of baseline")
+    print("check_perf: all gated benches within budget")
     return 0
 
 

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Snapshot smoke: one interval sweep forked vs cold, byte-diffed.
+
+The CI-facing end-to-end check of the warmup-prefix fork path
+(:mod:`repro.runx.forkshare`): run the same small interval sweep twice
+through the real sweep runner — once with ``REPRO_SNAPSHOT=auto`` (the
+forked path, batched into one worker per fork group) and once with
+``REPRO_SNAPSHOT=off`` (every cell replays cold, individually) — and
+require the two manifests to be **byte-identical** under the canonical
+projection ``{id, status, value, seed}``.  ``duration_s`` and
+``attempts`` are deliberately outside the projection: they describe how
+the work was scheduled, not what it computed, and the whole point of
+the fork path is that only the scheduling changes.
+
+Exits 0 on identity (printing both manifests' digests and the fork
+counts that prove the forked leg actually forked), 1 on any divergence
+(printing a per-cell diff), 2 when the fork path is unavailable on this
+platform.
+
+Usage::
+
+    python scripts/snapshot_smoke.py [--nodes 2] [--rpn 2] [--reps 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+DEFAULT_INTERVALS = [1000, 1200, 1400]
+
+
+def _run_sweep(specs, snapshot_mode: str):
+    """One process-isolated sweep pass under the given REPRO_SNAPSHOT."""
+    from repro.runx.runner import SweepRunner
+
+    prior = os.environ.get("REPRO_SNAPSHOT")
+    os.environ["REPRO_SNAPSHOT"] = snapshot_mode
+    try:
+        runner = SweepRunner(isolation="process", retries=1)
+        results = runner.run(specs)
+        return results, dict(runner.snapshot_stats)
+    finally:
+        if prior is None:
+            del os.environ["REPRO_SNAPSHOT"]
+        else:
+            os.environ["REPRO_SNAPSHOT"] = prior
+
+
+def _project(results) -> str:
+    """Canonical manifest bytes: the payload-bearing fields only."""
+    rows = [
+        {"id": r.id, "status": r.status, "value": r.value, "seed": r.seed}
+        for _, r in sorted(results.items())
+    ]
+    return json.dumps(rows, sort_keys=True, separators=(",", ":"))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", default="FT")
+    ap.add_argument("--cls", default="A")
+    ap.add_argument("--nodes", type=int, default=2)
+    ap.add_argument("--rpn", type=int, default=2)
+    ap.add_argument("--smm", type=int, default=2)
+    ap.add_argument("--reps", type=int, default=1)
+    ap.add_argument("--seed", type=int, default=3)
+    ap.add_argument("--intervals", type=int, nargs="+",
+                    default=DEFAULT_INTERVALS)
+    args = ap.parse_args(argv)
+
+    from repro.apps.nas.params import NasClass
+    from repro.harness.mpi_tables import interval_sweep_specs
+    from repro.runx.forkshare import fork_supported
+
+    if not fork_supported():
+        print("snapshot_smoke: os.fork unavailable; nothing to smoke",
+              file=sys.stderr)
+        return 2
+
+    specs = interval_sweep_specs(
+        args.bench, NasClass(args.cls), args.nodes, args.rpn, args.smm,
+        args.intervals, reps=args.reps, seed=args.seed)
+    print(f"snapshot_smoke: {len(specs)} cells "
+          f"({args.bench}.{args.cls} n={args.nodes} rpn={args.rpn} "
+          f"smm={args.smm}, intervals {sorted(set(args.intervals))})")
+
+    forked, fstats = _run_sweep(specs, "auto")
+    cold, cstats = _run_sweep(specs, "off")
+    if fstats.get("forks", 0) + fstats.get("hits", 0) == 0:
+        print("snapshot_smoke: FAIL — forked leg never forked "
+              f"(stats {fstats})", file=sys.stderr)
+        return 1
+    if cstats.get("forks", 0) != 0:
+        print("snapshot_smoke: FAIL — cold leg forked anyway "
+              f"(stats {cstats})", file=sys.stderr)
+        return 1
+
+    blob_f, blob_c = _project(forked), _project(cold)
+    dig_f = hashlib.sha256(blob_f.encode()).hexdigest()[:16]
+    dig_c = hashlib.sha256(blob_c.encode()).hexdigest()[:16]
+    print(f"snapshot_smoke: forked manifest {dig_f} "
+          f"(forks={fstats.get('forks')}, hits={fstats.get('hits')}, "
+          f"misses={fstats.get('misses')})")
+    print(f"snapshot_smoke: cold   manifest {dig_c}")
+    if blob_f == blob_c:
+        print("snapshot_smoke: OK — forked and cold manifests are "
+              "byte-identical")
+        return 0
+
+    print("snapshot_smoke: FAIL — manifests diverge", file=sys.stderr)
+    for cid in sorted(set(forked) | set(cold)):
+        f, c = forked.get(cid), cold.get(cid)
+        frow = (f.status, f.value, f.seed) if f else None
+        crow = (c.status, c.value, c.seed) if c else None
+        if frow != crow:
+            print(f"  {cid}:\n    forked: {frow}\n    cold:   {crow}",
+                  file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

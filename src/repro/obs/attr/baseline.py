@@ -137,8 +137,14 @@ class BaselineProfile:
         return cls(rec.get("elapsed_app_s"), rec["span_ns"], ranks)
 
 
+#: Default LRU capacity of a baseline store (``REPRO_BASELINE_CACHE_MAX``
+#: overrides).  Records are slim (a few hundred bytes per rank) but a
+#: daemon-lifetime store would otherwise grow without bound.
+DEFAULT_BASELINE_CACHE_MAX = 256
+
+
 class BaselineStore:
-    """Digest-keyed baseline cache with hit/miss accounting.
+    """Digest-keyed LRU baseline cache with hit/miss/eviction accounting.
 
     Thread-safe: the sweep runner's worker threads and the attribution
     engine may share one instance.  ``put`` tracks which digests this
@@ -147,12 +153,20 @@ class BaselineStore:
     what came down in the request.
     """
 
-    def __init__(self):
+    def __init__(self, max_entries: Optional[int] = None):
+        import os
+        from collections import OrderedDict
+
+        if max_entries is None:
+            max_entries = int(os.environ.get(
+                "REPRO_BASELINE_CACHE_MAX", DEFAULT_BASELINE_CACHE_MAX))
+        self.max_entries = max(1, max_entries)
         self._lock = threading.Lock()
-        self._records: Dict[str, Dict[str, Any]] = {}
+        self._records: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._new: List[str] = []
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._records)
@@ -165,8 +179,16 @@ class BaselineStore:
             if rec is None:
                 self.misses += 1
                 return None
+            self._records.move_to_end(digest)
             self.hits += 1
         return BaselineProfile.from_record(rec)
+
+    def _evict_over_cap(self) -> None:
+        # Caller holds the lock.  Oldest-touched entries go first; an
+        # evicted baseline simply gets re-simulated on its next miss.
+        while len(self._records) > self.max_entries:
+            self._records.popitem(last=False)
+            self.evictions += 1
 
     def put(self, digest: str, profile: BaselineProfile) -> None:
         """Record a freshly computed baseline (marked for drain_new)."""
@@ -175,6 +197,7 @@ class BaselineStore:
             if digest not in self._records:
                 self._records[digest] = rec
                 self._new.append(digest)
+                self._evict_over_cap()
 
     def absorb(self, pairs) -> None:
         """Merge ``[[digest, record], ...]`` from an upstream cache —
@@ -182,6 +205,7 @@ class BaselineStore:
         with self._lock:
             for digest, rec in pairs:
                 self._records.setdefault(digest, rec)
+            self._evict_over_cap()
 
     def export_all(self) -> List[Tuple[str, Dict[str, Any]]]:
         """Every known ``(digest, record)`` pair — what a dispatcher
@@ -191,15 +215,19 @@ class BaselineStore:
 
     def drain_new(self) -> List[Tuple[str, Dict[str, Any]]]:
         """``(digest, record)`` pairs :meth:`put` added since the last
-        drain — what a worker sends back upstream."""
+        drain — what a worker sends back upstream.  A record evicted
+        before it was drained is gone (the cap bounds memory, not the
+        wire) and is skipped here."""
         with self._lock:
-            out = [(d, self._records[d]) for d in self._new]
+            out = [(d, self._records[d]) for d in self._new
+                   if d in self._records]
             self._new = []
             return out
 
     def stats(self) -> Dict[str, int]:
         with self._lock:
             return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
                     "entries": len(self._records)}
 
 

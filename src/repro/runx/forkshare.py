@@ -1,0 +1,369 @@
+"""Warmup-prefix sharing for interval sweeps (DESIGN.md §11).
+
+An interval sweep runs the *same* simulation many times: cells sharing
+``(bench, class, nodes, rpn, htt, smm, seed)`` and differing only in the
+SMI trigger interval are byte-identical until the schedule first depends
+on the interval.  That happens strictly after the first trigger of the
+earliest-phased source: the phase draws are interval-independent (when
+the interval is at least the rollout phase spread — see
+:meth:`repro.mpi.cluster.Cluster.enable_smi`), the per-SMI duration
+stream depends only on trigger count, and the interval first enters the
+schedule when the tick *after* a source's first trigger is armed
+(:meth:`repro.core.smi.SmiSource.retarget_interval`).
+
+So the sweep can run one common prefix per repetition seed and fork per
+interval:
+
+* **warm** — :func:`repro.apps.nas.study.launch_nas_config` builds the
+  cluster and starts the ranks; the engine then runs to the safe fork
+  point ``T_safe = min(phase) + base_interval - 1`` (one tick before the
+  earliest source's second trigger).  The warmed ``(cluster, job)`` pair
+  is held live in this process, keyed by :func:`prefix_digest` in a
+  :class:`SnapshotStore` (LRU, ``REPRO_SNAPSHOT_CACHE_MAX``).
+* **fork** — each interval request ``os.fork``s a child.  The child owns
+  a copy-on-write clone of the warmed state: it retargets every SMI
+  source to the requested interval, re-heapifies the event queue, runs
+  :func:`~repro.apps.nas.study.finish_nas_run` to completion, and writes
+  the resulting value back over a pipe as one JSON line (floats survive
+  the round-trip bit-for-bit).  The parent's copy is never consumed, so
+  one prefix serves the whole sweep.
+
+The forked value is **byte-identical** to a cold
+:func:`~repro.apps.nas.study.run_nas_config` replay — pinned by
+``tests/integration/test_fork_identity.py`` — because the child's event
+sequence *is* the cold run's event sequence: same heap, same generators,
+same RNG streams, with only the not-yet-fired pending tick moved.
+
+Any ineligibility (interval below the keeper's base, a swallowed tick,
+``os.fork`` unavailable, a child that dies) degrades to the cold path —
+the fork layer is a pure cache, never a correctness dependency.
+``REPRO_SNAPSHOT=off`` disables it outright.
+
+The complementary in-memory route — :meth:`Engine.snapshot` plus the
+``__snapshot__``/``__restore__`` layer protocol in
+:mod:`repro.simx.snapshot` — serves single-process restore (tests,
+digests, state audits); this module is the cross-run perf path, where
+generator frames make pickling impossible and COW ``fork`` is exact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import threading
+import traceback
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "snapshot_mode",
+    "fork_supported",
+    "prefix_digest",
+    "WarmPrefix",
+    "SnapshotStore",
+    "forked_nas_values",
+    "global_store",
+    "reset_global_store",
+]
+
+#: Default LRU capacity of the warm-prefix store.  Each entry holds one
+#: fully-launched simulation live in memory, so the cap is deliberately
+#: small; interval sweeps touch one entry per repetition seed at a time.
+DEFAULT_CACHE_MAX = 8
+
+
+def snapshot_mode() -> str:
+    """``REPRO_SNAPSHOT`` escape hatch: ``auto`` (default) forks where
+    eligible, ``off`` forces every cell down the cold path."""
+    v = os.environ.get("REPRO_SNAPSHOT", "auto").strip().lower()
+    return "off" if v in ("off", "0", "no", "false") else "auto"
+
+
+def fork_supported() -> bool:
+    return hasattr(os, "fork") and sys.platform != "win32"
+
+
+def prefix_digest(
+    bench: str,
+    cls: str,
+    nodes: int,
+    rpn: int,
+    htt: bool,
+    smm: int,
+    seed: int,
+) -> str:
+    """Content digest of one warm prefix: everything that determines the
+    simulation up to the fork point *except* the interval (which is what
+    the fork retargets).  Same style as
+    :func:`repro.obs.attr.baseline.baseline_digest`."""
+    blob = json.dumps(
+        ["prefix-fork", bench, cls, int(nodes), int(rpn), bool(htt),
+         int(smm), int(seed)],
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+class WarmPrefix:
+    """One warmed simulation, parked at its safe fork point.
+
+    Hold it in the parent; call :meth:`value` once per interval.  The
+    parent's state is never advanced past ``T_safe`` — each request runs
+    to completion inside a forked child and reports back over a pipe.
+    """
+
+    def __init__(self, cluster, job, base_interval_jiffies: int,
+                 cached_value: Optional[float] = None,
+                 done_early: bool = False):
+        self.cluster = cluster
+        self.job = job
+        self.base_interval = int(base_interval_jiffies)
+        #: Job completed before the fork point: the value is
+        #: interval-independent (no pending tick ever fires), computed
+        #: once and served to every request without forking.
+        self.done_early = done_early
+        self.cached_value = cached_value
+
+    @classmethod
+    def warm(cls, cfg, smm: int, seed: int,
+             interval_jiffies: int) -> Optional["WarmPrefix"]:
+        """Launch and run to the fork point.  Returns ``None`` when the
+        configuration cannot take a warm prefix (infeasible, no SMI
+        sources, or the fork-safety preconditions failed to hold)."""
+        from repro.apps.nas.study import finish_nas_run, launch_nas_config
+        from repro.machine.clock import JIFFY_NS
+
+        launched = launch_nas_config(cfg, smm=smm, seed=seed,
+                                     interval_jiffies=interval_jiffies)
+        if launched is None:
+            return None
+        cluster, job = launched
+        sources = cluster.smi_sources
+        if not sources:
+            return None
+        t_safe = (min(src.phase_ns for src in sources)
+                  + int(interval_jiffies) * JIFFY_NS - 1)
+        cluster.engine.run_until(job.done, limit_ns=t_safe)
+        if job.done.triggered:
+            return cls(cluster, job, interval_jiffies,
+                       cached_value=finish_nas_run(cluster, job),
+                       done_early=True)
+        # The retarget preconditions must hold for every source at the
+        # fork point; if the topology/profile combination violated them
+        # (e.g. a swallowed tick), this prefix cannot serve any interval.
+        if any(src.swallowed_ticks > 0 or src.triggered > 1
+               for src in sources):
+            return None
+        return cls(cluster, job, interval_jiffies)
+
+    def value(self, interval_jiffies: int) -> tuple:
+        """Run this prefix to completion at ``interval_jiffies``.
+
+        Returns ``(True, value)`` on success, ``(False, reason)`` when
+        the request is ineligible or the child failed — the caller falls
+        back to the cold path, which reproduces any real error in the
+        calling process."""
+        if int(interval_jiffies) < self.base_interval:
+            return False, "interval below prefix base"
+        if self.done_early:
+            return True, self.cached_value
+        r, w = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child: retarget, finish, report, vanish
+            code = 1
+            try:
+                os.close(r)
+                payload = self._finish_in_child(interval_jiffies)
+                os.write(w, (json.dumps(payload) + "\n").encode())
+                code = 0
+            except BaseException:
+                try:
+                    os.write(w, (json.dumps(
+                        {"ok": False,
+                         "error": traceback.format_exc(limit=4)}
+                    ) + "\n").encode())
+                    code = 0
+                except OSError:
+                    pass
+            finally:
+                os._exit(code)
+        os.close(w)
+        chunks = []
+        while True:
+            b = os.read(r, 65536)
+            if not b:
+                break
+            chunks.append(b)
+        os.close(r)
+        _, status = os.waitpid(pid, 0)
+        if status != 0 or not chunks:
+            return False, f"fork child died (status {status})"
+        try:
+            msg = json.loads(b"".join(chunks).decode())
+        except ValueError as exc:
+            return False, f"bad fork reply: {exc}"
+        if not msg.get("ok"):
+            return False, msg.get("error", "fork child error")
+        return True, msg["value"]
+
+    def _finish_in_child(self, interval_jiffies: int) -> Dict[str, Any]:
+        from repro.apps.nas.study import finish_nas_run
+
+        if not all(src.retarget_interval(interval_jiffies)
+                   for src in self.cluster.smi_sources):
+            return {"ok": False, "error": "retarget ineligible"}
+        self.cluster.engine.reheapify()
+        return {"ok": True,
+                "value": finish_nas_run(self.cluster, self.job)}
+
+
+class SnapshotStore:
+    """Digest-keyed LRU of live :class:`WarmPrefix` entries, with the
+    same accounting surface as
+    :class:`repro.obs.attr.baseline.BaselineStore` plus ``evictions``
+    and ``forks`` (every serviced request is one ``os.fork``).
+
+    Thread-safe for the counters and the LRU map; warming itself runs
+    outside the lock (it is a real simulation run).
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is None:
+            max_entries = int(os.environ.get(
+                "REPRO_SNAPSHOT_CACHE_MAX", DEFAULT_CACHE_MAX))
+        self.max_entries = max(1, max_entries)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, WarmPrefix]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.forks = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, digest: str) -> Optional[WarmPrefix]:
+        """Cached warm prefix, or ``None`` (counted as a miss — the
+        caller is about to warm one for real)."""
+        with self._lock:
+            wp = self._entries.get(digest)
+            if wp is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return wp
+
+    def put(self, digest: str, prefix: WarmPrefix) -> None:
+        with self._lock:
+            self._entries[digest] = prefix
+            self._entries.move_to_end(digest)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def record_fork(self) -> None:
+        with self._lock:
+            self.forks += 1
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions, "forks": self.forks,
+                    "entries": len(self._entries)}
+
+
+def _eligible(params: Dict[str, Any]) -> bool:
+    if snapshot_mode() == "off" or not fork_supported():
+        return False
+    if params.get("faults") or params.get("attr"):
+        return False
+    if not int(params.get("smm", 0)):
+        return False  # SMM 0 has no interval to share across
+    if "interval" not in params:
+        # Only interval sweeps carry the key; a plain table sweep runs
+        # each (family, smm) cell once, so warming a prefix there is a
+        # guaranteed miss that pays fork overhead for nothing.
+        return False
+    return True
+
+
+def forked_nas_values(params: Dict[str, Any],
+                      seed: int) -> Optional[List[Optional[float]]]:
+    """The fork-path twin of ``nas_cell``'s cold repetition loop.
+
+    Returns the per-repetition values list, or ``None`` when any
+    repetition is ineligible — the caller then runs the whole cell cold.
+    Must only be called for metrics-free cells (observability hooks are
+    deliberately not part of the warmed state)."""
+    if not _eligible(params):
+        return None
+    from repro.apps.nas.params import NasClass
+    from repro.apps.nas.study import (
+        DEFAULT_PHASE_SPREAD_NS,
+        NasConfig,
+        nas_config_feasible,
+    )
+    from repro.core.experiment import rep_seed
+    from repro.machine.clock import JIFFY_NS
+
+    interval = int(params.get("interval", 1000))
+    # Phase draws are interval-independent only once the interval covers
+    # the rollout spread (Cluster.enable_smi clamps the draw range to
+    # min(spread, interval)): shorter intervals change the phases
+    # themselves and no prefix can be shared.
+    if interval * JIFFY_NS < DEFAULT_PHASE_SPREAD_NS:
+        return None
+    cfg = NasConfig(
+        bench=params["bench"],
+        cls=NasClass(params["cls"]),
+        nodes=int(params["nodes"]),
+        ranks_per_node=int(params.get("rpn", 1)),
+        htt=bool(params.get("htt", False)),
+    )
+    if not nas_config_feasible(cfg):
+        return None  # cold path reports infeasibility (values=None)
+    store = global_store()
+    smm = int(params["smm"])
+    values: List[Optional[float]] = []
+    for r in range(int(params.get("reps", 1))):
+        s = rep_seed(seed, r)
+        digest = prefix_digest(cfg.bench, cfg.cls.value, cfg.nodes,
+                               cfg.ranks_per_node, cfg.htt, smm, s)
+        wp = store.get(digest)
+        if wp is None:
+            wp = WarmPrefix.warm(cfg, smm, s, interval)
+            if wp is None:
+                return None
+            store.put(digest, wp)
+        ok, v = wp.value(interval)
+        if not ok:
+            return None
+        if not wp.done_early:
+            store.record_fork()
+        values.append(v)
+    return values
+
+
+_global: Optional[SnapshotStore] = None
+_global_lock = threading.Lock()
+
+
+def global_store() -> SnapshotStore:
+    """The process-wide store the sweep cells default to."""
+    global _global
+    if _global is None:
+        with _global_lock:
+            if _global is None:
+                _global = SnapshotStore()
+    return _global
+
+
+def reset_global_store() -> SnapshotStore:
+    """Replace the process-wide store (tests; isolation checks)."""
+    global _global
+    with _global_lock:
+        _global = SnapshotStore()
+    return _global

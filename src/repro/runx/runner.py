@@ -125,6 +125,11 @@ class SweepRunner:
         #: sweep (and across process boundaries).  Lazily created on
         #: first use; pass one in to share it across runners.
         self.baselines = baselines
+        #: Aggregated warm-prefix cache accounting from fork-group
+        #: batches (repro.runx.forkshare): workers report their store's
+        #: stats per batch and the runner sums them here.
+        self.snapshot_stats: Dict[str, int] = {
+            "hits": 0, "misses": 0, "evictions": 0, "forks": 0}
         self._lock = threading.Lock()
         self._drain = threading.Event()
         self._done = 0
@@ -188,11 +193,11 @@ class SweepRunner:
                 self._record(prior, journal=False)
             else:
                 todo.append(spec)
-        if self.jobs == 1 or len(todo) <= 1:
-            for spec in todo:
-                res = self._run_cell(spec)
-                if res is not None:
-                    results[spec.id] = res
+        units = self._plan_units(todo)
+        if self.jobs == 1 or len(units) <= 1:
+            for unit in units:
+                for cid, res in self._run_unit(unit):
+                    results[cid] = res
         else:
             pool = self._pool
             if pool is None:
@@ -201,9 +206,140 @@ class SweepRunner:
                 # instead of paying pool teardown/spin-up per pass.
                 self._pool = pool = ThreadPoolExecutor(
                     max_workers=self.jobs, thread_name_prefix="sweep")
-            for spec, res in zip(todo, pool.map(self._run_cell, todo)):
+            for pairs in pool.map(self._run_unit, units):
+                for cid, res in pairs:
+                    results[cid] = res
+        return results
+
+    # -- fork-group planning --------------------------------------------------
+    def _plan_units(self, todo: List[CellSpec]) -> List:
+        """Partition the work list into schedulable units: single specs,
+        plus *fork groups* — runs of cells that differ only in
+        ``params["interval"]`` and therefore share a warm prefix
+        (:mod:`repro.runx.forkshare`).  A group runs in one worker
+        subprocess, sorted by ascending interval, so the first cell
+        warms the prefix every later cell forks from.  Inline isolation
+        needs no grouping: cells already share the in-process store."""
+        if self.isolation != "process" or self.metrics is not None:
+            return list(todo)
+        from repro.runx.forkshare import fork_supported, snapshot_mode
+
+        if snapshot_mode() == "off" or not fork_supported():
+            return list(todo)
+        groups: Dict[str, List[CellSpec]] = {}
+        keys: Dict[str, str] = {}
+        for spec in todo:
+            key = self._fork_group_key(spec)
+            if key is not None:
+                groups.setdefault(key, []).append(spec)
+                keys[spec.id] = key
+        units: List = []
+        emitted = set()
+        for spec in todo:
+            key = keys.get(spec.id)
+            if key is None or len(groups[key]) < 2:
+                units.append(spec)
+            elif key not in emitted:
+                emitted.add(key)
+                units.append(sorted(
+                    groups[key], key=lambda s: int(s.params["interval"])))
+        return units
+
+    @staticmethod
+    def _fork_group_key(spec: CellSpec) -> Optional[str]:
+        p = spec.params
+        if (spec.fn != "nas" or "interval" not in p or not p.get("smm")
+                or p.get("faults") or p.get("attr")):
+            return None
+        rest = {k: v for k, v in p.items() if k != "interval"}
+        return json.dumps([rest, spec.base_seed], sort_keys=True,
+                          default=str)
+
+    def _run_unit(self, unit) -> List[Tuple[str, CellResult]]:
+        if isinstance(unit, CellSpec):
+            res = self._run_cell(unit)
+            return [(unit.id, res)] if res is not None else []
+        return self._run_group(unit)
+
+    def _run_group(self, specs: List[CellSpec]) -> List[Tuple[str, CellResult]]:
+        """One fork group: a single batch worker, with per-cell fallback
+        to the ordinary retry path for anything the batch could not
+        deliver (batch worker crashed, one cell raised, drain)."""
+        replies = (self._attempt_group(specs)
+                   if not self._drain.is_set() else [None] * len(specs))
+        out: List[Tuple[str, CellResult]] = []
+        for spec, reply in zip(specs, replies):
+            if reply is not None and reply.get("ok"):
+                if self._c_started is not None or self._c_ok is not None:
+                    with self._lock:
+                        if self._c_started is not None:
+                            self._c_started.inc()
+                        if self._c_ok is not None:
+                            self._c_ok.inc()
+                result = CellResult(
+                    id=spec.id, status=OK, value=reply.get("value"),
+                    attempts=1,
+                    duration_s=round(float(reply.get("duration_s", 0.0)), 6),
+                    seed=spec.base_seed, digest=spec.digest(),
+                )
+                self._record(result, journal=True)
+                out.append((spec.id, result))
+            else:
+                res = self._run_cell(spec)
                 if res is not None:
-                    results[spec.id] = res
+                    out.append((spec.id, res))
+        return out
+
+    def _attempt_group(self, specs: List[CellSpec]) -> List[Optional[Dict]]:
+        """Run a fork group in one worker subprocess.  Returns the
+        per-cell replies (padded with ``None`` on any batch-level
+        failure, which sends every cell down the individual path)."""
+        nothing: List[Optional[Dict]] = [None] * len(specs)
+        req = {"cells": [
+            {"spec": s.to_record(), "attempt": 0, "seed": s.base_seed}
+            for s in specs
+        ]}
+        env = self._env
+        if env is None:
+            with self._lock:
+                if self._env is None:
+                    self._env = _worker_env()
+                env = self._env
+        timeout = (self.timeout_s * len(specs)
+                   if self.timeout_s is not None else None)
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.runx.worker"],
+                input=json.dumps(req), capture_output=True, text=True,
+                timeout=timeout, env=env,
+            )
+        except subprocess.TimeoutExpired:
+            if self._c_timeout is not None:
+                with self._lock:
+                    self._c_timeout.inc()
+            return nothing
+        except OSError:  # pragma: no cover — spawn failure
+            return nothing
+        reply = None
+        for line in reversed(proc.stdout.splitlines()):
+            if line.startswith(RESULT_SENTINEL):
+                try:
+                    reply = json.loads(line[len(RESULT_SENTINEL):])
+                except ValueError:
+                    return nothing
+                break
+        if reply is None or not reply.get("ok"):
+            log.warning("fork-group batch of %d cells failed; running "
+                        "cells individually", len(specs))
+            return nothing
+        if reply.get("snapshot_stats"):
+            with self._lock:
+                for k, v in reply["snapshot_stats"].items():
+                    if k in self.snapshot_stats:
+                        self.snapshot_stats[k] += int(v)
+        results = reply.get("results")
+        if not isinstance(results, list) or len(results) != len(specs):
+            return nothing
         return results
 
     # -- graceful drain -------------------------------------------------------
@@ -385,6 +521,11 @@ class SweepRunner:
             return None, err + (f"; stderr: {tail}" if tail else ""), None
         if reply.get("baselines"):
             self._baseline_store().absorb(reply["baselines"])
+        if reply.get("snapshot_stats"):
+            with self._lock:
+                for k, v in reply["snapshot_stats"].items():
+                    if k in self.snapshot_stats:
+                        self.snapshot_stats[k] += int(v)
         if self.metrics is not None and reply.get("metrics"):
             with self._lock:
                 self.metrics.merge_snapshot(reply["metrics"])

@@ -44,9 +44,54 @@ def _attach_baselines(reply: dict) -> None:
                                    "misses": store.misses}
 
 
+def _attach_snapshot_stats(reply: dict) -> None:
+    """Ship the warm-prefix cache tally (repro.runx.forkshare) back to
+    the dispatcher.  Same ``sys.modules`` discipline as baselines: cells
+    that never touched the fork path pay no import."""
+    mod = sys.modules.get("repro.runx.forkshare")
+    if mod is None:
+        return
+    stats = mod.global_store().stats()
+    if stats["hits"] or stats["misses"]:
+        reply["snapshot_stats"] = stats
+
+
+def _run_batch(req: dict) -> dict:
+    """A fork-group batch: every cell of one interval sweep group runs
+    in this process, in request order, so later cells fork the warm
+    prefix the first cell paid for.  Per-cell failures are in-band; the
+    runner re-runs those cells through its ordinary retry path."""
+    import time
+
+    from repro.runx.cells import run_cell
+
+    results = []
+    for cell in req["cells"]:
+        t0 = time.monotonic()
+        try:
+            value = run_cell(cell["spec"]["fn"],
+                             cell["spec"].get("params", {}),
+                             int(cell["seed"]), metrics=None)
+            results.append({"ok": True, "value": value,
+                            "duration_s": time.monotonic() - t0})
+        except Exception:
+            results.append({"ok": False,
+                            "error": traceback.format_exc(limit=8)})
+    reply = {"ok": True, "results": results}
+    _attach_snapshot_stats(reply)
+    return reply
+
+
 def main() -> int:
     try:
         req = json.load(sys.stdin)
+        if "cells" in req:
+            reply = _run_batch(req)
+            sys.stdout.write(RESULT_SENTINEL
+                             + json.dumps(reply, separators=(",", ":"))
+                             + "\n")
+            sys.stdout.flush()
+            return 0
         spec = req["spec"]
         attempt = int(req.get("attempt", 0))
         seed = int(req["seed"])
@@ -81,6 +126,7 @@ def main() -> int:
                          metrics=registry)
         reply = {"ok": True, "value": value}
         _attach_baselines(reply)
+        _attach_snapshot_stats(reply)
         if registry is not None:
             reply["metrics"] = registry.snapshot()
     except FaultedRunError as exc:

@@ -93,6 +93,31 @@ def _attach_baselines(result: Dict[str, Any], h0: int, m0: int) -> None:
         result["baseline_stats"] = {"hits": dh, "misses": dm}
 
 
+def _snapshot_stats() -> Dict[str, int]:
+    """Current warm-prefix cache tally (repro.runx.forkshare), without
+    importing it into jobs that never touch the fork path.  The store —
+    and the live simulations it holds — survives across this worker's
+    jobs, so an interval sweep dispatched to one worker forks the same
+    warm prefix job after job."""
+    mod = sys.modules.get("repro.runx.forkshare")
+    if mod is None:
+        return {}
+    return mod.global_store().stats()
+
+
+def _attach_snapshot_stats(result: Dict[str, Any],
+                           s0: Dict[str, int]) -> None:
+    """Add this job's warm-prefix cache delta (hits/misses/evictions/
+    forks) to the result line."""
+    s1 = _snapshot_stats()
+    if not s1:
+        return
+    delta = {k: s1[k] - s0.get(k, 0)
+             for k in ("hits", "misses", "evictions", "forks")}
+    if any(delta.values()):
+        result["snapshot_stats"] = delta
+
+
 def _run_job(req: Dict[str, Any], emitter: _Emitter) -> None:
     job_id = req.get("id", "?")
     spec = req.get("spec") or {}
@@ -125,12 +150,14 @@ def _run_job(req: Dict[str, Any], emitter: _Emitter) -> None:
 
         global_store().absorb(req["baselines"])
     h0, m0 = _baseline_stats()
+    s0 = _snapshot_stats()
 
     try:
         value = run_cell(fn, spec.get("params", {}), seed)
         result = {"kind": "result", "id": job_id, "ok": True,
                   "value": value}
         _attach_baselines(result, h0, m0)
+        _attach_snapshot_stats(result, s0)
         emitter.emit(result)
     except FaultedRunError as exc:
         # Deterministic in-sim death: terminal, never worth a retry.

@@ -1,0 +1,154 @@
+"""The ``__snapshot__``/``__restore__`` protocol (DESIGN.md §11).
+
+:meth:`repro.simx.engine.Engine.snapshot` rewinds the *scheduler*: the
+event heap, the monotonic sequence counter, and the clock.  Everything
+the simulation's callbacks mutate *outside* the heap — rate columns, SMM
+residency state, RNG streams, network serializer clocks, mailbox depths
+— lives in the layers, and each stateful layer exposes two methods:
+
+``__snapshot__() -> dict``
+    Capture the layer's mutable state.  Keys are plain strings; values
+    must be JSON-able **except** keys starting with ``"_"``, which hold
+    live object references (heap entries, event lists) that
+    :func:`strip_refs` drops before digesting.
+
+``__restore__(state) -> None``
+    Reinstate a prior capture on the *same* object graph.  Raises
+    :class:`~repro.simx.errors.SnapshotError` when the live population
+    no longer matches (e.g. a timer entry was consumed and cannot be
+    re-armed consistently).
+
+The protocol serves two distinct consumers:
+
+* the **digest path** (:func:`state_digest`) — fingerprinting a warmed
+  simulation so the prefix-fork planner (:mod:`repro.runx.forkshare`)
+  can key its :class:`SnapshotStore` on content, not provenance;
+* the **rewind path** (:func:`snapshot_all` / :func:`restore_all`) —
+  in-process checkpointing across a quiescent window, used by the
+  property tests and by callers that probe a few instants ahead and
+  roll back.
+
+What is deliberately *not* snapshotted: metrics registries, timelines,
+and traces.  They are observational accumulators — restoring them would
+erase the record of the probe itself — so runs that attach any of them
+are simply ineligible for the fork fast path (the planner falls back to
+cold replay; see :mod:`repro.runx.forkshare`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.simx.errors import SnapshotError
+
+__all__ = [
+    "snapshot_all",
+    "restore_all",
+    "strip_refs",
+    "state_digest",
+    "engine_state",
+    "cluster_snapshot",
+    "cluster_restore",
+    "cluster_digest",
+]
+
+
+def snapshot_all(objs: Iterable[Any]) -> List[Tuple[Any, Dict[str, Any]]]:
+    """``[(obj, obj.__snapshot__()), ...]`` for each protocol object."""
+    out = []
+    for obj in objs:
+        fn = getattr(obj, "__snapshot__", None)
+        if fn is None:
+            raise SnapshotError(
+                f"{type(obj).__name__} does not implement __snapshot__")
+        out.append((obj, fn()))
+    return out
+
+def restore_all(pairs: Iterable[Tuple[Any, Dict[str, Any]]]) -> None:
+    """Reinstate captures in reverse order (layers were captured
+    outside-in; restoring inside-out keeps parent invariants intact)."""
+    for obj, state in reversed(list(pairs)):
+        obj.__restore__(state)
+
+
+def strip_refs(state: Any) -> Any:
+    """Recursively drop ``"_"``-prefixed keys (live object references)
+    so the remainder is JSON-able for digesting."""
+    if isinstance(state, dict):
+        return {k: strip_refs(v) for k, v in state.items()
+                if not (isinstance(k, str) and k.startswith("_"))}
+    if isinstance(state, (list, tuple)):
+        return [strip_refs(v) for v in state]
+    return state
+
+
+def state_digest(*states: Any) -> str:
+    """Content digest over the ref-stripped states (sha256, 16 hex chars
+    — the same shape as :func:`repro.runx.spec.CellSpec.digest`)."""
+    blob = json.dumps([strip_refs(s) for s in states],
+                      sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def engine_state(engine) -> Dict[str, Any]:
+    """A digest-friendly projection of the scheduler: clock, counters,
+    and the (time, seq, daemon, cancelled) shape of every pending entry.
+    Callback identities are deliberately excluded — two engines that
+    agree on this projection *and* on every layer's ``__snapshot__`` are
+    replay-equivalent."""
+    return {
+        "now": engine._now,
+        "seq": engine._seq,
+        "foreground": engine._foreground,
+        "live": engine._live_processes,
+        "pending": sorted(
+            (e[0], e[1], bool(e[4]), bool(e[5])) for e in engine._heap),
+    }
+
+
+def _cluster_layers(cluster) -> List[Any]:
+    """Every protocol-bearing layer of a cluster, outside-in: network,
+    then per-node (clock, SMM, node, scheduler, per-CPU executors), then
+    the communicator-independent SMI sources."""
+    layers: List[Any] = [cluster.network]
+    for node in cluster.nodes:
+        layers.append(node.clock)
+        layers.append(node.smm)
+        layers.append(node)
+        if node.scheduler is not None:
+            layers.append(node.scheduler)
+        for cpu in node.cpus:
+            layers.append(cpu.executor)
+        if node.nic is not None:
+            layers.append(node.nic)
+    layers.extend(src for src in cluster.smi_sources if src.proc is not None)
+    return layers
+
+
+def cluster_snapshot(cluster) -> Dict[str, Any]:
+    """Snapshot a whole cluster: the engine plus every stateful layer.
+
+    Returns ``{"engine": EngineSnapshot, "_layers": [(obj, state)...]}``
+    — hand it to :func:`cluster_restore`.  Communicators attached by a
+    running job are *not* walked here; callers snapshotting mid-job pass
+    them via ``extra``."""
+    layers = _cluster_layers(cluster)
+    return {
+        "engine": cluster.engine.snapshot(),
+        "_layers": snapshot_all(layers),
+    }
+
+
+def cluster_restore(cluster, snap: Dict[str, Any]) -> None:
+    """Rewind a cluster to a :func:`cluster_snapshot` capture."""
+    cluster.engine.restore(snap["engine"])
+    restore_all(snap["_layers"])
+
+
+def cluster_digest(cluster) -> str:
+    """Content fingerprint of a warmed cluster's full mutable state."""
+    states = [engine_state(cluster.engine)]
+    states.extend(s for _o, s in snapshot_all(_cluster_layers(cluster)))
+    return state_digest(*states)

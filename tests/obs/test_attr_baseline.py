@@ -81,7 +81,7 @@ def test_repeated_get_serves_identical_bytes():
     (d0, rec0), = store.export_all()
     assert d0 == digest
     assert store.export_all()[0][1] is rec0
-    assert store.stats() == {"hits": 2, "misses": 0, "entries": 1}
+    assert store.stats() == {"hits": 2, "misses": 0, "evictions": 0, "entries": 1}
 
 
 def test_store_never_crosses_seeds():
@@ -93,7 +93,7 @@ def test_store_never_crosses_seeds():
     assert store.get(d_seed2) is None  # other seed: miss, not a stale hit
     got = store.get(d_seed1)
     assert got is not None and got.elapsed_app_s == 1.0
-    assert store.stats() == {"hits": 1, "misses": 1, "entries": 1}
+    assert store.stats() == {"hits": 1, "misses": 1, "evictions": 0, "entries": 1}
 
 
 def test_record_round_trip_is_exact():
