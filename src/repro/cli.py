@@ -14,10 +14,16 @@ Subcommands regenerate the paper's artifacts or run the tools:
 * ``detect`` — run the hwlat-style gap detector on the *host*.
 * ``calibrate`` — print the calibration derivation.
 * ``serve`` — run the sweep-serving daemon (`repro.serve`): durable job
-  queue, supervised worker pool, content-addressed result cache.
+  queue, supervised worker pool, content-addressed result cache, and
+  a lease/fencing scheduler admitting remote workers over TCP.
+  ``serve clear-quarantine`` is the operator action that forgets every
+  circuit-broken cell (live via the socket, or offline).
+* ``worker`` — run a remote worker agent (``--connect HOST:PORT``) that
+  pulls leased cells from a daemon and survives daemon restarts.
 * ``submit`` — send a table/figure sweep to a running daemon and render
   the result (repeat submissions are served from cache).
-* ``status`` — query a running daemon (queue depth, workers, cache).
+* ``status`` — query a running daemon (queue depth, workers, fleet
+  leases, cache).
 
 Use ``--quick`` everywhere for a reduced matrix (class A, 1 repetition);
 output is the paper-layout text table (add ``--csv`` for CSV).
@@ -64,6 +70,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 from typing import List, Optional
 
@@ -713,11 +720,18 @@ def _client_from_args(args: argparse.Namespace):
 
 
 def _serve(args: argparse.Namespace) -> int:
-    """Run the sweep-serving daemon in the foreground."""
+    """Run the sweep-serving daemon in the foreground, or dispatch an
+    operator action (``repro-smm serve clear-quarantine``) to it."""
     from repro.runx import LockHeldError
     from repro.serve import ServeConfig
     from repro.serve.daemon import run
 
+    if args.action == "clear-quarantine":
+        return _clear_quarantine(args)
+    if args.workers < 0:
+        print("error: --workers must be >= 0 (0 runs a pure-fleet daemon)",
+              file=sys.stderr)
+        return 2
     config = ServeConfig(
         state_dir=args.state_dir,
         socket_path=args.socket,
@@ -727,12 +741,63 @@ def _serve(args: argparse.Namespace) -> int:
         hb_timeout_s=args.hb_timeout,
         max_attempts=args.max_attempts,
         max_pending=args.max_pending,
+        lease_s=args.lease_s,
     )
     try:
         return run(config)
     except LockHeldError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _clear_quarantine(args: argparse.Namespace) -> int:
+    """Forget circuit-broken cells: via the live daemon's socket when one
+    is up, else offline against the state directory (taking the daemon
+    lock so we can never race a live process)."""
+    from repro.runx import LockHeldError, SingleWriterLock
+    from repro.serve import DurableQueue, ServeClient, ServeError
+
+    sock = args.socket or os.path.join(args.state_dir, "serve.sock")
+    if os.path.exists(sock):
+        try:
+            rep = ServeClient(socket_path=sock).clear_quarantine()
+            print(f"cleared {rep.get('cleared', 0)} quarantined cell(s)")
+            return 0
+        except ServeError as exc:
+            if exc.code != "unreachable":
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            # Stale socket from a dead daemon: fall through to offline.
+    lock = SingleWriterLock(os.path.join(args.state_dir, "daemon.lock"))
+    try:
+        lock.acquire()
+    except LockHeldError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        queue = DurableQueue(os.path.join(args.state_dir, "queue.jsonl"))
+        state = queue.replay()
+        cleared = len(state.quarantined)
+        state.quarantined = {}
+        queue.compact(state)
+        print(f"cleared {cleared} quarantined cell(s) (offline)")
+        return 0
+    finally:
+        lock.release()
+
+
+def _worker(args: argparse.Namespace) -> int:
+    """Run one remote worker agent against a daemon's TCP listener."""
+    from repro.serve.agent import AgentConfig, run
+
+    return run(AgentConfig(
+        connect=args.connect,
+        name=args.name or "",
+        hb_s=args.hb,
+        child_hb_timeout_s=args.child_hb_timeout,
+        backoff_s=args.backoff,
+        max_backoff_s=args.max_backoff,
+    ))
 
 
 def _submit(args: argparse.Namespace) -> int:
@@ -759,10 +824,12 @@ def _submit(args: argparse.Namespace) -> int:
               f"{hit}/{len(specs)} cells armed", file=sys.stderr)
     client = _client_from_args(args)
     try:
-        rep = client.submit([s.to_record() for s in specs], wait=True)
+        rep = client.submit([s.to_record() for s in specs], wait=True,
+                            retries=args.retries)
     except ServeError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 3 if exc.code in ("saturated", "draining") else 2
+        return (3 if exc.code in ("saturated", "unavailable", "draining")
+                else 2)
     by_id = {e["id"]: e for e in rep.get("cells", [])}
     results = {}
     for spec in specs:
@@ -884,6 +951,21 @@ def _serve_status(args: argparse.Namespace) -> int:
         print(f"  worker {w['slot']}: pid {w.get('pid')} {w['state']}"
               + (f" job {w['job']}" if w.get("job") else "")
               + f" ({w['jobs_done']} done, {w['restarts']} restarts)")
+    fleet = st.get("fleet") or {}
+    remotes = fleet.get("workers", [])
+    leases = fleet.get("leases", [])
+    if remotes or leases:
+        print(f"fleet: epoch {fleet.get('epoch')}, "
+              f"{len(remotes)} remote worker(s), {len(leases)} lease(s)")
+        for w in remotes:
+            print(f"  remote {w['worker_id']} @{w.get('addr', '?')}: "
+                  f"{len(w.get('leases', []))} leased, "
+                  f"{w.get('jobs_done', 0)} done, "
+                  f"idle {w.get('idle_s', 0):.1f}s")
+        for lease in leases:
+            print(f"  lease {lease['digest'][:12]} -> "
+                  f"{lease['worker_id']} (token {lease['token']}, "
+                  f"expires in {lease.get('expires_in_s', 0):.1f}s)")
     counters = st.get("counters", {})
     for name in sorted(counters):
         print(f"  {name:<32} {counters[name]:g}")
@@ -1007,14 +1089,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser(
         "serve",
         help="run the sweep-serving daemon (durable queue, worker pool, "
-             "content-addressed result cache)")
+             "remote worker fleet, content-addressed result cache)")
+    p.add_argument("action", nargs="?", default="run",
+                   choices=("run", "clear-quarantine"),
+                   help="'run' (default) starts the daemon; "
+                        "'clear-quarantine' forgets every circuit-broken "
+                        "cell (live via the socket, else offline)")
     p.add_argument("--state-dir", default="serve-state",
                    help="journal, cache, lock, and default socket live here")
     p.add_argument("--socket", default=None,
                    help="unix socket path (default <state-dir>/serve.sock)")
     p.add_argument("--tcp", type=_parse_hostport, default=None,
-                   metavar="HOST:PORT", help="also listen on TCP")
-    p.add_argument("--workers", type=int, default=2)
+                   metavar="HOST:PORT",
+                   help="also listen on TCP (required for remote workers)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="local pool size; 0 runs a pure-fleet daemon "
+                        "served only by remote workers")
     p.add_argument("--timeout", type=_positive_float, default=300.0,
                    help="per-cell watchdog deadline in seconds")
     p.add_argument("--hb-timeout", type=_positive_float, default=10.0,
@@ -1023,7 +1113,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="quarantine a cell after this many failed attempts")
     p.add_argument("--max-pending", type=int, default=256,
                    help="reject submissions past this many in-flight cells")
+    p.add_argument("--lease-s", type=_positive_float, default=15.0,
+                   help="revoke a remote lease after this long without a "
+                        "heartbeat")
     p.set_defaults(fn=_serve)
+    p = sub.add_parser(
+        "worker",
+        help="run a remote worker agent that pulls leased cells from a "
+             "daemon's TCP listener")
+    p.add_argument("--connect", type=_parse_hostport, required=True,
+                   metavar="HOST:PORT", help="the daemon's TCP endpoint")
+    p.add_argument("--name", default=None,
+                   help="worker name in status output (default: hostname)")
+    p.add_argument("--hb", type=_positive_float, default=1.0,
+                   help="seconds between lease heartbeats")
+    p.add_argument("--child-hb-timeout", type=_positive_float, default=10.0,
+                   help="kill the cell subprocess if it goes silent for "
+                        "this long")
+    p.add_argument("--backoff", type=_positive_float, default=0.5,
+                   help="base reconnect backoff in seconds")
+    p.add_argument("--max-backoff", type=_positive_float, default=15.0,
+                   help="reconnect backoff ceiling in seconds")
+    p.set_defaults(fn=_worker)
     p = sub.add_parser(
         "submit", help="send a table/figure sweep to a running daemon")
     p.add_argument("what", choices=("table1", "table2", "table3", "table4",
@@ -1045,6 +1156,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                    metavar="HOST:PORT", help="reach the daemon over TCP")
     p.add_argument("--wait-timeout", type=_positive_float, default=600.0,
                    help="client-side reply timeout in seconds")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry retryable refusals (saturated/unavailable) "
+                        "this many times with decorrelated-jitter backoff")
     p.add_argument("--out", default=None, metavar="PATH",
                    help="write a deterministic results JSON document")
     p.add_argument("--manifest", default=None, metavar="PATH",

@@ -36,6 +36,8 @@ from repro.runx.spec import CellResult
 
 __all__ = [
     "Journal",
+    "JournalWriteError",
+    "append_record",
     "part_path",
     "load_resume",
     "repair_torn_tail",
@@ -43,6 +45,32 @@ __all__ = [
 ]
 
 log = logging.getLogger(__name__)
+
+
+class JournalWriteError(OSError):
+    """A journal append could not reach stable storage (``ENOSPC``, I/O
+    error, permissions).  Subclasses :class:`OSError` so existing
+    broad handlers still catch it, while callers that care — the serve
+    daemon's accept loop — can map it to a typed retryable reply
+    instead of crashing: durability failing is backpressure, not death.
+    """
+
+    def __init__(self, path: str, cause: OSError):
+        super().__init__(
+            cause.errno if cause.errno is not None else 0,
+            f"journal {path}: append failed ({cause})")
+        self.path = path
+        self.cause = cause
+
+
+def append_record(path: str, rec: Dict) -> None:
+    """Fsync-append one JSON record, raising the typed
+    :class:`JournalWriteError` on any storage failure (a full disk must
+    surface as a *refusal to accept work*, never a torn accept)."""
+    try:
+        fsync_append(path, json.dumps(rec, separators=(",", ":")))
+    except OSError as exc:
+        raise JournalWriteError(path, exc) from exc
 
 
 def part_path(manifest_path: str) -> str:
@@ -124,7 +152,7 @@ class Journal:
             if os.path.exists(self.path):
                 os.unlink(self.path)
             self._tail_checked = True  # fresh file: nothing to repair
-            fsync_append(self.path, json.dumps(rec, separators=(",", ":")))
+            append_record(self.path, rec)
 
     def append(self, result: CellResult) -> None:
         with self._lock:
@@ -134,10 +162,7 @@ class Journal:
                 # prior process may have died mid-append.
                 repair_torn_tail(self.path)
                 self._tail_checked = True
-            fsync_append(
-                self.path,
-                json.dumps(result.to_record(), separators=(",", ":")),
-            )
+            append_record(self.path, result.to_record())
 
     def finalize(self) -> None:
         """Drop the journal once the finished manifest is safely on disk."""

@@ -28,20 +28,36 @@ headline feature:
   coalescing, a circuit breaker that quarantines poisoned cells instead
   of crash-looping the pool, bounded queues, graceful drain on SIGTERM;
 * :mod:`repro.serve.client` — the blocking client the CLI
-  (``repro-smm serve | submit | status``) and tests use.
+  (``repro-smm serve | submit | status``) and tests use, with
+  decorrelated-jitter retry honoring the server's ``retry_after``;
+* :mod:`repro.serve.fleet` — daemon-side multi-host scheduling: cells
+  leased to remote workers under monotonic-clock deadlines and
+  **fencing tokens**, so heartbeat loss re-grants work and a zombie's
+  stale result can never be committed twice;
+* :mod:`repro.serve.agent` — the remote worker
+  (``repro-smm worker --connect HOST:PORT``) that dials the daemon,
+  pulls leases, runs them in a supervised workproc child, and
+  reconnects with bounded decorrelated-jitter backoff.
 """
 
+from repro.serve.agent import AgentConfig, WorkerAgent
 from repro.serve.cache import ResultCache
-from repro.serve.client import ServeClient, ServeError
+from repro.serve.client import ServeClient, ServeError, decorrelated_jitter
 from repro.serve.daemon import ServeConfig, ServeDaemon
-from repro.serve.queue import DurableQueue, QueueState
+from repro.serve.fleet import FleetScheduler
+from repro.serve.queue import DurableQueue, JournalWriteError, QueueState
 
 __all__ = [
+    "AgentConfig",
+    "WorkerAgent",
     "ResultCache",
     "ServeClient",
     "ServeError",
+    "decorrelated_jitter",
     "ServeConfig",
     "ServeDaemon",
+    "FleetScheduler",
     "DurableQueue",
+    "JournalWriteError",
     "QueueState",
 ]

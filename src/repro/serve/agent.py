@@ -1,0 +1,373 @@
+"""The remote worker agent: ``repro-smm worker --connect HOST:PORT``.
+
+One agent per host (or per slot), dialing *out* to the daemon's TCP
+listener — the daemon never needs to reach into worker machines, so the
+fleet works across NAT and firewalls with a single open port.  The agent
+is a pull loop over the fleet protocol (:mod:`repro.serve.protocol`):
+
+    hello → lease-request → run the cell → heartbeat while it runs
+          → worker-result (with the lease's fencing token) → repeat
+
+Cells execute in a supervised :mod:`repro.serve.workproc` child — the
+same long-lived worker subprocess the daemon's local pool drives — so a
+segfaulting or chaos-killed cell takes down the child, not the agent,
+and the agent reports the infrastructure failure instead of vanishing.
+The agent enforces the lease's watchdog deadline and a child-heartbeat
+timeout locally (a frozen child is killed and reported), while the
+*daemon* enforces agent liveness through lease expiry: if this whole
+process is SIGSTOPped, partitioned, or killed, its heartbeats stop, the
+lease lapses, and the cell is re-granted elsewhere.
+
+The failure-detector contract on this side is **reconnect with bounded
+exponential backoff and decorrelated jitter** (shared with
+:mod:`repro.serve.client`): a dead or restarting daemon costs an
+escalating, jittered pause, never a hot reconnect loop, and the backoff
+resets on the first successful round trip.  On any session loss the
+in-flight job is abandoned (child killed): the lease is void — the
+daemon either expired it already or will — and a deterministic cell
+re-run elsewhere is byte-identical, so abandoning is always safe.
+
+Delivery discipline after a freeze: the run loop always tries to send a
+finished result *before* its next heartbeat, and a revoked lease is
+always answered with a ``worker-result`` under the (now stale) token —
+the finished value if the child got that far, an infra abandonment
+record otherwise.  The daemon's token check fences either one
+(``accepted: false``), so its fenced counter observes every zombie
+return — which is exactly the partition drill
+``scripts/fleet_smoke.py`` runs.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import queue
+import signal
+import socket
+import subprocess
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.runx.runner import worker_env
+from repro.serve import protocol
+from repro.serve.client import decorrelated_jitter
+from repro.serve.workproc import spawn_argv
+
+__all__ = ["AgentConfig", "WorkerAgent", "run"]
+
+log = logging.getLogger(__name__)
+
+
+@dataclass
+class AgentConfig:
+    """Everything one agent needs, CLI-shaped."""
+
+    connect: Tuple[str, int] = ("127.0.0.1", 7070)
+    name: str = ""
+    #: seconds between lease heartbeats while a job runs.
+    hb_s: float = 1.0
+    #: kill the workproc child if it emits nothing for this long.
+    child_hb_timeout_s: float = 10.0
+    #: reconnect backoff bounds (decorrelated jitter in between).
+    backoff_s: float = 0.5
+    max_backoff_s: float = 15.0
+    #: socket timeout for daemon round trips.
+    io_timeout_s: float = 30.0
+
+
+class _SessionLost(Exception):
+    """The daemon connection died; reconnect with backoff."""
+
+
+class _Child:
+    """One supervised workproc subprocess with a line-reader thread."""
+
+    def __init__(self):
+        self.proc = subprocess.Popen(
+            spawn_argv(), stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            env=worker_env(), text=True, bufsize=1)
+        self.lines: "queue.Queue[Optional[Dict[str, Any]]]" = queue.Queue()
+        self._reader = threading.Thread(
+            target=self._read, name="agent-child-reader", daemon=True)
+        self._reader.start()
+        rec = self._next(timeout=30.0)
+        if rec is None or rec.get("kind") != "ready":
+            self.kill()
+            raise RuntimeError("workproc child never became ready")
+
+    def _read(self) -> None:
+        for line in self.proc.stdout:
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                continue  # chaos corrupt / stray logging: skip
+            if isinstance(rec, dict):
+                self.lines.put(rec)
+        self.lines.put(None)  # EOF sentinel: the child died
+
+    def _next(self, timeout: float) -> Optional[Dict[str, Any]]:
+        try:
+            return self.lines.get(timeout=timeout)
+        except queue.Empty:
+            return {"kind": "idle"}  # distinguishable from EOF's None
+
+    def submit(self, job: Dict[str, Any]) -> None:
+        self.proc.stdin.write(
+            json.dumps(job, separators=(",", ":")) + "\n")
+        self.proc.stdin.flush()
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except OSError:
+            pass
+        self.proc.wait()
+
+
+class WorkerAgent:
+    """The agent loop; :meth:`run` blocks until :meth:`stop`."""
+
+    def __init__(self, config: AgentConfig):
+        self.config = config
+        self._stop = threading.Event()
+        self._sock: Optional[socket.socket] = None
+        self._fp = None
+        self._child: Optional[_Child] = None
+        #: local tallies, logged on exit (the daemon holds the real ones).
+        self.jobs_done = 0
+        self.fenced = 0
+        self.reconnects = 0
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    # -- transport ------------------------------------------------------------
+    def _request(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """One fleet round trip on the session connection."""
+        try:
+            self._sock.sendall(protocol.encode(req))
+            line = self._fp.readline()
+        except (OSError, ValueError) as exc:
+            raise _SessionLost(str(exc)) from exc
+        if not line:
+            raise _SessionLost("daemon closed the connection")
+        try:
+            rep = protocol.decode(line)
+        except ValueError as exc:
+            raise _SessionLost(f"garbled reply: {exc}") from exc
+        return rep
+
+    def _connect(self) -> str:
+        host, port = self.config.connect
+        sock = socket.create_connection(
+            (host, port), timeout=self.config.io_timeout_s)
+        self._sock = sock
+        self._fp = sock.makefile("rb")
+        rep = self._request({
+            "op": "worker-hello", "proto": protocol.FLEET_PROTO,
+            "name": self.config.name or socket.gethostname(),
+            "pid": os.getpid()})
+        if not rep.get("ok") or not rep.get("worker_id"):
+            raise _SessionLost(
+                f"hello refused: {rep.get('message', rep)}")
+        return rep["worker_id"]
+
+    def _close(self) -> None:
+        for closer in (self._fp, self._sock):
+            try:
+                if closer is not None:
+                    closer.close()
+            except OSError:
+                pass
+        self._fp = self._sock = None
+
+    # -- the loop -------------------------------------------------------------
+    def run(self) -> int:
+        """Connect-serve-reconnect until stopped.  Exit 0 on stop."""
+        cfg = self.config
+        sleep_s = cfg.backoff_s
+        while not self._stop.is_set():
+            try:
+                worker_id = self._connect()
+                log.info("agent: connected to %s:%d as %s",
+                         cfg.connect[0], cfg.connect[1], worker_id)
+                sleep_s = cfg.backoff_s  # round trip worked: reset
+                self._serve_session()
+            except _SessionLost as exc:
+                log.warning("agent: session lost (%s); reconnecting",
+                            exc)
+            except OSError as exc:
+                log.warning("agent: cannot reach daemon (%s); retrying",
+                            exc)
+            finally:
+                self._close()
+                self._abandon_child()
+            if self._stop.is_set():
+                break
+            self.reconnects += 1
+            sleep_s = decorrelated_jitter(
+                sleep_s, cfg.backoff_s, cfg.max_backoff_s)
+            self._stop.wait(sleep_s)
+        log.info("agent: stopped (%d jobs, %d fenced, %d reconnects)",
+                 self.jobs_done, self.fenced, self.reconnects)
+        return 0
+
+    def _serve_session(self) -> None:
+        while not self._stop.is_set():
+            rep = self._request({"op": "lease-request"})
+            lease = rep.get("lease")
+            if not lease:
+                self._stop.wait(float(rep.get("retry_after", 0.5)))
+                continue
+            self._run_lease(lease)
+
+    def _abandon_child(self) -> None:
+        """Kill any in-flight job: our lease is void, and a re-run of a
+        deterministic cell elsewhere is byte-identical."""
+        if self._child is not None:
+            self._child.kill()
+            self._child = None
+
+    def _ensure_child(self) -> _Child:
+        if self._child is None or self._child.proc.poll() is not None:
+            self._abandon_child()
+            self._child = _Child()
+        return self._child
+
+    # -- one lease ------------------------------------------------------------
+    def _run_lease(self, lease: Dict[str, Any]) -> None:
+        cfg = self.config
+        digest, token = lease["digest"], lease["token"]
+        try:
+            child = self._ensure_child()
+            job = {"kind": "job", "id": digest, "spec": lease["spec"],
+                   "seed": lease["seed"],
+                   "attempt": lease.get("attempt", 0)}
+            if lease.get("baselines"):
+                job["baselines"] = lease["baselines"]
+            child.submit(job)
+        except (RuntimeError, OSError, BrokenPipeError) as exc:
+            self._abandon_child()
+            self._deliver(digest, token, {
+                "ok": False, "infra": True,
+                "error": f"agent could not start the cell: {exc}"})
+            return
+
+        timeout_s = lease.get("timeout_s")
+        deadline = (time.monotonic() + float(timeout_s)
+                    if timeout_s else None)
+        next_hb = time.monotonic() + cfg.hb_s
+        last_child_line = time.monotonic()
+        while True:
+            # Result first, heartbeat second: a result finished during a
+            # freeze must race the daemon's fencing check, not sit behind
+            # a heartbeat that would have us discard it silently.
+            wait = max(0.05, min(next_hb - time.monotonic(), 1.0))
+            rec = child._next(timeout=wait)
+            now = time.monotonic()
+            if rec is None:  # EOF: the child died mid-cell
+                rc = child.proc.returncode
+                self._abandon_child()
+                self._deliver(digest, token, {
+                    "ok": False, "infra": True,
+                    "error": f"workproc child died mid-cell (rc={rc})"})
+                return
+            kind = rec.get("kind")
+            if kind == "result" and rec.get("id") == digest:
+                self._deliver(digest, token, self._result_fields(rec))
+                self.jobs_done += 1
+                return
+            if kind in ("hb", "result"):
+                last_child_line = now
+            # Every tick — child beat or idle — enforces the local
+            # watchdogs and keeps the daemon heartbeat on schedule (a
+            # chatty child must not starve lease renewal).
+            if deadline is not None and now >= deadline:
+                self._abandon_child()
+                self._deliver(digest, token, {
+                    "ok": False, "infra": True,
+                    "error": f"watchdog timeout after {timeout_s:g}s"})
+                return
+            if now - last_child_line > cfg.child_hb_timeout_s:
+                self._abandon_child()
+                self._deliver(digest, token, {
+                    "ok": False, "infra": True,
+                    "error": "workproc child frozen (no heartbeat for "
+                             f"{cfg.child_hb_timeout_s:g}s)"})
+                return
+            if now >= next_hb:
+                next_hb = now + cfg.hb_s
+                rep = self._request({"op": "worker-heartbeat",
+                                     "digest": digest, "token": token})
+                if rep.get("lease") != "ok":
+                    # Revoked: we were frozen, partitioned, or too slow
+                    # and the cell belongs to someone else now.  If the
+                    # child finished *during* the freeze its result may
+                    # still be racing our reader thread — drain briefly
+                    # and deliver whatever we have (the finished result,
+                    # or an infra abandonment if the cell never ran to
+                    # completion).  Either way the daemon's token check
+                    # is the arbiter, not us: it fences the stale token,
+                    # and its fenced counter sees every zombie return.
+                    log.warning("agent: lease on %s revoked", digest)
+                    rec = self._pending_result(digest, grace_s=0.5)
+                    if rec is not None:
+                        self._deliver(digest, token,
+                                      self._result_fields(rec))
+                        return
+                    self._abandon_child()
+                    self._deliver(digest, token, {
+                        "ok": False, "infra": True,
+                        "error": "lease revoked before the cell "
+                                 "finished; abandoned"})
+                    return
+
+    @staticmethod
+    def _result_fields(rec: Dict[str, Any]) -> Dict[str, Any]:
+        return {k: rec[k] for k in
+                ("ok", "value", "error", "failed_in_sim", "fault",
+                 "baselines", "baseline_stats", "snapshot_stats")
+                if k in rec}
+
+    def _pending_result(self, digest: str,
+                        grace_s: float) -> Optional[Dict[str, Any]]:
+        """The child's result record for ``digest`` if one is already in
+        (or lands within ``grace_s``), draining heartbeats on the way;
+        ``None`` once the grace expires or the child dies."""
+        if self._child is None:
+            return None
+        deadline = time.monotonic() + grace_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            rec = self._child._next(timeout=remaining)
+            if rec is None:
+                return None  # EOF: the child died without a result
+            if rec.get("kind") == "result" and rec.get("id") == digest:
+                return rec
+
+    def _deliver(self, digest: str, token: int,
+                 result: Dict[str, Any]) -> None:
+        rep = self._request({"op": "worker-result", "digest": digest,
+                             "token": token, "result": result})
+        if not rep.get("accepted"):
+            # Fenced: the daemon already re-granted (or restarted).  The
+            # computed value dies here — exactly-once effect is theirs.
+            log.warning("agent: result for %s fenced as stale; discarded",
+                        digest)
+            self.fenced += 1
+
+
+def run(config: AgentConfig) -> int:
+    """Blocking entry point behind ``repro-smm worker``."""
+    agent = WorkerAgent(config)
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, lambda *_: agent.stop())
+    try:
+        return agent.run()
+    finally:
+        agent._abandon_child()

@@ -27,6 +27,15 @@ write path could never cause (disk corruption, manual tampering).
 Every envelope also carries provenance (package version, python,
 creation time) so a served result can say where its bytes came from —
 the same Hunold & Carpen-Amarie argument the run manifests make.
+
+The store is **bounded**: ``REPRO_SERVE_CACHE_MAX`` (or the
+``max_entries`` argument) caps the entry count with LRU eviction,
+mirroring the `BaselineStore`/`SnapshotStore` pattern — recency is
+tracked in an in-memory index (seeded from file mtimes at boot, bumped
+on every verified hit) and overflow evicts the coldest entries, counted
+in ``serve.cache.evictions``.  The default is unbounded: evicting a
+deterministic result only ever costs a recompute, so the cap is an
+operator disk-budget knob, not a correctness feature.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ import json
 import logging
 import os
 import time
+from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from repro.obs.atomic import atomic_write_text
@@ -48,6 +58,9 @@ log = logging.getLogger(__name__)
 #: Bumped whenever the envelope layout changes incompatibly; entries
 #: with any other schema are treated as corrupt and recomputed.
 CACHE_SCHEMA = 1
+
+#: ``REPRO_SERVE_CACHE_MAX`` ≤ 0 (the default) means unbounded.
+DEFAULT_CACHE_MAX = 0
 
 
 def value_sha256(value: Any) -> str:
@@ -68,10 +81,20 @@ def calibration_sha256() -> str:
 class ResultCache:
     """Persistent digest-keyed result store with read-time verification."""
 
-    def __init__(self, root: str, metrics=None):
+    def __init__(self, root: str, metrics=None,
+                 max_entries: Optional[int] = None):
         self.root = root
         os.makedirs(root, exist_ok=True)
         self._calibration = calibration_sha256()
+        if max_entries is None:
+            max_entries = int(os.environ.get(
+                "REPRO_SERVE_CACHE_MAX", DEFAULT_CACHE_MAX))
+        #: LRU cap on entry count; <= 0 disables eviction.
+        self.max_entries = max_entries
+        self.evictions = 0
+        #: digest -> True in least-recently-used-first order, seeded
+        #: from on-disk mtimes so the LRU survives daemon restarts.
+        self._lru: "OrderedDict[str, bool]" = self._scan()
         if metrics is not None:
             self._c_hits = metrics.counter(
                 "serve.cache.hits", "verified cache reads served")
@@ -85,21 +108,50 @@ class ResultCache:
                 "entries evicted because calibration constants changed")
             self._c_writes = metrics.counter(
                 "serve.cache.writes", "entries written")
+            self._c_evictions = metrics.counter(
+                "serve.cache.evictions",
+                "entries LRU-evicted past REPRO_SERVE_CACHE_MAX")
         else:
             self._c_hits = self._c_misses = self._c_corrupt = None
-            self._c_stale = self._c_writes = None
+            self._c_stale = self._c_writes = self._c_evictions = None
 
     # -- paths ----------------------------------------------------------------
     def path_for(self, digest: str) -> str:
         return os.path.join(self.root, digest[:2], digest + ".json")
 
     def __len__(self) -> int:
-        n = 0
+        return len(self._lru)
+
+    def _scan(self) -> "OrderedDict[str, bool]":
+        """Seed the LRU index from disk, coldest (oldest mtime) first."""
+        found = []
         for shard in os.listdir(self.root):
             sub = os.path.join(self.root, shard)
-            if os.path.isdir(sub):
-                n += sum(1 for f in os.listdir(sub) if f.endswith(".json"))
-        return n
+            if not os.path.isdir(sub):
+                continue
+            for name in os.listdir(sub):
+                if not name.endswith(".json"):
+                    continue
+                try:
+                    mtime = os.path.getmtime(os.path.join(sub, name))
+                except OSError:
+                    continue
+                found.append((mtime, name[:-len(".json")]))
+        found.sort()
+        return OrderedDict((digest, True) for _, digest in found)
+
+    def _touch(self, digest: str) -> None:
+        self._lru[digest] = True
+        self._lru.move_to_end(digest)
+
+    def _evict_over_cap(self) -> None:
+        if self.max_entries <= 0:
+            return
+        while len(self._lru) > self.max_entries:
+            coldest, _ = self._lru.popitem(last=False)
+            self._evict(self.path_for(coldest))
+            self.evictions += 1
+            self._count(self._c_evictions)
 
     # -- read -----------------------------------------------------------------
     def get(self, spec: CellSpec) -> Optional[Dict[str, Any]]:
@@ -120,6 +172,7 @@ class ResultCache:
             with open(path, encoding="utf-8") as fp:
                 raw = fp.read()
         except FileNotFoundError:
+            self._lru.pop(digest, None)
             self._count(self._c_misses)
             return None, None
         except OSError as exc:  # pragma: no cover — I/O error mid-read
@@ -131,10 +184,12 @@ class ResultCache:
             kind = "stale" if why == "calibration drift" else "corrupt"
             log.warning("cache %s: %s (%s); evicting", path, kind, why)
             self._evict(path)
+            self._lru.pop(digest, None)
             self._count(self._c_stale if kind == "stale" else self._c_corrupt)
             self._count(self._c_misses)
             return None, None
         env = json.loads(raw)
+        self._touch(digest)
         self._count(self._c_hits)
         return env["value"], env.get("provenance")
 
@@ -195,6 +250,8 @@ class ResultCache:
         }
         atomic_write_text(
             path, lambda fp: json.dump(env, fp, separators=(",", ":")))
+        self._touch(digest)
+        self._evict_over_cap()
         self._count(self._c_writes)
         return path
 

@@ -6,16 +6,41 @@ write one line, read one line, close.  Submission replies can be large
 Typed daemon errors surface as :class:`ServeError` carrying the machine
 code and the ``retry_after`` hint, so callers can distinguish "back off"
 from "give up" without parsing prose.
+
+Retries use **decorrelated jitter** (:func:`decorrelated_jitter`):
+each sleep is drawn uniformly from ``[base, 3 * previous_sleep]`` and
+capped, so a thundering herd of clients bounced by one ``saturated``
+reply desynchronizes instead of re-arriving in lockstep — plain
+exponential backoff keeps the herd in phase, which is exactly how a
+recovering daemon gets knocked over again.  A server-sent
+``retry_after`` is honored as a *floor*: the daemon knows its queue
+depth better than any client-side schedule does.
 """
 
 from __future__ import annotations
 
+import random
 import socket
-from typing import Any, Dict, List, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.serve import protocol
 
-__all__ = ["ServeClient", "ServeError"]
+__all__ = ["ServeClient", "ServeError", "decorrelated_jitter"]
+
+
+def decorrelated_jitter(previous_s: float, base_s: float, cap_s: float,
+                        floor_s: float = 0.0,
+                        rng: Callable[[], float] = random.random) -> float:
+    """The next backoff sleep: ``min(cap, uniform(base, 3 * previous))``,
+    raised to ``floor_s`` (a server-sent ``retry_after``).
+
+    ``rng`` returns uniform [0, 1) draws; injectable so tests can pin
+    the schedule.  Shared by the client retry loop and the fleet
+    agent's reconnect failure detector.
+    """
+    span = max(3.0 * previous_s - base_s, 0.0)
+    return max(float(floor_s), min(float(cap_s), base_s + rng() * span))
 
 
 class ServeError(RuntimeError):
@@ -82,10 +107,44 @@ class ServeClient:
                 str(rep.get("message", "")), rep.get("retry_after"))
         return rep
 
+    def request_retrying(self, req: Dict[str, Any], retries: int = 4,
+                         base_s: float = 0.5, cap_s: float = 30.0,
+                         sleep: Callable[[float], None] = time.sleep,
+                         rng: Callable[[], float] = random.random,
+                         ) -> Dict[str, Any]:
+        """:meth:`request`, retried on *retryable* failures.
+
+        Retries cover the typed transient codes (``saturated``,
+        ``unavailable``) plus an unreachable daemon (it may be
+        restarting); sleeps follow :func:`decorrelated_jitter` with any
+        server-sent ``retry_after`` as the floor.  Safe for ``submit``
+        — cells are digest-idempotent, so a resubmission coalesces or
+        hits the cache, never double-computes.  Terminal codes
+        (``bad-request``, ``draining``, …) raise immediately.
+        """
+        prev = base_s
+        attempt = 0
+        while True:
+            try:
+                return self.request(req)
+            except ServeError as exc:
+                retryable = (exc.code in protocol.RETRYABLE
+                             or exc.code == "unreachable")
+                if not retryable or attempt >= retries:
+                    raise
+                floor = exc.retry_after or 0.0
+            attempt += 1
+            prev = decorrelated_jitter(
+                prev, base_s, cap_s, floor_s=floor, rng=rng)
+            sleep(prev)
+
     # -- ops ------------------------------------------------------------------
-    def submit(self, cells: List[Dict[str, Any]],
-               wait: bool = True) -> Dict[str, Any]:
-        return self.request({"op": "submit", "cells": cells, "wait": wait})
+    def submit(self, cells: List[Dict[str, Any]], wait: bool = True,
+               retries: int = 0) -> Dict[str, Any]:
+        req = {"op": "submit", "cells": cells, "wait": wait}
+        if retries > 0:
+            return self.request_retrying(req, retries=retries)
+        return self.request(req)
 
     def status(self) -> Dict[str, Any]:
         return self.request({"op": "status"})
@@ -95,3 +154,6 @@ class ServeClient:
 
     def drain(self) -> Dict[str, Any]:
         return self.request({"op": "drain"})
+
+    def clear_quarantine(self) -> Dict[str, Any]:
+        return self.request({"op": "clear-quarantine"})

@@ -35,6 +35,20 @@ the lock dies with the process, the next boot replays the queue journal,
 completes anything the cache already holds, and re-runs the rest.
 SIGTERM instead drains gracefully: stop accepting, finish in-flight
 work, compact the journal, release everything.
+
+Remote workers (:mod:`repro.serve.agent`) are admitted over the same
+listeners through the fleet ops (``worker-hello`` / ``lease-request`` /
+``worker-heartbeat`` / ``worker-result``) and compete with the local
+pool for the same queue — local slots take precedence when idle, remote
+agents absorb the overflow, and with zero agents connected the daemon
+degrades to exactly the single-host pool with no configuration change
+(``--workers 0`` runs a pure-fleet daemon).  :mod:`repro.serve.fleet`
+owns the lease table and fencing tokens; this module routes expired
+leases and fenced results through the same retry/quarantine accounting
+a local worker death takes, so a cell's observable fate is identical
+wherever it ran.  During a SIGTERM drain leases keep being granted and
+renewed — accepted work is finished by whoever holds capacity — while
+new submits are refused.
 """
 
 from __future__ import annotations
@@ -43,18 +57,21 @@ import asyncio
 import logging
 import os
 import signal
+import socket
 import sys
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry
+from repro.runx.journal import JournalWriteError
 from repro.runx.lock import SingleWriterLock
 from repro.runx.spec import CellSpec
 from repro.serve import protocol
 from repro.serve.cache import ResultCache
+from repro.serve.fleet import FleetScheduler
 from repro.serve.pool import Outcome, WorkOrder, WorkerPool
-from repro.serve.queue import DurableQueue
+from repro.serve.queue import DurableQueue, QueueState
 
 __all__ = ["ServeConfig", "ServeDaemon", "run"]
 
@@ -79,6 +96,7 @@ class ServeConfig:
     state_dir: str = "serve-state"
     socket_path: Optional[str] = None  # default: <state_dir>/serve.sock
     tcp: Optional[Tuple[str, int]] = None
+    #: local pool size; 0 runs a pure-fleet daemon (remote workers only).
     workers: int = 2
     timeout_s: Optional[float] = 300.0
     hb_timeout_s: float = 10.0
@@ -86,6 +104,9 @@ class ServeConfig:
     max_pending: int = 256
     restart_backoff_s: float = 0.1
     max_backoff_s: float = 5.0
+    #: revoke a remote lease after this long without a heartbeat
+    #: (monotonic clock; must comfortably exceed the agent's hb_s).
+    lease_s: float = 15.0
     #: crude per-cell cost estimate behind ``retry_after`` hints.
     est_cell_s: float = 2.0
 
@@ -135,6 +156,8 @@ class ServeDaemon:
         self.cache: Optional[ResultCache] = None
         self.queue_journal: Optional[DurableQueue] = None
         self.pool: Optional[WorkerPool] = None
+        self.fleet: Optional[FleetScheduler] = None
+        self._lease_reaper_task: Optional[asyncio.Task] = None
         self._jobs_q: "asyncio.Queue[WorkOrder]" = asyncio.Queue()
         self._inflight: Dict[str, _Job] = {}
         self._quarantined: Dict[str, Dict[str, Any]] = {}
@@ -172,6 +195,13 @@ class ServeDaemon:
             "serve.rejected.draining", "submits refused during drain")
         self._c_conns = m.counter(
             "serve.connections", "client connections accepted")
+        self._c_journal_errors = m.counter(
+            "serve.journal.write_errors", "journal appends refused by "
+            "the disk (ENOSPC, I/O error) and mapped to retryable "
+            "replies or logged")
+        self._c_q_cleared = m.counter(
+            "serve.quarantine.cleared", "quarantined cells forgotten by "
+            "the clear-quarantine operator op")
 
     # -- lifecycle ------------------------------------------------------------
     async def start(self) -> None:
@@ -185,15 +215,24 @@ class ServeDaemon:
         state = self.queue_journal.replay()
         self._quarantined = dict(state.quarantined)
         self.queue_journal.compact(state)
-        self.pool = WorkerPool(
-            self._jobs_q, self._on_result, size=cfg.workers,
-            timeout_s=cfg.timeout_s, hb_timeout_s=cfg.hb_timeout_s,
-            restart_backoff_s=cfg.restart_backoff_s,
-            max_backoff_s=cfg.max_backoff_s, metrics=self.metrics,
-            baseline_source=self._baselines_for,
-        )
+        # The fencing epoch is claimed before any lease can be granted:
+        # tokens must already beat every pre-restart token by the time a
+        # partitioned worker from the previous life reconnects.
+        self.fleet = FleetScheduler(
+            cfg.state_dir, lease_s=cfg.lease_s, metrics=self.metrics)
+        if cfg.workers > 0:
+            self.pool = WorkerPool(
+                self._jobs_q, self._on_result, size=cfg.workers,
+                timeout_s=cfg.timeout_s, hb_timeout_s=cfg.hb_timeout_s,
+                restart_backoff_s=cfg.restart_backoff_s,
+                max_backoff_s=cfg.max_backoff_s, metrics=self.metrics,
+                baseline_source=self._baselines_for,
+            )
         self._replay_pending(state.pending)
-        await self.pool.start()
+        if self.pool is not None:
+            await self.pool.start()
+        self._lease_reaper_task = asyncio.create_task(
+            self._lease_reaper(), name="serve-lease-reaper")
         sock = cfg.resolved_socket()
         if os.path.exists(sock):
             # We hold the state-dir lock, so a leftover socket is from a
@@ -246,8 +285,18 @@ class ServeDaemon:
         if self._draining:
             return
         self._draining = True
-        log.info("drain: %d jobs in flight", len(self._inflight))
+        log.info("drain: %d jobs in flight (%d leased to the fleet)",
+                 len(self._inflight),
+                 len(self.fleet) if self.fleet is not None else 0)
+        # Leases keep being granted, renewed, and reaped while we wait:
+        # remotely leased work is accepted work, and expiry mid-drain
+        # must still requeue it to whoever has capacity.
         await self._idle.wait()
+        if self._lease_reaper_task is not None:
+            self._lease_reaper_task.cancel()
+            await asyncio.gather(self._lease_reaper_task,
+                                 return_exceptions=True)
+            self._lease_reaper_task = None
         if self.pool is not None:
             await self.pool.stop()
         for server in self._servers:
@@ -272,6 +321,18 @@ class ServeDaemon:
     async def _handle_conn(self, reader: asyncio.StreamReader,
                            writer: asyncio.StreamWriter) -> None:
         self._c_conns.inc()
+        # One mutable session per connection: a worker-hello binds a
+        # worker_id to it, and losing the connection *is* the fleet's
+        # fast failure detector — every lease the worker held is revoked
+        # and requeued without waiting out the heartbeat deadline.
+        conn: Dict[str, Any] = {"worker_id": None, "peer": "?"}
+        try:
+            peer = writer.get_extra_info("peername")
+            if peer:
+                conn["peer"] = (f"{peer[0]}:{peer[1]}"
+                                if isinstance(peer, tuple) else str(peer))
+        except OSError:  # pragma: no cover
+            pass
         try:
             while True:
                 try:
@@ -289,10 +350,15 @@ class ServeDaemon:
                     await self._reply(writer, protocol.error_reply(
                         protocol.E_BAD_REQUEST, f"unparsable request: {exc}"))
                     continue
-                await self._reply(writer, await self._dispatch(req))
+                await self._reply(writer, await self._dispatch(req, conn))
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away; nothing owed
         finally:
+            if conn["worker_id"] is not None and self.fleet is not None:
+                for order in self.fleet.disconnect(conn["worker_id"]):
+                    await self._on_result(order, Outcome(
+                        error=f"remote worker {conn['worker_id']} "
+                              "disconnected mid-lease", infra=True))
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -304,7 +370,8 @@ class ServeDaemon:
         writer.write(protocol.encode(rep))
         await writer.drain()
 
-    async def _dispatch(self, req: Dict[str, Any]) -> Dict[str, Any]:
+    async def _dispatch(self, req: Dict[str, Any],
+                        conn: Dict[str, Any]) -> Dict[str, Any]:
         op = req.get("op")
         if op == "submit":
             return await self._op_submit(req)
@@ -315,6 +382,16 @@ class ServeDaemon:
         if op == "drain":
             asyncio.ensure_future(self.drain())
             return {"ok": True, "draining": True}
+        if op == "clear-quarantine":
+            return self._op_clear_quarantine()
+        if op == "worker-hello":
+            return self._op_worker_hello(req, conn)
+        if op == "lease-request":
+            return self._op_lease_request(conn)
+        if op == "worker-heartbeat":
+            return self._op_worker_heartbeat(req, conn)
+        if op == "worker-result":
+            return await self._op_worker_result(req, conn)
         return protocol.error_reply(
             protocol.E_BAD_REQUEST, f"unknown op {op!r}")
 
@@ -390,16 +467,31 @@ class ServeDaemon:
                 f"{self.config.max_pending}); retry later",
                 retry_after=retry)
 
-        for spec, digest in new_jobs:
-            job = seen_new[digest]
-            # Durability first: the journal record is fsync'd before the
-            # job exists anywhere volatile.
-            self.queue_journal.record_job(digest, spec.to_record())
-            job.order = WorkOrder(digest, spec.to_record(), spec.base_seed)
-            self._inflight[digest] = job
-            self._idle.clear()
-            self._jobs_q.put_nowait(job.order)
-            self._c_accepted.inc()
+        try:
+            for spec, digest in new_jobs:
+                job = seen_new[digest]
+                # Durability first: the journal record is fsync'd before
+                # the job exists anywhere volatile.
+                self.queue_journal.record_job(digest, spec.to_record())
+                job.order = WorkOrder(digest, spec.to_record(),
+                                      spec.base_seed)
+                self._inflight[digest] = job
+                self._idle.clear()
+                self._jobs_q.put_nowait(job.order)
+                self._c_accepted.inc()
+        except JournalWriteError as exc:
+            # The disk refused the fsync (full, read-only, dying).  Cells
+            # journaled before the failure stay accepted — they are
+            # durable and a retried submit coalesces onto them — but the
+            # submit as a whole is refused with retryable backpressure
+            # rather than letting the accept loop crash.
+            self._c_journal_errors.inc()
+            log.error("submit: durable queue refused a write (%s); "
+                      "shedding load", exc)
+            return protocol.error_reply(
+                protocol.E_UNAVAILABLE,
+                f"durable queue cannot accept writes ({exc}); retry later",
+                retry_after=5.0)
 
         if not req.get("wait", True):
             return {"ok": True, "stats": stats,
@@ -418,6 +510,18 @@ class ServeDaemon:
         return self.baselines.export_all() or None
 
     # -- result flow ----------------------------------------------------------
+    def _journal_safe(self, write, what: str) -> None:
+        """Best-effort *terminal*-record append: a full disk must not
+        turn a finished result into a daemon crash.  The cache (or the
+        in-memory quarantine map) already holds the state; losing the
+        record costs at worst one replayed-and-cache-satisfied job after
+        the next restart."""
+        try:
+            write()
+        except JournalWriteError as exc:
+            self._c_journal_errors.inc()
+            log.error("journal %s record lost (result kept): %s", what, exc)
+
     async def _on_result(self, order: WorkOrder, outcome: Outcome) -> None:
         # Harvest baselines before any terminal-state checks: even a
         # result that raced a quarantine carries profiles worth keeping.
@@ -440,14 +544,18 @@ class ServeDaemon:
             # replays the job and completes it from the cache.
             self.cache.put(job.spec, outcome.value,
                            provenance={"attempts": job.failures + 1})
-            self.queue_journal.record_done(order.digest)
+            self._journal_safe(
+                lambda: self.queue_journal.record_done(order.digest),
+                "done")
             self._c_completed.inc()
             self._resolve(job, {"status": "ok", "value": outcome.value,
                                 "cached": False,
                                 "attempts": job.failures + 1})
             return
         if outcome.failed_in_sim:
-            self.queue_journal.record_failed(order.digest, outcome.error or "")
+            self._journal_safe(
+                lambda: self.queue_journal.record_failed(
+                    order.digest, outcome.error or ""), "failed")
             self._c_failed.inc()
             res = {"status": "failed-in-sim", "error": outcome.error,
                    "attempts": job.failures + 1}
@@ -457,8 +565,10 @@ class ServeDaemon:
             return
         job.failures += 1
         if job.failures >= self.config.max_attempts:
-            self.queue_journal.record_quarantine(
-                order.digest, job.failures, outcome.error or "")
+            self._journal_safe(
+                lambda: self.queue_journal.record_quarantine(
+                    order.digest, job.failures, outcome.error or ""),
+                "quarantine")
             self._quarantined[order.digest] = {
                 "kind": "quarantine", "id": order.digest,
                 "attempts": job.failures, "error": outcome.error or ""}
@@ -489,6 +599,167 @@ class ServeDaemon:
         if not self._inflight:
             self._idle.set()
 
+    # -- fleet (remote worker agents) ------------------------------------------
+    async def _lease_reaper(self) -> None:
+        """Revoke leases whose holders went silent.  Runs for the whole
+        daemon life (including drain: remotely leased work is accepted
+        work, and expiry mid-drain must still requeue it); each expired
+        order re-enters the exact retry/quarantine accounting a local
+        worker death takes."""
+        interval = max(0.05, min(1.0, self.config.lease_s / 4))
+        while True:
+            await asyncio.sleep(interval)
+            if self.fleet is None:
+                continue
+            for lease in self.fleet.expire():
+                await self._on_result(lease.order, Outcome(
+                    error=f"lease expired (worker {lease.worker_id} silent "
+                          f"for {self.config.lease_s:g}s)", infra=True))
+
+    def _op_worker_hello(self, req: Dict[str, Any],
+                         conn: Dict[str, Any]) -> Dict[str, Any]:
+        if self.fleet is None:
+            return protocol.error_reply(
+                protocol.E_UNAVAILABLE, "fleet scheduler not started",
+                retry_after=1.0)
+        proto = req.get("proto")
+        if proto != protocol.FLEET_PROTO:
+            # Versioned handshake: refuse rather than mis-speak, so a
+            # fleet can be upgraded one side at a time.
+            return protocol.error_reply(
+                protocol.E_BAD_REQUEST,
+                f"unsupported fleet proto {proto!r} "
+                f"(daemon speaks {protocol.FLEET_PROTO})")
+        if conn["worker_id"] is not None:
+            return protocol.error_reply(
+                protocol.E_BAD_REQUEST, "connection already said hello")
+        worker = self.fleet.register(
+            str(req.get("name") or ""), conn["peer"])
+        conn["worker_id"] = worker.worker_id
+        return {"ok": True, "proto": protocol.FLEET_PROTO,
+                "worker_id": worker.worker_id,
+                "lease_s": self.config.lease_s,
+                "hb_s": max(0.2, self.config.lease_s / 5)}
+
+    def _next_order(self) -> Optional[WorkOrder]:
+        """The next live order, or ``None`` — tombstoned orders (killed
+        by a racing quarantine or terminal result) are skipped, exactly
+        as the local pool skips them."""
+        while True:
+            try:
+                order = self._jobs_q.get_nowait()
+            except asyncio.QueueEmpty:
+                return None
+            if not order.dead:
+                return order
+
+    def _op_lease_request(self, conn: Dict[str, Any]) -> Dict[str, Any]:
+        wid = conn["worker_id"]
+        if wid is None or self.fleet is None:
+            return protocol.error_reply(
+                protocol.E_BAD_REQUEST, "lease-request before worker-hello")
+        order = self._next_order()
+        if order is None:
+            return {"ok": True, "lease": None, "retry_after": 0.5}
+        lease = self.fleet.grant(wid, order)
+        if lease is None:  # worker dropped between readline and here
+            self._jobs_q.put_nowait(order)
+            return protocol.error_reply(
+                protocol.E_BAD_REQUEST, f"unknown worker {wid}")
+        body: Dict[str, Any] = {
+            "digest": order.digest, "spec": order.spec_rec,
+            "seed": order.seed, "attempt": order.attempt,
+            "token": lease.token, "lease_s": self.config.lease_s,
+        }
+        if self.config.timeout_s:
+            body["timeout_s"] = self.config.timeout_s
+        baselines = self._baselines_for(order.spec_rec)
+        if baselines:
+            body["baselines"] = baselines
+        return {"ok": True, "lease": body}
+
+    def _op_worker_heartbeat(self, req: Dict[str, Any],
+                             conn: Dict[str, Any]) -> Dict[str, Any]:
+        wid = conn["worker_id"]
+        if wid is None or self.fleet is None:
+            return protocol.error_reply(
+                protocol.E_BAD_REQUEST, "heartbeat before worker-hello")
+        try:
+            token = int(req.get("token") or 0)
+        except (TypeError, ValueError):
+            return protocol.error_reply(protocol.E_BAD_REQUEST, "bad token")
+        alive = self.fleet.heartbeat(
+            wid, str(req.get("digest") or ""), token)
+        return {"ok": True, "lease": "ok" if alive else "revoked"}
+
+    async def _op_worker_result(self, req: Dict[str, Any],
+                                conn: Dict[str, Any]) -> Dict[str, Any]:
+        wid = conn["worker_id"]
+        if wid is None or self.fleet is None:
+            return protocol.error_reply(
+                protocol.E_BAD_REQUEST, "worker-result before worker-hello")
+        digest = str(req.get("digest") or "")
+        try:
+            token = int(req.get("token") or 0)
+        except (TypeError, ValueError):
+            return protocol.error_reply(protocol.E_BAD_REQUEST, "bad token")
+        # THE fencing decision: commit only under the current token.  A
+        # stale token (lease expired and re-granted, or granted by a
+        # pre-restart epoch) is acknowledged but never committed —
+        # exactly-once effect regardless of how many hosts raced.
+        lease = self.fleet.take(digest, token)
+        if lease is None:
+            return {"ok": True, "accepted": False}
+        result = req.get("result")
+        if not isinstance(result, dict):
+            result = {"infra": True, "error": "malformed worker result"}
+        await self._on_result(lease.order, Outcome(
+            ok=bool(result.get("ok")),
+            value=result.get("value"),
+            error=result.get("error"),
+            failed_in_sim=bool(result.get("failed_in_sim")),
+            fault=result.get("fault"),
+            infra=bool(result.get("infra")),
+            baselines=result.get("baselines"),
+            baseline_stats=result.get("baseline_stats"),
+            snapshot_stats=result.get("snapshot_stats")))
+        return {"ok": True, "accepted": True}
+
+    # -- operator ops ----------------------------------------------------------
+    def _op_clear_quarantine(self) -> Dict[str, Any]:
+        """Forget every circuit-broken cell — in memory *and* in the
+        durable journal, so the next boot cannot resurrect them — and
+        let resubmissions compute again."""
+        assert self.queue_journal is not None
+        cleared = sorted(self._quarantined)
+        self._quarantined = {}
+        state = QueueState(pending={
+            digest: job.spec.to_record()
+            for digest, job in self._inflight.items()})
+        try:
+            self.queue_journal.compact(state)
+        except OSError as exc:
+            self._c_journal_errors.inc()
+            return protocol.error_reply(
+                protocol.E_UNAVAILABLE,
+                f"could not rewrite the queue journal: {exc}",
+                retry_after=5.0)
+        if cleared:
+            self._c_q_cleared.inc(len(cleared))
+            log.info("quarantine cleared: %d cell(s) forgotten",
+                     len(cleared))
+        return {"ok": True, "cleared": len(cleared), "digests": cleared}
+
+    def tcp_endpoint(self) -> Optional[Tuple[str, int]]:
+        """The actually-bound TCP address — resolves a requested port 0,
+        which tests and the smoke drills use to avoid port races."""
+        for server in self._servers:
+            for sock in server.sockets or []:
+                if sock.family in (socket.AF_INET, socket.AF_INET6):
+                    addr = sock.getsockname()
+                    return addr[0], addr[1]
+        return None
+
     # -- status ---------------------------------------------------------------
     def _op_status(self) -> Dict[str, Any]:
         assert self.cache is not None
@@ -506,6 +777,8 @@ class ServeDaemon:
             "queued": self._jobs_q.qsize(),
             "quarantined": len(self._quarantined),
             "workers": self.pool.snapshot() if self.pool is not None else [],
+            "fleet": (self.fleet.snapshot()
+                      if self.fleet is not None else None),
             "cache": {"entries": len(self.cache), "root": self.cache.root},
             "engine": {
                 "name": _engine_name(),

@@ -27,11 +27,11 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
-import sys
 from typing import Any, Awaitable, Callable, Dict, List, Optional
 
 from repro.runx.runner import worker_env
 from repro.serve.protocol import MAX_LINE
+from repro.serve.workproc import spawn_argv
 
 __all__ = ["WorkOrder", "Outcome", "WorkerPool"]
 
@@ -171,8 +171,10 @@ class WorkerPool:
             slot.state = "stopped"
 
     def snapshot(self) -> List[Dict[str, Any]]:
+        """Status rows for the local slots; ``kind`` distinguishes them
+        from the remote fleet leases `repro-smm status` merges in."""
         return [
-            {"slot": s.index,
+            {"kind": "local", "slot": s.index,
              "pid": s.proc.pid if s.proc is not None else None,
              "state": s.state, "job": s.job, "jobs_done": s.jobs_done,
              "restarts": s.restarts}
@@ -231,7 +233,7 @@ class WorkerPool:
 
     async def _spawn(self) -> asyncio.subprocess.Process:
         return await asyncio.create_subprocess_exec(
-            sys.executable, "-m", "repro.serve.workproc",
+            *spawn_argv(),
             stdin=asyncio.subprocess.PIPE, stdout=asyncio.subprocess.PIPE,
             env=self._env, limit=MAX_LINE,
         )

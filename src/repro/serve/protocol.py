@@ -9,20 +9,47 @@ work":
 
 * ``saturated`` — the daemon's bounded queue is full; the reply carries
   ``retry_after`` seconds (HTTP-429 semantics).
+* ``unavailable`` — the daemon's durable journal cannot accept writes
+  right now (disk full, I/O error); retryable with ``retry_after``,
+  exactly like ``saturated``.
 * ``draining`` — the daemon is shutting down gracefully; resubmit to
   its successor.
 * ``bad-request`` — malformed line or unknown op; never retry.
 * ``too-large`` — request line exceeded :data:`MAX_LINE`; never retry.
 
-Ops:
+Client ops:
 
 * ``submit`` — ``{"op": "submit", "cells": [specrec...], "wait": bool}``.
   With ``wait`` the reply arrives when every cell is terminal and
   carries per-cell ``status``/``value``/``cached``/``attempts``;
   without, it acknowledges acceptance counts immediately.
-* ``status`` — queue depth, worker states, cache and counter snapshot.
+* ``status`` — queue depth, worker states, fleet leases, cache and
+  counter snapshot.
 * ``metrics`` — the daemon's registry in Prometheus exposition text.
 * ``drain`` — begin graceful shutdown (same path as SIGTERM).
+* ``clear-quarantine`` — operator op: forget every circuit-broken cell
+  (in memory and in the durable journal) so resubmissions compute again.
+
+Fleet ops (remote worker agents over the same TCP listener; see
+:mod:`repro.serve.fleet`).  The handshake is versioned: a ``hello``
+carries ``proto`` and the daemon refuses versions it does not speak, so
+a fleet can be upgraded one side at a time without silent corruption:
+
+* ``worker-hello`` — ``{"op": "worker-hello", "proto": FLEET_PROTO,
+  "name": ...}`` → ``{"ok": true, "proto": ..., "worker_id": ...,
+  "lease_s": ..., "hb_s": ...}``.  One hello per connection; the
+  connection *is* the worker's session, and its loss revokes every
+  lease the worker holds.
+* ``lease-request`` — ask for one cell.  The grant carries the spec,
+  seed, attempt, the lease's **fencing token**, and the watchdog
+  deadline; an idle daemon replies ``{"lease": null, "retry_after": s}``.
+* ``worker-heartbeat`` — ``{"digest": ..., "token": ...}`` renews the
+  lease; the reply's ``lease`` field is ``"ok"`` or ``"revoked"`` (the
+  agent must kill the job and discard its result on revocation).
+* ``worker-result`` — deliver one outcome with the lease token.  The
+  reply's ``accepted`` is false when the token is stale (the lease
+  expired and was re-granted, or the daemon restarted); a stale result
+  is *never* committed.
 """
 
 from __future__ import annotations
@@ -32,7 +59,10 @@ from typing import Any, Dict, Optional
 
 __all__ = [
     "MAX_LINE",
+    "FLEET_PROTO",
+    "RETRYABLE",
     "E_SATURATED",
+    "E_UNAVAILABLE",
     "E_DRAINING",
     "E_BAD_REQUEST",
     "E_TOO_LARGE",
@@ -46,10 +76,19 @@ __all__ = [
 #: enough that a misbehaving client cannot balloon daemon memory.
 MAX_LINE = 32 * 1024 * 1024
 
+#: Fleet handshake version.  Bumped whenever the worker↔daemon message
+#: shapes change incompatibly; a daemon refuses hellos it cannot speak.
+FLEET_PROTO = 1
+
 E_SATURATED = "saturated"
+E_UNAVAILABLE = "unavailable"
 E_DRAINING = "draining"
 E_BAD_REQUEST = "bad-request"
 E_TOO_LARGE = "too-large"
+
+#: Error codes a client may retry with backoff (the condition is
+#: transient); everything else is terminal for the request as sent.
+RETRYABLE = frozenset({E_SATURATED, E_UNAVAILABLE})
 
 
 def encode(obj: Dict[str, Any]) -> bytes:

@@ -39,10 +39,11 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict
 
-from repro.obs.atomic import atomic_write_text, fsync_append
-from repro.runx.journal import iter_records, repair_torn_tail
+from repro.obs.atomic import atomic_write_text
+from repro.runx.journal import (
+    JournalWriteError, append_record, iter_records, repair_torn_tail)
 
-__all__ = ["DurableQueue", "QueueState"]
+__all__ = ["DurableQueue", "QueueState", "JournalWriteError"]
 
 log = logging.getLogger(__name__)
 
@@ -83,8 +84,12 @@ class DurableQueue:
                       "attempts": attempts, "error": error})
 
     def _append(self, rec: Dict[str, Any]) -> None:
+        """Fsync one record; raises the typed
+        :class:`~repro.runx.journal.JournalWriteError` when the disk
+        refuses (full, read-only, failing) — the daemon maps that to a
+        retryable reply rather than letting the accept loop die."""
         with self._lock:
-            fsync_append(self.path, json.dumps(rec, separators=(",", ":")))
+            append_record(self.path, rec)
 
     # -- replay ---------------------------------------------------------------
     def replay(self) -> QueueState:

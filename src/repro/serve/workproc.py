@@ -34,11 +34,19 @@ import threading
 import traceback
 from typing import Any, Dict, Optional
 
-__all__ = ["HEARTBEAT_S", "main"]
+__all__ = ["HEARTBEAT_S", "spawn_argv", "main"]
 
 #: Seconds between heartbeats while a job is executing.  The pool's
 #: heartbeat timeout must be a comfortable multiple of this.
 HEARTBEAT_S = 0.5
+
+
+def spawn_argv() -> list:
+    """The argv that launches one of these workers — shared by the
+    daemon's local pool and the remote fleet agent, so both drive the
+    exact same worker implementation (one protocol, one set of chaos
+    hooks, byte-identical cells wherever they run)."""
+    return [sys.executable, "-m", "repro.serve.workproc"]
 
 
 class _Emitter:

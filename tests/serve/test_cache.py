@@ -127,3 +127,72 @@ def test_cache_sharded_by_digest_prefix(tmp_path):
     digest = SPEC.digest()
     assert cache.path_for(digest).endswith(
         os.path.join(digest[:2], digest + ".json"))
+
+
+def _specs(n):
+    return [CellSpec(id=f"syn-{i}", fn="synthetic",
+                     params={"value": float(i)}, base_seed=7 + i)
+            for i in range(n)]
+
+
+def test_lru_cap_evicts_coldest_and_counts(tmp_path):
+    metrics = MetricsRegistry()
+    cache = ResultCache(str(tmp_path / "cache"), metrics=metrics,
+                        max_entries=3)
+    specs = _specs(5)
+    for spec in specs:
+        cache.put(spec, VALUE)
+    assert len(cache) == 3
+    assert cache.evictions == 2
+    assert _counter(metrics, "serve.cache.evictions") == 2
+    # The two oldest writes are gone from disk, the newest three remain.
+    assert cache.get(specs[0]) is None
+    assert cache.get(specs[1]) is None
+    for spec in specs[2:]:
+        assert cache.get(spec) == VALUE
+
+
+def test_lru_hit_refreshes_recency(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"), max_entries=2)
+    a, b, c = _specs(3)
+    cache.put(a, VALUE)
+    cache.put(b, VALUE)
+    assert cache.get(a) == VALUE  # touch a: b is now the coldest
+    cache.put(c, VALUE)
+    assert cache.get(b) is None, "the coldest entry must be the victim"
+    assert cache.get(a) == VALUE
+    assert cache.get(c) == VALUE
+
+
+def test_lru_cap_from_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_CACHE_MAX", "2")
+    cache = ResultCache(str(tmp_path / "cache"))
+    assert cache.max_entries == 2
+    for spec in _specs(4):
+        cache.put(spec, VALUE)
+    assert len(cache) == 2 and cache.evictions == 2
+
+
+def test_lru_index_seeded_from_disk_across_restarts(tmp_path):
+    """A restarted daemon inherits the on-disk recency (mtime order), so
+    its first eviction still removes the coldest entry."""
+    root = str(tmp_path / "cache")
+    unbounded = ResultCache(root)
+    specs = _specs(3)
+    for i, spec in enumerate(specs):
+        path = unbounded.put(spec, VALUE)
+        os.utime(path, (1000.0 + i, 1000.0 + i))  # deterministic mtimes
+    bounded = ResultCache(root, max_entries=3)
+    assert len(bounded) == 3
+    bounded.put(_specs(4)[3], VALUE)
+    assert bounded.get(specs[0]) is None, \
+        "the oldest-mtime entry must be evicted first after a restart"
+    assert bounded.get(specs[1]) == VALUE
+
+
+def test_unbounded_by_default(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    assert cache.max_entries == 0
+    for spec in _specs(10):
+        cache.put(spec, VALUE)
+    assert len(cache) == 10 and cache.evictions == 0

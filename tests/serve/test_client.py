@@ -1,0 +1,112 @@
+"""Client retry discipline: decorrelated jitter, server floors, typed
+retryability.  Everything is driven with injected ``rng``/``sleep`` so
+the asserted schedules are exact — no wall-clock, no sockets."""
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError, decorrelated_jitter
+
+
+def test_jitter_draws_between_base_and_three_times_previous():
+    lo = decorrelated_jitter(2.0, 0.5, 30.0, rng=lambda: 0.0)
+    hi = decorrelated_jitter(2.0, 0.5, 30.0, rng=lambda: 0.999999)
+    assert lo == 0.5
+    assert hi == pytest.approx(6.0, rel=1e-3)
+
+
+def test_jitter_caps_and_floors():
+    assert decorrelated_jitter(100.0, 0.5, 30.0, rng=lambda: 1.0 - 1e-9) \
+        == 30.0
+    # A server-sent retry_after lifts any smaller draw to the floor.
+    assert decorrelated_jitter(0.5, 0.5, 30.0, floor_s=7.5,
+                               rng=lambda: 0.0) == 7.5
+    # ...but never truncates a larger draw.
+    assert decorrelated_jitter(10.0, 0.5, 30.0, floor_s=7.5,
+                               rng=lambda: 0.999999) > 7.5
+
+
+def test_jitter_decorrelates_successive_sleeps():
+    """The schedule grows from the *previous draw*, not a fixed ladder:
+    two clients with different rng streams diverge immediately."""
+    prev_a = prev_b = 0.5
+    seq_a, seq_b = [], []
+    draws_a = iter([0.9, 0.1, 0.8, 0.3])
+    draws_b = iter([0.2, 0.7, 0.4, 0.6])
+    for _ in range(4):
+        prev_a = decorrelated_jitter(prev_a, 0.5, 30.0,
+                                     rng=lambda: next(draws_a))
+        prev_b = decorrelated_jitter(prev_b, 0.5, 30.0,
+                                     rng=lambda: next(draws_b))
+        seq_a.append(prev_a)
+        seq_b.append(prev_b)
+    assert seq_a != seq_b
+    assert all(0.5 <= s <= 30.0 for s in seq_a + seq_b)
+
+
+def _retrying_client(monkeypatch, replies):
+    """A client whose transport is the scripted ``replies`` list: each
+    entry is either an Exception to raise or a dict to return."""
+    client = ServeClient(socket_path="/nonexistent.sock")
+    script = iter(replies)
+
+    def fake_request(req):
+        item = next(script)
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+    monkeypatch.setattr(client, "request", fake_request)
+    return client
+
+
+def test_retrying_sleep_schedule_honors_retry_after_floor(monkeypatch):
+    """saturated(retry_after=5) → the first sleep is at least 5s even
+    though the jittered draw would have been far smaller."""
+    client = _retrying_client(monkeypatch, [
+        ServeError("saturated", "full", retry_after=5.0),
+        ServeError("unavailable", "disk full", retry_after=0.1),
+        {"ok": True, "done": True},
+    ])
+    sleeps = []
+    rep = client.request_retrying(
+        {"op": "submit"}, retries=4, base_s=0.5, cap_s=30.0,
+        sleep=sleeps.append, rng=lambda: 0.0)
+    assert rep == {"ok": True, "done": True}
+    assert len(sleeps) == 2
+    assert sleeps[0] == 5.0, "retry_after must floor the jittered draw"
+    # Second draw: rng=0 gives base (0.5), floored by retry_after=0.1.
+    assert sleeps[1] == 0.5
+
+
+def test_retrying_gives_up_after_budget(monkeypatch):
+    client = _retrying_client(monkeypatch, [
+        ServeError("saturated", "full") for _ in range(3)])
+    sleeps = []
+    with pytest.raises(ServeError) as err:
+        client.request_retrying({"op": "submit"}, retries=2,
+                                sleep=sleeps.append, rng=lambda: 0.0)
+    assert err.value.code == "saturated"
+    assert len(sleeps) == 2
+
+
+def test_retrying_never_retries_terminal_codes(monkeypatch):
+    for code in ("bad-request", "draining", "too-large"):
+        client = _retrying_client(monkeypatch, [ServeError(code, "no")])
+        sleeps = []
+        with pytest.raises(ServeError):
+            client.request_retrying({"op": "x"}, retries=4,
+                                    sleep=sleeps.append)
+        assert sleeps == [], f"{code} must raise immediately"
+
+
+def test_retrying_covers_unreachable_daemon(monkeypatch):
+    """A restarting daemon (connection refused) is transient: retried."""
+    client = _retrying_client(monkeypatch, [
+        ServeError("unreachable", "connection refused"),
+        {"ok": True},
+    ])
+    sleeps = []
+    assert client.request_retrying({"op": "status"}, retries=1,
+                                   sleep=sleeps.append,
+                                   rng=lambda: 0.0) == {"ok": True}
+    assert len(sleeps) == 1

@@ -97,3 +97,78 @@ def test_compaction_of_empty_state(tmp_path):
     q.compact(q.replay())
     assert os.path.getsize(q.path) == 0
     assert q.replay() == QueueState()
+
+
+def test_full_disk_raises_typed_journal_error(tmp_path, monkeypatch):
+    """ENOSPC at the fsync layer surfaces as JournalWriteError — an
+    OSError subclass (broad handlers still work) carrying the path."""
+    import errno
+
+    import repro.runx.journal as journal_mod
+    from repro.serve.queue import JournalWriteError
+
+    def no_space(path, line):
+        raise OSError(errno.ENOSPC, "No space left on device")
+
+    monkeypatch.setattr(journal_mod, "fsync_append", no_space)
+    q = _q(tmp_path)
+    try:
+        q.record_job("d1", SPEC)
+    except JournalWriteError as exc:
+        assert isinstance(exc, OSError)
+        assert exc.errno == errno.ENOSPC
+        assert q.path in str(exc)
+    else:
+        raise AssertionError("record_job must raise on a full disk")
+
+
+def test_daemon_maps_full_disk_to_retryable_unavailable(tmp_path,
+                                                        monkeypatch):
+    """A daemon whose journal hits ENOSPC sheds load with a typed
+    retryable reply (unavailable + retry_after) instead of crashing,
+    and keeps serving once the disk recovers."""
+    import asyncio
+    import errno
+
+    from repro.runx import CellSpec
+    from repro.serve import ServeClient, ServeConfig, ServeError
+    from repro.serve.daemon import ServeDaemon
+
+    spec = CellSpec(id="syn-0", fn="synthetic",
+                    params={"value": 1.0, "reps": 2}, base_seed=7)
+    cfg = ServeConfig(state_dir=str(tmp_path / "state"), workers=1)
+
+    async def scenario():
+        daemon = ServeDaemon(cfg)
+        await daemon.start()
+        loop = asyncio.get_running_loop()
+        client = ServeClient(socket_path=cfg.resolved_socket())
+
+        real = daemon.queue_journal.record_job
+        from repro.runx.journal import JournalWriteError
+
+        def failing(digest, spec_rec):
+            raise JournalWriteError(daemon.queue_journal.path,
+                                    OSError(errno.ENOSPC, "full"))
+
+        monkeypatch.setattr(daemon.queue_journal, "record_job", failing)
+        with_err = None
+        try:
+            await loop.run_in_executor(
+                None, lambda: client.submit([spec.to_record()]))
+        except ServeError as exc:
+            with_err = exc
+        assert with_err is not None
+        assert with_err.code == "unavailable"
+        assert with_err.retry_after and with_err.retry_after > 0
+        assert daemon.metrics.counter(
+            "serve.journal.write_errors").value == 1
+
+        # Disk recovers: the same submit now computes normally.
+        monkeypatch.setattr(daemon.queue_journal, "record_job", real)
+        rep = await loop.run_in_executor(
+            None, lambda: client.submit([spec.to_record()]))
+        assert rep["cells"][0]["status"] == "ok"
+        await daemon.drain()
+
+    asyncio.run(scenario())
